@@ -1,0 +1,31 @@
+//! # califorms-alloc
+//!
+//! The dynamic-memory half of Califorms' software stack (Section 6.1): a
+//! model `malloc` that issues `CFORM` instructions around allocation and
+//! deallocation, with the paper's two disciplines:
+//!
+//! * **Heap — clean-before-use + quarantine.** Freed memory stays fully
+//!   califormed (and zeroed) at all times, giving temporal safety:
+//!   use-after-free accesses hit security bytes. Allocation *clears*
+//!   security bytes from the data locations (and leaves them set at the
+//!   new object's span positions). Recently freed regions are quarantined
+//!   and not reused until enough of the heap has been consumed.
+//! * **Stack — dirty-before-use.** Frames get their security bytes set on
+//!   function entry and unset on exit (use-after-return is rare enough
+//!   that the cheaper discipline wins, Section 6.1).
+//!
+//! Allocators do not touch a simulator directly: they **emit trace
+//! operations** ([`califorms_sim::TraceOp`]) — the `CFORM`s plus the
+//! bookkeeping instructions the instrumented program would execute — which
+//! workload generators interleave with application accesses. This mirrors
+//! the paper's measurement method, where the dummy-store instrumentation
+//! accounts for "all the software overheads we need to pay" (Section 8.2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod heap;
+pub mod stack;
+
+pub use heap::{AllocatorConfig, CaliformsHeap, FreeMode, HeapStats};
+pub use stack::CaliformsStack;

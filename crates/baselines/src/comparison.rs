@@ -1,0 +1,387 @@
+//! The paper's comparison tables (Tables 4, 5, 6) as typed data, plus an
+//! *executable* detection matrix that runs the same attack suite against
+//! the REST/ADI/MPX models and Califorms itself.
+
+use crate::adi::AdiMachine;
+use crate::mpx::{MpxAccess, MpxMachine};
+use crate::rest::{RestAccess, RestMachine};
+use califorms_core::line::CaliformedLine;
+
+/// Tri-state support marker used in the qualitative tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Support {
+    /// Supported (✓).
+    Yes,
+    /// Unsupported (✗).
+    No,
+    /// Supported with the table's footnote caveat (✓*, ✗†, …).
+    Qualified(&'static str),
+}
+
+impl core::fmt::Display for Support {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Support::Yes => write!(f, "yes"),
+            Support::No => write!(f, "no"),
+            Support::Qualified(q) => write!(f, "{q}"),
+        }
+    }
+}
+
+/// One row of Table 4 (security comparison).
+#[derive(Debug, Clone)]
+pub struct SecurityRow {
+    /// Proposal name.
+    pub proposal: &'static str,
+    /// Protection granularity.
+    pub granularity: &'static str,
+    /// Intra-object protection.
+    pub intra_object: Support,
+    /// Binary composability with uninstrumented modules.
+    pub binary_composability: Support,
+    /// Temporal safety.
+    pub temporal_safety: Support,
+}
+
+/// Table 4 verbatim (footnotes as qualified markers).
+pub fn table4() -> Vec<SecurityRow> {
+    use Support::*;
+    let rows = [
+        ("Hardbound", "Byte", Qualified("yes, with bounds narrowing"), No, No),
+        ("Watchdog", "Byte", Qualified("yes, with bounds narrowing"), No, Yes),
+        ("WatchdogLite", "Byte", Qualified("yes, with bounds narrowing"), No, Yes),
+        ("Intel MPX", "Byte", Qualified("yes, with bounds narrowing"), Qualified("execution compatible; protection dropped on external writes"), No),
+        ("BOGO", "Byte", Qualified("yes, with bounds narrowing"), Qualified("execution compatible; protection dropped on external writes"), Yes),
+        ("PUMP", "Word", No, Yes, Yes),
+        ("CHERI", "Byte", Qualified("hardware supports narrowing; foregone (capability logic)"), No, No),
+        ("CHERI concentrate", "Byte", Qualified("hardware supports narrowing; foregone (capability logic)"), No, No),
+        ("SPARC ADI", "Cache line", No, Yes, Qualified("yes, limited to 13 tags")),
+        ("SafeMem", "Cache line", No, Yes, No),
+        ("REST", "8-64B", No, Yes, Qualified("yes, with allocator randomisation")),
+        ("Califorms", "Byte", Yes, Yes, Qualified("yes, with allocator randomisation")),
+    ];
+    rows.into_iter()
+        .map(
+            |(proposal, granularity, intra, compose, temporal)| SecurityRow {
+                proposal,
+                granularity,
+                intra_object: intra,
+                binary_composability: compose,
+                temporal_safety: temporal,
+            },
+        )
+        .collect()
+}
+
+/// One row of Table 5 (performance comparison).
+#[derive(Debug, Clone)]
+pub struct PerformanceRow {
+    /// Proposal name.
+    pub proposal: &'static str,
+    /// Metadata footprint.
+    pub metadata_overhead: &'static str,
+    /// What memory overhead scales with.
+    pub memory_overhead_scales_with: &'static str,
+    /// What performance overhead scales with.
+    pub performance_overhead_scales_with: &'static str,
+    /// Main runtime operations.
+    pub main_operations: &'static str,
+}
+
+/// Table 5 verbatim.
+pub fn table5() -> Vec<PerformanceRow> {
+    let rows = [
+        ("Hardbound", "0-2 words per ptr, 4b per word", "# of ptrs and prog memory footprint", "# of ptr derefs", "1-2 mem ref for bounds (may be cached), check uops"),
+        ("Watchdog", "4 words per ptr", "# of ptrs and allocations", "# of ptr derefs", "1-3 mem ref for bounds (may be cached), check uops"),
+        ("WatchdogLite", "4 words per ptr", "# of ptrs and allocations", "# of ptr ops", "1-3 mem ref for bounds (may be cached), check & propagate insns"),
+        ("Intel MPX", "2 words per ptr", "# of ptrs", "# of ptr derefs", "2+ mem ref for bounds (may be cached), check & propagate insns"),
+        ("BOGO", "2 words per ptr", "# of ptrs", "# of ptr derefs", "MPX ops + ptr miss exception handling, page permission mods"),
+        ("PUMP", "64b per cache line", "prog memory footprint", "# of ptr ops", "1 mem ref for tags (may be cached), fetch and check rules; propagate tags"),
+        ("CHERI", "256b per ptr", "# of ptrs and physical mem", "# of ptr ops", "1+ mem ref for capability (may be cached), capability management insns"),
+        ("CHERI concentrate", "ptr size is 2x", "# of ptrs", "# of ptr ops", "wide ptr load (may be cached), capability management insns"),
+        ("SPARC ADI", "4b per cache line", "prog memory footprint", "# of tag (un)set ops", "(un)set tag"),
+        ("SafeMem", "2x blacklisted memory", "blacklisted memory", "# of ECC (un)set ops", "syscall to scramble ECC, copy data content"),
+        ("REST", "8-64B token", "blacklisted memory", "# of arm/disarm insns", "execute arm/disarm insns"),
+        ("Califorms", "byte-granular security byte", "blacklisted memory", "# of CFORM insns", "execute CFORM insns"),
+    ];
+    rows.into_iter()
+        .map(|(p, m, mem, perf, ops)| PerformanceRow {
+            proposal: p,
+            metadata_overhead: m,
+            memory_overhead_scales_with: mem,
+            performance_overhead_scales_with: perf,
+            main_operations: ops,
+        })
+        .collect()
+}
+
+/// One row of Table 6 (implementation complexity).
+#[derive(Debug, Clone)]
+pub struct ComplexityRow {
+    /// Proposal name.
+    pub proposal: &'static str,
+    /// Core pipeline changes.
+    pub core: &'static str,
+    /// Cache/TLB changes.
+    pub caches: &'static str,
+    /// Main-memory changes.
+    pub memory: &'static str,
+    /// Software changes.
+    pub software: &'static str,
+}
+
+/// Table 6 verbatim (abridged to the structural content).
+pub fn table6() -> Vec<ComplexityRow> {
+    let rows = [
+        ("Hardbound", "uop injection & logic for ptr meta; extended reg file/data path", "tag cache and its TLB", "none", "compiler & allocator annotate ptr metadata"),
+        ("Watchdog", "uop injection & logic for ptr meta; extended reg file/data path", "ptr lock cache", "none", "compiler & allocator annotate ptr metadata"),
+        ("WatchdogLite", "none", "none", "none", "compiler & allocator annotate ptrs; compiler inserts meta propagation and check insns"),
+        ("Intel MPX", "closed platform (likely similar to Hardbound)", "closed platform", "closed platform", "compiler & allocator annotate ptrs; compiler inserts meta propagation and check insns"),
+        ("BOGO", "closed platform (likely similar to Hardbound)", "closed platform", "closed platform", "MPX mods + kernel mods for bounds page right management"),
+        ("PUMP", "extend all data units by tag width; modified pipeline stages; new miss handler", "rule cache", "none", "compiler & allocator (un)set memory, tag ptrs"),
+        ("CHERI", "capability reg file, coprocessor integrated with pipeline", "capability caches", "none", "compiler & allocator annotate ptrs; compiler inserts meta propagation and check insns"),
+        ("CHERI concentrate", "modify pipeline to integrate ptr checks", "none", "none", "compiler & allocator annotate ptrs; compiler inserts meta propagation and check insns"),
+        ("SPARC ADI", "closed platform", "closed platform", "closed platform", "compiler & allocator (un)set memory, tag ptrs"),
+        ("SafeMem", "none", "none", "repurposes ECC bits", "none"),
+        ("REST", "none", "1-8b per L1D line, 1 comparator", "none", "compiler & allocator (un)set tags; allocator randomises allocation order/placement"),
+        ("Califorms", "none", "8b per L1D line, 1b per L2/L3 line", "uses unused ECC bits", "compiler & allocator mods to (un)set tags; compiler inserts intra-object spacing"),
+    ];
+    rows.into_iter()
+        .map(|(p, core, caches, memory, software)| ComplexityRow {
+            proposal: p,
+            core,
+            caches,
+            memory,
+            software,
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Executable detection matrix
+// ---------------------------------------------------------------------
+
+/// The attack suite thrown at every executable model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackKind {
+    /// Overflow from one field into the next within one object.
+    IntraObjectOverflow,
+    /// Overflow from one object into its neighbour.
+    InterObjectOverflow,
+    /// Dereference of a freed object.
+    UseAfterFree,
+}
+
+impl AttackKind {
+    /// All three attacks.
+    pub const ALL: [AttackKind; 3] = [
+        AttackKind::IntraObjectOverflow,
+        AttackKind::InterObjectOverflow,
+        AttackKind::UseAfterFree,
+    ];
+}
+
+/// Whether a scheme's executable model caught the attack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Detection {
+    /// Caught.
+    Detected,
+    /// Missed.
+    Missed,
+}
+
+/// Runs the attack suite against the four executable models. Returns
+/// `(scheme, [(attack, detection); 3])` per scheme.
+///
+/// The scenarios place two 64-byte objects side by side, each split into
+/// two fields at offset 32, fence per each scheme's mechanism and
+/// granularity, then perform the three rogue accesses.
+pub fn detection_matrix() -> Vec<(&'static str, Vec<(AttackKind, Detection)>)> {
+    vec![
+        ("Califorms", califorms_detections()),
+        ("REST", rest_detections()),
+        ("SPARC ADI", adi_detections()),
+        ("Intel MPX", mpx_detections()),
+    ]
+}
+
+fn verdict(detected: bool) -> Detection {
+    if detected {
+        Detection::Detected
+    } else {
+        Detection::Missed
+    }
+}
+
+fn califorms_detections() -> Vec<(AttackKind, Detection)> {
+    // One line = object A [0,64); fields at [0,30) and [33,64); a 3-byte
+    // security span fences them. Object B in the next line with a leading
+    // span. Byte granularity lets Califorms express all three fences.
+    let mut obj_a = CaliformedLine::zeroed();
+    for b in 30..33 {
+        obj_a.set_security_byte(b);
+    }
+    let intra = obj_a.write_byte(30, 0xAA).is_err();
+
+    let mut obj_b = CaliformedLine::zeroed();
+    obj_b.set_security_byte(0); // leading fence of B
+    let inter = obj_b.write_byte(0, 0xAA).is_err();
+
+    // Freed object: clean-before-use keeps it fully califormed.
+    let mut freed = CaliformedLine::zeroed();
+    for b in 0..64 {
+        freed.set_security_byte(b);
+    }
+    let uaf = freed.is_security_byte(8); // any dereference faults
+
+    vec![
+        (AttackKind::IntraObjectOverflow, verdict(intra)),
+        (AttackKind::InterObjectOverflow, verdict(inter)),
+        (AttackKind::UseAfterFree, verdict(uaf)),
+    ]
+}
+
+fn rest_detections() -> Vec<(AttackKind, Detection)> {
+    let mut m = RestMachine::new(64);
+    // Inter-object redzone after object A at [0x1000, 0x1040).
+    m.arm(0x1040, 64);
+    // Intra-object: a 64 B token between 32 B fields would double the
+    // object; REST deploys without intra fences (Section 9: "intra-object
+    // safety was not supported by REST owing to the large memory
+    // overhead").
+    let intra = matches!(m.access(0x1000 + 32, 1), RestAccess::Tripped { .. });
+    let inter = matches!(m.access(0x1040, 1), RestAccess::Tripped { .. });
+    // UAF: the freed object is re-armed (quarantine).
+    let mut m2 = RestMachine::new(64);
+    m2.arm(0x2000, 64); // free(obj) arms its tokens
+    let uaf = matches!(m2.access(0x2008, 8), RestAccess::Tripped { .. });
+    vec![
+        (AttackKind::IntraObjectOverflow, verdict(intra)),
+        (AttackKind::InterObjectOverflow, verdict(inter)),
+        (AttackKind::UseAfterFree, verdict(uaf)),
+    ]
+}
+
+fn adi_detections() -> Vec<(AttackKind, Detection)> {
+    let mut m = AdiMachine::new();
+    let a = m.allocate(0x1000, 64);
+    let _b = m.allocate(0x1040, 64);
+    let intra = matches!(
+        m.access(a, 32, 1),
+        crate::adi::AdiAccess::Mismatch { .. }
+    );
+    let inter = matches!(
+        m.access(a, 64, 1),
+        crate::adi::AdiAccess::Mismatch { .. }
+    );
+    let c = m.allocate(0x2000, 64);
+    m.free(c, 64);
+    let uaf = matches!(m.access(c, 0, 8), crate::adi::AdiAccess::Mismatch { .. });
+    vec![
+        (AttackKind::IntraObjectOverflow, verdict(intra)),
+        (AttackKind::InterObjectOverflow, verdict(inter)),
+        (AttackKind::UseAfterFree, verdict(uaf)),
+    ]
+}
+
+fn mpx_detections() -> Vec<(AttackKind, Detection)> {
+    let mut m = MpxMachine::new();
+    m.set_bounds(1, 0x1000, 0x1040); // whole-object bounds (no narrowing:
+                                     // production compilers don't support it)
+    let intra = matches!(
+        m.access(1, 0x1000 + 32, 1),
+        MpxAccess::BoundViolation { .. }
+    );
+    let inter = matches!(m.access(1, 0x1040, 1), MpxAccess::BoundViolation { .. });
+    m.free(1);
+    let uaf = !matches!(m.access(1, 0x1000, 8), MpxAccess::Ok);
+    vec![
+        (AttackKind::IntraObjectOverflow, verdict(intra)),
+        (AttackKind::InterObjectOverflow, verdict(inter)),
+        (AttackKind::UseAfterFree, verdict(uaf)),
+    ]
+}
+
+/// Renders Table 4 as aligned text.
+pub fn render_table4() -> String {
+    let mut out = String::from(
+        "proposal          | granularity | intra-object                  | binary composability | temporal\n",
+    );
+    for r in table4() {
+        out.push_str(&format!(
+            "{:<17} | {:<11} | {:<29} | {:<20} | {}\n",
+            r.proposal,
+            r.granularity,
+            r.intra_object.to_string(),
+            r.binary_composability.to_string(),
+            r.temporal_safety
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_have_twelve_proposals_ending_with_califorms() {
+        for len in [table4().len(), table5().len(), table6().len()] {
+            assert_eq!(len, 12);
+        }
+        assert_eq!(table4().last().unwrap().proposal, "Califorms");
+        assert_eq!(table5().last().unwrap().proposal, "Califorms");
+        assert_eq!(table6().last().unwrap().proposal, "Califorms");
+    }
+
+    #[test]
+    fn califorms_is_the_only_unqualified_intra_object_yes() {
+        let full_support: Vec<&str> = table4()
+            .iter()
+            .filter(|r| r.intra_object == Support::Yes)
+            .map(|r| r.proposal)
+            .collect();
+        assert_eq!(full_support, vec!["Califorms"]);
+    }
+
+    #[test]
+    fn detection_matrix_matches_table4_claims() {
+        let matrix = detection_matrix();
+        let get = |scheme: &str, attack: AttackKind| {
+            matrix
+                .iter()
+                .find(|(s, _)| *s == scheme)
+                .unwrap()
+                .1
+                .iter()
+                .find(|(a, _)| *a == attack)
+                .unwrap()
+                .1
+        };
+        use AttackKind::*;
+        // Califorms: everything.
+        for a in AttackKind::ALL {
+            assert_eq!(get("Califorms", a), Detection::Detected, "Califorms {a:?}");
+        }
+        // REST: no intra-object, yes inter/UAF.
+        assert_eq!(get("REST", IntraObjectOverflow), Detection::Missed);
+        assert_eq!(get("REST", InterObjectOverflow), Detection::Detected);
+        assert_eq!(get("REST", UseAfterFree), Detection::Detected);
+        // ADI: no intra-object, yes inter/UAF.
+        assert_eq!(get("SPARC ADI", IntraObjectOverflow), Detection::Missed);
+        assert_eq!(get("SPARC ADI", InterObjectOverflow), Detection::Detected);
+        assert_eq!(get("SPARC ADI", UseAfterFree), Detection::Detected);
+        // MPX (no narrowing): no intra, yes inter, no temporal.
+        assert_eq!(get("Intel MPX", IntraObjectOverflow), Detection::Missed);
+        assert_eq!(get("Intel MPX", InterObjectOverflow), Detection::Detected);
+        assert_eq!(get("Intel MPX", UseAfterFree), Detection::Missed);
+    }
+
+    #[test]
+    fn render_contains_all_proposals() {
+        let s = render_table4();
+        for r in table4() {
+            assert!(s.contains(r.proposal));
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # califorms-baselines
+//!
+//! Executable models of the prior hardware memory-safety schemes the paper
+//! compares against (Section 9), plus the qualitative comparison matrices
+//! of Tables 4, 5 and 6.
+//!
+//! Three mechanism classes (Figure 13):
+//!
+//! * [`mpx`] — **disjoint metadata whitelisting** (Intel MPX-like): bounds
+//!   per pointer in a shadow table, explicit checks on dereference.
+//! * [`adi`] — **cojoined metadata whitelisting** (SPARC ADI-like): 4-bit
+//!   colours per cache-line granule matched against pointer tags.
+//! * [`rest`] — **inlined metadata blacklisting** (REST-like): 8–64 B
+//!   token tripwires around objects.
+//!
+//! Each model exposes the same tiny "machine" interface (allocate, free,
+//! access) so the comparison bench can throw the identical attack suite at
+//! all of them — and at Califorms — and print who detects what
+//! ([`comparison::detection_matrix`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adi;
+pub mod comparison;
+pub mod mpx;
+pub mod rest;
+
+pub use adi::AdiMachine;
+pub use comparison::{detection_matrix, table4, table5, table6, AttackKind, Detection};
+pub use mpx::MpxMachine;
+pub use rest::RestMachine;

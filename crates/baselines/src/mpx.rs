@@ -1,0 +1,168 @@
+//! An Intel MPX-like disjoint-bounds machine (disjoint metadata
+//! whitelisting).
+//!
+//! Every protected pointer has a `(lower, upper)` bounds pair in a shadow
+//! table; each dereference is explicitly checked. The model also counts
+//! the *extra memory operations* bounds checking incurs — the mechanism
+//! behind MPX's ~1.7× slowdown (Table 5's "2+ mem ref for bounds") — and
+//! reproduces the interoperability hazard the paper highlights: bounds
+//! are **dropped** when a pointer passes through uninstrumented code.
+
+use std::collections::HashMap;
+
+/// A bounds entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Bounds {
+    /// Lowest legal byte.
+    pub lower: u64,
+    /// One past the highest legal byte.
+    pub upper: u64,
+}
+
+/// Outcome of a checked dereference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MpxAccess {
+    /// In bounds.
+    Ok,
+    /// Out of bounds — `#BR` trap.
+    BoundViolation {
+        /// The bounds that were violated.
+        bounds: Bounds,
+    },
+    /// Pointer had no bounds (dropped or never set): access proceeds
+    /// **unchecked** — MPX's compatibility-over-safety default.
+    Unchecked,
+}
+
+/// The MPX machine: a shadow bounds table keyed by pointer identity.
+#[derive(Debug, Default)]
+pub struct MpxMachine {
+    bounds: HashMap<u64, Bounds>,
+    /// Extra memory references performed for bounds-table traffic.
+    pub metadata_memory_refs: u64,
+    /// Bounds-check operations executed.
+    pub checks: u64,
+}
+
+impl MpxMachine {
+    /// A fresh machine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Associates bounds with pointer `ptr_id` (a `BNDMK`). Costs a
+    /// bounds-table store.
+    pub fn set_bounds(&mut self, ptr_id: u64, lower: u64, upper: u64) {
+        assert!(lower < upper, "empty bounds");
+        self.metadata_memory_refs += 1;
+        self.bounds.insert(ptr_id, Bounds { lower, upper });
+    }
+
+    /// Narrows `ptr_id`'s bounds to a field — the bounds-narrowing that
+    /// would give MPX intra-object protection but that "commercial
+    /// compilers do not support" (Section 9).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pointer has no bounds or the narrowed range is not
+    /// contained in the existing one.
+    pub fn narrow_bounds(&mut self, ptr_id: u64, lower: u64, upper: u64) {
+        let b = self.bounds[&ptr_id];
+        assert!(
+            b.lower <= lower && upper <= b.upper,
+            "narrowed bounds must be contained"
+        );
+        self.metadata_memory_refs += 1;
+        self.bounds.insert(ptr_id, Bounds { lower, upper });
+    }
+
+    /// Models the pointer passing through an uninstrumented module: MPX
+    /// drops its bounds (the interoperability hazard of Table 4's
+    /// "protection dropped when external modules modify pointer").
+    pub fn pass_through_unprotected_module(&mut self, ptr_id: u64) {
+        self.bounds.remove(&ptr_id);
+    }
+
+    /// Checks a dereference of `ptr_id` at `[addr, addr+len)` (a
+    /// `BNDCL`/`BNDCU` pair plus the bounds-table load).
+    pub fn access(&mut self, ptr_id: u64, addr: u64, len: u64) -> MpxAccess {
+        self.checks += 1;
+        match self.bounds.get(&ptr_id) {
+            None => MpxAccess::Unchecked,
+            Some(&b) => {
+                self.metadata_memory_refs += 2; // bounds load (often cached) + check µops
+                if addr >= b.lower && addr + len <= b.upper {
+                    MpxAccess::Ok
+                } else {
+                    MpxAccess::BoundViolation { bounds: b }
+                }
+            }
+        }
+    }
+
+    /// MPX provides no temporal safety (Table 4): freeing does nothing to
+    /// outstanding bounds; a stale pointer with stale bounds still passes.
+    pub fn free(&mut self, _ptr_id: u64) {
+        // Intentionally empty: this is the vulnerability, not an omission.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_bounds_access_passes_and_costs_metadata_refs() {
+        let mut m = MpxMachine::new();
+        m.set_bounds(1, 0x1000, 0x1040);
+        assert_eq!(m.access(1, 0x1000, 8), MpxAccess::Ok);
+        assert!(m.metadata_memory_refs >= 3, "table store + load + check");
+    }
+
+    #[test]
+    fn overflow_is_trapped() {
+        let mut m = MpxMachine::new();
+        m.set_bounds(1, 0x1000, 0x1040);
+        assert!(matches!(
+            m.access(1, 0x103C, 8),
+            MpxAccess::BoundViolation { .. }
+        ));
+    }
+
+    #[test]
+    fn narrowing_gives_intra_object_protection() {
+        let mut m = MpxMachine::new();
+        m.set_bounds(1, 0x1000, 0x1060);
+        m.narrow_bounds(1, 0x1008, 0x1048); // &obj->buf
+        assert_eq!(m.access(1, 0x1008, 8), MpxAccess::Ok);
+        assert!(matches!(
+            m.access(1, 0x1048, 1),
+            MpxAccess::BoundViolation { .. }
+        ));
+    }
+
+    #[test]
+    fn unprotected_module_drops_bounds_silently() {
+        let mut m = MpxMachine::new();
+        m.set_bounds(1, 0x1000, 0x1040);
+        m.pass_through_unprotected_module(1);
+        // Now even a wild access sails through unchecked.
+        assert_eq!(m.access(1, 0xDEAD_0000, 64), MpxAccess::Unchecked);
+    }
+
+    #[test]
+    fn no_temporal_safety() {
+        let mut m = MpxMachine::new();
+        m.set_bounds(1, 0x1000, 0x1040);
+        m.free(1);
+        assert_eq!(m.access(1, 0x1000, 8), MpxAccess::Ok, "UAF undetected");
+    }
+
+    #[test]
+    #[should_panic(expected = "contained")]
+    fn widening_via_narrow_is_rejected() {
+        let mut m = MpxMachine::new();
+        m.set_bounds(1, 0x1000, 0x1040);
+        m.narrow_bounds(1, 0x0FF0, 0x1040);
+    }
+}

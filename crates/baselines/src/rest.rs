@@ -1,0 +1,165 @@
+//! A REST-like tripwire machine (Sinha & Sethumadhavan, ISCA 2018).
+//!
+//! REST blacklists memory by storing a large random **token** (8–64 B) in
+//! the regions to be protected; cache fills compare lines against the
+//! token. Detection granularity is therefore the token size: inter-object
+//! redzones and quarantined frees work well, but fencing every *field*
+//! would cost a token per field — the memory blow-up that motivates
+//! Califorms' byte granularity (Section 9).
+
+use std::collections::HashSet;
+
+/// Outcome of a checked access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestAccess {
+    /// Access touched no armed token.
+    Ok,
+    /// Access overlapped an armed token region.
+    Tripped {
+        /// Token-aligned base of the tripped region.
+        token_base: u64,
+    },
+}
+
+/// The REST machine: token-granular blacklisting.
+#[derive(Debug)]
+pub struct RestMachine {
+    token_bytes: u64,
+    armed: HashSet<u64>,
+    /// Freed regions kept armed (quarantine) until explicitly disarmed.
+    pub quarantine_frees: bool,
+}
+
+impl RestMachine {
+    /// Creates a machine with the given token size (the paper's REST
+    /// configurations use 8–64 B).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the token size is a power of two in `8..=64`.
+    pub fn new(token_bytes: u64) -> Self {
+        assert!(
+            token_bytes.is_power_of_two() && (8..=64).contains(&token_bytes),
+            "REST tokens are 8-64B powers of two"
+        );
+        Self {
+            token_bytes,
+            armed: HashSet::new(),
+            quarantine_frees: true,
+        }
+    }
+
+    /// Token size in bytes.
+    pub fn token_bytes(&self) -> u64 {
+        self.token_bytes
+    }
+
+    fn token_base(&self, addr: u64) -> u64 {
+        addr & !(self.token_bytes - 1)
+    }
+
+    /// Arms tokens covering `[addr, addr+len)`. REST can only blacklist
+    /// whole token-sized, token-aligned chunks, so the armed region is the
+    /// enclosing token span — the granularity loss this model exposes.
+    pub fn arm(&mut self, addr: u64, len: u64) {
+        assert!(len > 0);
+        let mut t = self.token_base(addr);
+        let end = addr + len;
+        while t < end {
+            self.armed.insert(t);
+            t += self.token_bytes;
+        }
+    }
+
+    /// Disarms tokens covering `[addr, addr+len)`.
+    pub fn disarm(&mut self, addr: u64, len: u64) {
+        let mut t = self.token_base(addr);
+        let end = addr + len;
+        while t < end {
+            self.armed.remove(&t);
+            t += self.token_bytes;
+        }
+    }
+
+    /// Checks an access (load or store — tripwires catch both).
+    pub fn access(&self, addr: u64, len: u64) -> RestAccess {
+        let mut t = self.token_base(addr);
+        let end = addr + len;
+        while t < end {
+            if self.armed.contains(&t) {
+                return RestAccess::Tripped { token_base: t };
+            }
+            t += self.token_bytes;
+        }
+        RestAccess::Ok
+    }
+
+    /// Memory overhead (bytes of token) of fencing one object with
+    /// `fields` fields *intra-object* — a token between every adjacent
+    /// field pair plus both ends. For Califorms the same protection costs
+    /// `~(fields+1) × avg_span` bytes with 1–7 B spans; for REST it costs
+    /// `(fields+1) × token` — 8–64× more.
+    pub fn intra_object_fence_bytes(&self, fields: u64) -> u64 {
+        (fields + 1) * self.token_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arm_and_trip() {
+        let mut m = RestMachine::new(64);
+        m.arm(0x1000, 64);
+        assert_eq!(
+            m.access(0x1010, 8),
+            RestAccess::Tripped { token_base: 0x1000 }
+        );
+        assert_eq!(m.access(0x1040, 8), RestAccess::Ok);
+    }
+
+    #[test]
+    fn arming_rounds_to_token_granularity() {
+        let mut m = RestMachine::new(64);
+        // Asking for a 4-byte redzone arms the whole 64 B token — the
+        // granularity loss vs byte-level Califorms.
+        m.arm(0x1020, 4);
+        assert!(matches!(m.access(0x1000, 1), RestAccess::Tripped { .. }));
+        assert!(matches!(m.access(0x103F, 1), RestAccess::Tripped { .. }));
+    }
+
+    #[test]
+    fn disarm_restores_access() {
+        let mut m = RestMachine::new(8);
+        m.arm(0x2000, 16);
+        m.disarm(0x2000, 16);
+        assert_eq!(m.access(0x2000, 16), RestAccess::Ok);
+    }
+
+    #[test]
+    fn spanning_access_is_caught() {
+        let mut m = RestMachine::new(8);
+        m.arm(0x3008, 8);
+        // Access starting before the token but crossing into it.
+        assert!(matches!(m.access(0x3004, 8), RestAccess::Tripped { .. }));
+    }
+
+    #[test]
+    fn intra_object_fencing_is_expensive() {
+        let rest64 = RestMachine::new(64);
+        let rest8 = RestMachine::new(8);
+        // Paper example: 5 fields → 6 fences.
+        assert_eq!(rest64.intra_object_fence_bytes(5), 384);
+        assert_eq!(rest8.intra_object_fence_bytes(5), 48);
+        // Califorms with 1-7B spans averages 4B per fence = 24B; REST pays
+        // 2-16x that.
+        assert!(rest8.intra_object_fence_bytes(5) >= 2 * 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "8-64B")]
+    fn invalid_token_size_panics() {
+        RestMachine::new(128);
+    }
+}

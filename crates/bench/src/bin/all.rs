@@ -1,0 +1,53 @@
+//! Runs every experiment at a reduced scale — a one-shot smoke pass over
+//! the full evaluation (the per-figure binaries are the full-scale runs).
+
+use califorms_bench::{
+    fig10, fig11_series, fig12_series, fig3, fig4, mean, policy_figure, render_policy_rows,
+    render_slowdowns, series_average,
+};
+use califorms_vlsi::tables::{render_comparison, table7};
+use califorms_vlsi::Tech;
+
+fn main() {
+    let ops = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60_000);
+
+    println!("############ Figure 3 ############");
+    for r in fig3(20_000) {
+        println!(
+            "{}: fraction with padding {:.3} (paper {:.3})",
+            r.corpus, r.fraction_with_padding, r.paper_fraction
+        );
+    }
+    println!();
+
+    println!("############ Figure 4 ############");
+    print!("{}", render_slowdowns("fixed padding 1-7B", &fig4(ops)));
+    println!();
+
+    println!("############ Figure 10 ############");
+    let rows = fig10(ops);
+    print!("{}", render_slowdowns("+1 cycle L2/L3", &rows));
+    println!("paper AVG 0.83% | measured AVG {:.2}%", mean(&rows) * 100.0);
+    println!();
+
+    println!("############ Figure 11 ############");
+    let rows = policy_figure(&fig11_series(), ops);
+    print!("{}", render_policy_rows("opportunistic & full", &rows));
+    println!(
+        "paper: opp CFORM 7.9%, full 1-7B CFORM ~14% | measured: {:.1}%, {:.1}%",
+        series_average(&rows, "Opportunistic CFORM") * 100.0,
+        series_average(&rows, "1-7B CFORM") * 100.0
+    );
+    println!();
+
+    println!("############ Figure 12 ############");
+    let rows = policy_figure(&fig12_series(), ops);
+    print!("{}", render_policy_rows("intelligent", &rows));
+    println!();
+
+    println!("############ Tables 2 & 7 ############");
+    print!("{}", render_comparison(&table7(&Tech::tsmc65())));
+}

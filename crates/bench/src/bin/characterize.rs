@@ -1,0 +1,41 @@
+//! Workload characterisation: one row per synthetic SPEC benchmark with
+//! its simulated baseline behaviour — the sanity table that shows the 19
+//! profiles really do span the memory-behaviour space the paper's SPEC
+//! selection covers (working sets across L1/L2/L3/DRAM, compute-bound to
+//! latency-bound, malloc-light to malloc-intensive).
+
+use califorms_sim::HierarchyConfig;
+use califorms_workloads::{fig10_benchmarks, generate, run_workload, WorkloadConfig};
+
+fn main() {
+    let ops = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(100_000);
+    println!("baseline characterisation ({ops} steady-state ops, no Califorms)");
+    println!();
+    println!(
+        "{:<11} | {:>8} | {:>7} | {:>5} | {:>9} | {:>9} | {:>9} | {:>8}",
+        "benchmark", "WSS", "obj B", "IPC", "L1D miss%", "L2 miss%", "L3 miss%", "DRAM/kop"
+    );
+    println!("{}", "-".repeat(88));
+    for b in fig10_benchmarks() {
+        let w = generate(&b, &WorkloadConfig::baseline(ops, 1));
+        let stats = run_workload(&w, HierarchyConfig::westmere());
+        let kops = (stats.loads + stats.stores).max(1) as f64 / 1000.0;
+        println!(
+            "{:<11} | {:>7}K | {:>7} | {:>5.2} | {:>8.2}% | {:>8.2}% | {:>8.2}% | {:>8.1}",
+            b.name,
+            b.natural_wss() / 1024,
+            w.natural_object_size,
+            stats.ipc(),
+            stats.l1d.miss_ratio() * 100.0,
+            stats.l2.miss_ratio() * 100.0,
+            stats.l3.miss_ratio() * 100.0,
+            stats.dram_accesses as f64 / kops,
+        );
+    }
+    println!();
+    println!("expected shape: hmmer/namd tiny WSS + high IPC; mcf/xalancbmk large WSS,");
+    println!("low IPC, DRAM-bound; lbm/libquantum streaming (prefetcher-friendly).");
+}

@@ -1,0 +1,44 @@
+//! Figure 10: per-benchmark slowdown with one extra cycle of L2 **and**
+//! L3 latency (the pessimistic hardware cost of Califorms conversions).
+//!
+//! Paper reference: 0.24 % (hmmer) – 1.37 % (xalancbmk), average 0.83 %.
+//! Also prints the simulated machine's Table 3 configuration.
+
+use califorms_bench::{fig10, mean, render_slowdowns, results_dir, write_json, DEFAULT_STEADY_OPS};
+use califorms_sim::HierarchyConfig;
+
+fn main() {
+    let ops = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_STEADY_OPS);
+
+    let cfg = HierarchyConfig::westmere();
+    println!("Table 3 — simulated system configuration:");
+    println!(
+        "  L1D {} KB {}-way {}cy | L2 {} KB {}-way {}cy | L3 {} MB {}-way {}cy | DRAM {}cy",
+        cfg.l1d_size / 1024,
+        cfg.l1d_ways,
+        cfg.l1d_latency,
+        cfg.l2_size / 1024,
+        cfg.l2_ways,
+        cfg.l2_latency,
+        cfg.l3_size / (1024 * 1024),
+        cfg.l3_ways,
+        cfg.l3_latency,
+        cfg.dram_latency
+    );
+    println!();
+
+    let rows = fig10(ops);
+    print!(
+        "{}",
+        render_slowdowns(
+            &format!("Figure 10 — +1-cycle L2/L3 latency ({ops} steady-state ops/run)"),
+            &rows
+        )
+    );
+    println!("paper AVG: 0.83%  measured AVG: {:.2}%", mean(&rows) * 100.0);
+    write_json(results_dir().join("fig10.json"), &rows).expect("write results");
+    println!("JSON written to target/experiment-results/fig10.json");
+}

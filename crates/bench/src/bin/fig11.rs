@@ -1,0 +1,39 @@
+//! Figure 11: slowdown of the opportunistic policy (with `CFORM`s) and
+//! the full insertion policy with random 1–3/1–5/1–7 B security bytes
+//! (with and without `CFORM`s), over the 16 software-eval benchmarks.
+//!
+//! Paper reference: full-without-CFORM averages 5.5 %/5.6 %/6.5 %;
+//! opportunistic+CFORM 7.9 %; full+CFORM up to 14.0–14.2 %.
+
+use califorms_bench::{
+    fig11_series, policy_figure, render_policy_rows, results_dir, series_average, write_json,
+    DEFAULT_STEADY_OPS,
+};
+
+fn main() {
+    let ops = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_STEADY_OPS);
+    let series = fig11_series();
+    let rows = policy_figure(&series, ops);
+    print!(
+        "{}",
+        render_policy_rows(
+            &format!("Figure 11 — opportunistic & full policies ({ops} ops/run)"),
+            &rows
+        )
+    );
+    println!();
+    println!("paper averages: 1-3B 5.5% | 1-5B 5.6% | 1-7B 6.5% | Opportunistic CFORM 7.9% | full CFORM up to 14.0%");
+    println!(
+        "measured:       1-3B {:.1}% | 1-5B {:.1}% | 1-7B {:.1}% | Opportunistic CFORM {:.1}% | 1-7B CFORM {:.1}%",
+        series_average(&rows, "1-3B") * 100.0,
+        series_average(&rows, "1-5B") * 100.0,
+        series_average(&rows, "1-7B") * 100.0,
+        series_average(&rows, "Opportunistic CFORM") * 100.0,
+        series_average(&rows, "1-7B CFORM") * 100.0,
+    );
+    write_json(results_dir().join("fig11.json"), &rows).expect("write results");
+    println!("JSON written to target/experiment-results/fig11.json");
+}

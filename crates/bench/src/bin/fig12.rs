@@ -1,0 +1,35 @@
+//! Figure 12: slowdown of the intelligent insertion policy (random spans
+//! around arrays and pointers only), with and without `CFORM`s.
+//!
+//! Paper reference: ~0.2 % average without `CFORM`s, 1.5–2.0 % with; only
+//! gobmk (16.1 %) and perlbench (7.2 %) exceed 5 %.
+
+use califorms_bench::{
+    fig12_series, policy_figure, render_policy_rows, results_dir, series_average, write_json,
+    DEFAULT_STEADY_OPS,
+};
+
+fn main() {
+    let ops = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_STEADY_OPS);
+    let series = fig12_series();
+    let rows = policy_figure(&series, ops);
+    print!(
+        "{}",
+        render_policy_rows(
+            &format!("Figure 12 — intelligent policy ({ops} ops/run)"),
+            &rows
+        )
+    );
+    println!();
+    println!("paper averages: no-CFORM ~0.2% | with CFORM ~1.5-2.0%");
+    println!(
+        "measured:       1-7B {:.2}% | 1-7B CFORM {:.2}%",
+        series_average(&rows, "1-7B") * 100.0,
+        series_average(&rows, "1-7B CFORM") * 100.0,
+    );
+    write_json(results_dir().join("fig12.json"), &rows).expect("write results");
+    println!("JSON written to target/experiment-results/fig12.json");
+}

@@ -1,0 +1,24 @@
+//! Figure 4: average slowdown when every struct field is followed by a
+//! fixed 1–7 B padding (no `CFORM`s — the pure cache-underutilisation
+//! lower bound of the motivation study).
+//!
+//! Paper reference: 3.0 % at 1 B rising monotonically to 7.6 % at 7 B.
+
+use califorms_bench::{fig4, render_slowdowns, results_dir, write_json, DEFAULT_STEADY_OPS};
+
+fn main() {
+    let ops = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_STEADY_OPS);
+    let rows = fig4(ops);
+    print!(
+        "{}",
+        render_slowdowns(
+            &format!("Figure 4 — fixed-padding sweep ({ops} steady-state ops/run)"),
+            &rows
+        )
+    );
+    write_json(results_dir().join("fig4.json"), &rows).expect("write results");
+    println!("JSON written to target/experiment-results/fig4.json");
+}

@@ -1,0 +1,50 @@
+//! Table 1: the `CFORM` instruction K-map, verified exhaustively against
+//! the implementation and printed.
+
+use califorms_core::{CaliformedLine, CformInstruction};
+
+fn cell(initially_security: bool, set: bool, allow: bool) -> &'static str {
+    let mut line = CaliformedLine::zeroed();
+    if initially_security {
+        line.set_security_byte(0);
+    }
+    let insn = CformInstruction::new(0, set as u64, allow as u64);
+    match insn.execute(&mut line) {
+        Err(_) => "Exception",
+        Ok(_) => {
+            if line.is_security_byte(0) {
+                "Security Byte"
+            } else {
+                "Regular Byte"
+            }
+        }
+    }
+}
+
+fn main() {
+    println!("Table 1 — K-map for the CFORM instruction (verified against the implementation)");
+    println!();
+    println!("{:<16} | {:<14} | {:<14} | {:<14}", "initial \\ R2,R3", "X, Disallow", "Unset, Allow", "Set, Allow");
+    println!("{:-<16}-+-{:-<14}-+-{:-<14}-+-{:-<14}", "", "", "", "");
+    for (label, sec) in [("Regular Byte", false), ("Security Byte", true)] {
+        println!(
+            "{:<16} | {:<14} | {:<14} | {:<14}",
+            label,
+            cell(sec, true, false), // R2 is don't-care when disallowed
+            cell(sec, false, true),
+            cell(sec, true, true),
+        );
+    }
+    println!();
+    println!("paper: Regular+Set/Allow -> Security Byte; Regular+Unset/Allow -> Exception");
+    println!("       Security+Set/Allow -> Exception;   Security+Unset/Allow -> Regular Byte");
+    // Hard assertions so this binary doubles as a check.
+    assert_eq!(cell(false, true, true), "Security Byte");
+    assert_eq!(cell(false, false, true), "Exception");
+    assert_eq!(cell(true, true, true), "Exception");
+    assert_eq!(cell(true, false, true), "Regular Byte");
+    assert_eq!(cell(false, true, false), "Regular Byte");
+    assert_eq!(cell(true, true, false), "Security Byte");
+    println!();
+    println!("all six cells verified OK");
+}

@@ -1,0 +1,28 @@
+//! Table 7 (Appendix A): the three L1 Califorms variants — 8 B, 4 B and
+//! 1 B of metadata per line — modelled and printed next to the paper's
+//! synthesis results.
+
+use califorms_vlsi::l1_model::{L1Design, L1Variant};
+use califorms_vlsi::tables::{render_comparison, table7};
+use califorms_vlsi::Tech;
+
+fn main() {
+    let tech = Tech::tsmc65();
+    println!("Table 7 — L1 Califorms variants (paper vs model)");
+    println!();
+    print!("{}", render_comparison(&table7(&tech)));
+    println!();
+    println!("metadata storage per 64B line:");
+    for v in L1Variant::ALL {
+        let d = L1Design::model(v, &tech);
+        println!(
+            "  {:<13} {:>2} bits ({:.2}% of the data array)",
+            v.name(),
+            v.metadata_bits_per_line(),
+            d.metadata_storage_percent()
+        );
+    }
+    println!();
+    println!("paper headline: 4B variant costs +49% L1 delay, 1B +22%, 8B +1.85%;");
+    println!("califorms-1B dominates califorms-4B in both storage and latency.");
+}

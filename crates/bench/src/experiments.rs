@@ -1,0 +1,321 @@
+//! Experiment drivers, one per paper table/figure.
+
+use califorms_layout::census::{Corpus, CorpusProfile};
+use califorms_layout::InsertionPolicy;
+use califorms_sim::HierarchyConfig;
+use califorms_workloads::spec::BenchmarkProfile;
+use califorms_workloads::{fig10_benchmarks, generate, run_workload, software_eval_benchmarks, WorkloadConfig};
+use serde::Serialize;
+
+/// Steady-state memory operations per simulation run. The bench binaries
+/// use the full budget; tests shrink it for speed.
+pub const DEFAULT_STEADY_OPS: usize = 400_000;
+
+/// Seed for all experiments (the paper runs three binaries per config; we
+/// run three seeds and report the mean).
+pub const SEEDS: [u64; 3] = [101, 202, 303];
+
+/// One measured slowdown with its paper reference, as a fraction
+/// (0.03 = 3 %).
+#[derive(Debug, Clone, Serialize)]
+pub struct SlowdownRow {
+    /// Row label (benchmark name, padding size, …).
+    pub label: String,
+    /// The paper's value, when published per-row (fraction), if known.
+    pub paper: Option<f64>,
+    /// Our measured value (fraction).
+    pub measured: f64,
+}
+
+/// Mean of measured slowdowns.
+pub fn mean(rows: &[SlowdownRow]) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    rows.iter().map(|r| r.measured).sum::<f64>() / rows.len() as f64
+}
+
+fn mean_slowdown_over_seeds(
+    profile: &BenchmarkProfile,
+    variant: WorkloadConfig,
+    baseline_of: impl Fn(u64) -> WorkloadConfig,
+    hier_variant: HierarchyConfig,
+    hier_base: HierarchyConfig,
+    steady_ops: usize,
+) -> f64 {
+    let mut total = 0.0;
+    for &seed in &SEEDS {
+        let base_cfg = baseline_of(seed);
+        let base = generate(profile, &WorkloadConfig { steady_ops, seed, ..base_cfg });
+        let with = generate(profile, &WorkloadConfig { steady_ops, seed, ..variant });
+        let sb = run_workload(&base, hier_base);
+        let sv = run_workload(&with, hier_variant);
+        total += sv.slowdown_vs(&sb);
+    }
+    total / SEEDS.len() as f64
+}
+
+// ---------------------------------------------------------------------
+// Figure 3 — struct density histograms
+// ---------------------------------------------------------------------
+
+/// Figure 3 result: density histogram plus the headline fraction.
+#[derive(Debug, Clone, Serialize)]
+pub struct Fig3Result {
+    /// Corpus label ("SPEC CPU2006" / "V8").
+    pub corpus: String,
+    /// Ten-bin histogram of struct densities, fractions summing to 1.
+    pub histogram: Vec<f64>,
+    /// Fraction of structs with ≥1 padding byte (paper: 0.457 / 0.410).
+    pub fraction_with_padding: f64,
+    /// The paper's value.
+    pub paper_fraction: f64,
+}
+
+/// Runs the Figure 3 census on both corpora.
+pub fn fig3(structs_per_corpus: usize) -> Vec<Fig3Result> {
+    let spec = Corpus::generate(CorpusProfile::SpecCpu2006, structs_per_corpus, 0xF16_3);
+    let v8 = Corpus::generate(CorpusProfile::V8, structs_per_corpus, 0xF16_3);
+    vec![
+        Fig3Result {
+            corpus: "SPEC CPU2006 C/C++".into(),
+            histogram: spec.density_histogram(10),
+            fraction_with_padding: spec.fraction_with_padding(),
+            paper_fraction: 0.457,
+        },
+        Fig3Result {
+            corpus: "V8 JavaScript engine".into(),
+            histogram: v8.density_histogram(10),
+            fraction_with_padding: v8.fraction_with_padding(),
+            paper_fraction: 0.410,
+        },
+    ]
+}
+
+// ---------------------------------------------------------------------
+// Figure 4 — fixed-padding sweep
+// ---------------------------------------------------------------------
+
+/// Figure 4: average slowdown with 1–7 B of fixed padding inserted after
+/// every field, no `CFORM`s (the pure cache-underutilisation lower bound).
+/// Paper: 3.0 % at 1 B rising to 7.6 % at 7 B.
+pub fn fig4(steady_ops: usize) -> Vec<SlowdownRow> {
+    let paper = [0.030, 0.054, 0.056, 0.058, 0.062, 0.070, 0.076];
+    (1u8..=7)
+        .map(|pad| {
+            let mut total = 0.0;
+            let benches = software_eval_benchmarks();
+            for b in &benches {
+                total += mean_slowdown_over_seeds(
+                    b,
+                    WorkloadConfig::without_cforms(InsertionPolicy::FixedPad(pad), steady_ops, 0),
+                    |seed| WorkloadConfig::baseline(steady_ops, seed),
+                    HierarchyConfig::westmere(),
+                    HierarchyConfig::westmere(),
+                    steady_ops,
+                );
+            }
+            SlowdownRow {
+                label: format!("{pad}B"),
+                paper: Some(paper[pad as usize - 1]),
+                measured: total / benches.len() as f64,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Figure 10 — +1-cycle L2/L3 latency
+// ---------------------------------------------------------------------
+
+/// Figure 10: per-benchmark slowdown when both L2 and L3 take one extra
+/// cycle. Paper: 0.24 % (hmmer) to 1.37 % (xalancbmk), average 0.83 %.
+pub fn fig10(steady_ops: usize) -> Vec<SlowdownRow> {
+    let paper: &[(&str, f64)] = &[
+        ("astar", 0.0070),
+        ("bzip2", 0.0070),
+        ("dealII", 0.0087),
+        ("gcc", 0.0100),
+        ("gobmk", 0.0056),
+        ("h264ref", 0.0060),
+        ("hmmer", 0.0024),
+        ("lbm", 0.0068),
+        ("libquantum", 0.0110),
+        ("mcf", 0.0120),
+        ("milc", 0.0105),
+        ("namd", 0.0031),
+        ("omnetpp", 0.0096),
+        ("perlbench", 0.0090),
+        ("povray", 0.0038),
+        ("sjeng", 0.0045),
+        ("soplex", 0.0091),
+        ("sphinx3", 0.0098),
+        ("xalancbmk", 0.0137),
+    ];
+    fig10_benchmarks()
+        .iter()
+        .map(|b| {
+            let measured = mean_slowdown_over_seeds(
+                b,
+                WorkloadConfig::baseline(steady_ops, 0),
+                |seed| WorkloadConfig::baseline(steady_ops, seed),
+                HierarchyConfig::westmere_plus_one_cycle(),
+                HierarchyConfig::westmere(),
+                steady_ops,
+            );
+            SlowdownRow {
+                label: b.name.to_string(),
+                paper: paper.iter().find(|(n, _)| *n == b.name).map(|(_, v)| *v),
+                measured,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Figures 11 and 12 — software overheads of the insertion policies
+// ---------------------------------------------------------------------
+
+/// One benchmark's slowdowns across the seven Figure 11 series.
+#[derive(Debug, Clone, Serialize)]
+pub struct PolicyRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Series label → measured slowdown.
+    pub series: Vec<(String, f64)>,
+}
+
+/// The Figure 11 series: full policy (1–3/1–5/1–7 B) without `CFORM`s,
+/// opportunistic with `CFORM`s, and full with `CFORM`s.
+pub fn fig11_series() -> Vec<(&'static str, InsertionPolicy, bool)> {
+    vec![
+        ("1-3B", InsertionPolicy::full_1_to(3), false),
+        ("1-5B", InsertionPolicy::full_1_to(5), false),
+        ("1-7B", InsertionPolicy::full_1_to(7), false),
+        ("Opportunistic CFORM", InsertionPolicy::Opportunistic, true),
+        ("1-3B CFORM", InsertionPolicy::full_1_to(3), true),
+        ("1-5B CFORM", InsertionPolicy::full_1_to(5), true),
+        ("1-7B CFORM", InsertionPolicy::full_1_to(7), true),
+    ]
+}
+
+/// The Figure 12 series: intelligent policy, ± `CFORM`s.
+pub fn fig12_series() -> Vec<(&'static str, InsertionPolicy, bool)> {
+    vec![
+        ("1-3B", InsertionPolicy::intelligent_1_to(3), false),
+        ("1-5B", InsertionPolicy::intelligent_1_to(5), false),
+        ("1-7B", InsertionPolicy::intelligent_1_to(7), false),
+        ("1-3B CFORM", InsertionPolicy::intelligent_1_to(3), true),
+        ("1-5B CFORM", InsertionPolicy::intelligent_1_to(5), true),
+        ("1-7B CFORM", InsertionPolicy::intelligent_1_to(7), true),
+    ]
+}
+
+/// Runs a policy-series figure (11 or 12) over the 16 software-eval
+/// benchmarks.
+pub fn policy_figure(
+    series: &[(&'static str, InsertionPolicy, bool)],
+    steady_ops: usize,
+) -> Vec<PolicyRow> {
+    software_eval_benchmarks()
+        .iter()
+        .map(|b| {
+            let series_results = series
+                .iter()
+                .map(|&(label, policy, cforms)| {
+                    let variant = if cforms {
+                        WorkloadConfig::with_policy(policy, steady_ops, 0)
+                    } else {
+                        WorkloadConfig::without_cforms(policy, steady_ops, 0)
+                    };
+                    let measured = mean_slowdown_over_seeds(
+                        b,
+                        variant,
+                        |seed| WorkloadConfig::baseline(steady_ops, seed),
+                        HierarchyConfig::westmere(),
+                        HierarchyConfig::westmere(),
+                        steady_ops,
+                    );
+                    (label.to_string(), measured)
+                })
+                .collect();
+            PolicyRow {
+                benchmark: b.name.to_string(),
+                series: series_results,
+            }
+        })
+        .collect()
+}
+
+/// Average of one series across a policy figure's rows.
+pub fn series_average(rows: &[PolicyRow], label: &str) -> f64 {
+    let vals: Vec<f64> = rows
+        .iter()
+        .filter_map(|r| {
+            r.series
+                .iter()
+                .find(|(l, _)| l == label)
+                .map(|(_, v)| *v)
+        })
+        .collect();
+    vals.iter().sum::<f64>() / vals.len().max(1) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const QUICK: usize = 12_000;
+
+    #[test]
+    fn fig3_reproduces_headline_fractions() {
+        for r in fig3(20_000) {
+            assert!(
+                (r.fraction_with_padding - r.paper_fraction).abs() < 0.05,
+                "{}: {:.3} vs paper {:.3}",
+                r.corpus,
+                r.fraction_with_padding,
+                r.paper_fraction
+            );
+            let sum: f64 = r.histogram.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fig4_slowdown_grows_with_padding() {
+        let rows = fig4(QUICK);
+        assert_eq!(rows.len(), 7);
+        assert!(
+            rows[6].measured > rows[0].measured,
+            "7B ({:.3}) must cost more than 1B ({:.3})",
+            rows[6].measured,
+            rows[0].measured
+        );
+        // All overheads are positive and in a plausible band.
+        for r in &rows {
+            assert!(r.measured > 0.0, "{}: {:.4}", r.label, r.measured);
+            assert!(r.measured < 0.30, "{}: {:.4}", r.label, r.measured);
+        }
+    }
+
+    #[test]
+    fn fig10_average_is_sub_two_percent_with_right_extremes() {
+        let rows = fig10(QUICK);
+        assert_eq!(rows.len(), 19);
+        let avg = mean(&rows);
+        assert!(
+            (0.0..0.02).contains(&avg),
+            "average +1-cycle slowdown {avg:.4} should be well under 2 %"
+        );
+        let get = |n: &str| rows.iter().find(|r| r.label == n).unwrap().measured;
+        assert!(
+            get("hmmer") < get("xalancbmk"),
+            "compute-bound hmmer must be less sensitive than xalancbmk"
+        );
+        assert!(
+            get("hmmer") < avg,
+            "hmmer sits at the bottom of Figure 10"
+        );
+    }
+}

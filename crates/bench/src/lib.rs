@@ -1,0 +1,16 @@
+//! # califorms-bench
+//!
+//! The experiment harness: one function per paper table/figure, shared by
+//! the `fig*`/`table*` binaries (see `src/bin/`) and the integration
+//! tests. Every experiment returns typed rows carrying both the paper's
+//! published value and the reproduction's measured value, and can be
+//! serialised to JSON for EXPERIMENTS.md bookkeeping.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::*;
+pub use report::*;

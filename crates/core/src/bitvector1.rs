@@ -1,0 +1,178 @@
+//! Appendix A variant: *califorms-1B* (paper Figure 15).
+//!
+//! Like [`crate::bitvector4`] the line is split into eight 8 B chunks, but
+//! the chunk's bit vector always lives in a **fixed location** — the
+//! chunk's 0th ("header") byte — eliminating the 3-bit holder address. The
+//! additional metadata is a single *chunk califormed?* bit per chunk: 1 B
+//! (1.56 %) per 64 B line.
+//!
+//! If the header byte is itself a security byte, nothing else is needed.
+//! Otherwise the header byte's original value is displaced into the
+//! chunk's **last** security byte. The fixed header location makes the
+//! lookup faster than califorms-4B (22 % vs 49 % extra L1 delay in the
+//! paper's Table 7) at the same functional power, which is why the paper
+//! recommends this variant for area-constrained embedded deployments.
+
+use crate::line::{CaliformedLine, LINE_BYTES};
+
+/// Number of 8-byte chunks per line.
+pub const CHUNKS: usize = 8;
+/// Bytes per chunk.
+pub const CHUNK_BYTES: usize = 8;
+
+/// A line in califorms-1B format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L1Line1 {
+    /// Line bytes; califormed chunks carry their bit vector in byte 0.
+    pub bytes: [u8; LINE_BYTES],
+    /// Bit `c` set ⇒ chunk `c` is califormed. The whole per-line metadata.
+    pub chunk_mask: u8,
+}
+
+impl L1Line1 {
+    /// Encodes a canonical line into califorms-1B format.
+    pub fn encode(line: &CaliformedLine) -> Self {
+        let mut bytes = *line.data();
+        let mut chunk_mask = 0u8;
+        for chunk in 0..CHUNKS {
+            let base = chunk * CHUNK_BYTES;
+            let bv = (line.security_mask() >> base & 0xFF) as u8;
+            if bv == 0 {
+                continue;
+            }
+            chunk_mask |= 1 << chunk;
+            if bv & 1 == 0 {
+                // Header byte is normal data: displace it into the last
+                // security byte of the chunk.
+                let last = 7 - bv.leading_zeros() as usize;
+                bytes[base + last] = bytes[base];
+            }
+            bytes[base] = bv;
+        }
+        Self { bytes, chunk_mask }
+    }
+
+    /// Decodes back to the canonical line.
+    pub fn decode(&self) -> CaliformedLine {
+        let mut data = self.bytes;
+        let mut mask = 0u64;
+        for chunk in 0..CHUNKS {
+            if self.chunk_mask >> chunk & 1 == 0 {
+                continue;
+            }
+            let base = chunk * CHUNK_BYTES;
+            let bv = self.bytes[base];
+            mask |= (bv as u64) << base;
+            if bv & 1 == 0 {
+                // Restore the displaced header byte from the last security
+                // byte before zeroing the security bytes.
+                let last = 7 - bv.leading_zeros() as usize;
+                data[base] = self.bytes[base + last];
+            }
+            for bit in 0..CHUNK_BYTES {
+                if bv >> bit & 1 == 1 {
+                    data[base + bit] = 0;
+                }
+            }
+        }
+        CaliformedLine::new(data, mask)
+    }
+
+    /// Whether byte `index` is a security byte, resolved through the fixed
+    /// header-byte lookup.
+    pub fn is_security_byte(&self, index: usize) -> bool {
+        assert!(index < LINE_BYTES, "byte index out of line");
+        let chunk = index / CHUNK_BYTES;
+        if self.chunk_mask >> chunk & 1 == 0 {
+            return false;
+        }
+        let bv = self.bytes[chunk * CHUNK_BYTES];
+        bv >> (index % CHUNK_BYTES) & 1 == 1
+    }
+
+    /// Total additional metadata storage in bits (1 per chunk).
+    pub const fn metadata_bits() -> usize {
+        CHUNKS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(at: &[usize]) -> CaliformedLine {
+        let mut data = [0u8; LINE_BYTES];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = 0x40u8 | i as u8;
+        }
+        let mut line = CaliformedLine::from_data(data);
+        for &i in at {
+            line.set_security_byte(i);
+        }
+        line
+    }
+
+    #[test]
+    fn clean_line_round_trips_untouched() {
+        let l = line(&[]);
+        let enc = L1Line1::encode(&l);
+        assert_eq!(enc.chunk_mask, 0);
+        assert_eq!(enc.bytes, *l.data());
+        assert_eq!(enc.decode(), l);
+    }
+
+    #[test]
+    fn header_byte_as_security_byte_needs_no_displacement() {
+        let l = line(&[8]); // chunk 1, header position
+        let enc = L1Line1::encode(&l);
+        assert_eq!(enc.chunk_mask, 0b10);
+        assert_eq!(enc.bytes[8], 0b1, "bit vector in the header byte");
+        assert_eq!(enc.decode(), l);
+    }
+
+    #[test]
+    fn normal_header_byte_is_displaced_to_last_security_byte() {
+        let l = line(&[10, 12]); // chunk 1; header (byte 8) is normal
+        let enc = L1Line1::encode(&l);
+        // Original byte 8 value displaced to chunk's last security byte (12).
+        assert_eq!(enc.bytes[12], 0x40 | 8);
+        assert_eq!(enc.bytes[8], 1 << 2 | 1 << 4);
+        assert_eq!(enc.decode(), l);
+    }
+
+    #[test]
+    fn every_single_position_round_trips() {
+        for i in 0..LINE_BYTES {
+            let l = line(&[i]);
+            let enc = L1Line1::encode(&l);
+            assert_eq!(enc.decode(), l, "security byte at {i}");
+            assert!(enc.is_security_byte(i));
+        }
+    }
+
+    #[test]
+    fn dense_and_paired_patterns_round_trip() {
+        let all: Vec<usize> = (0..LINE_BYTES).collect();
+        assert_eq!(L1Line1::encode(&line(&all)).decode(), line(&all));
+        for i in 0..LINE_BYTES {
+            for j in (i + 1)..LINE_BYTES {
+                let l = line(&[i, j]);
+                assert_eq!(L1Line1::encode(&l).decode(), l, "pair {i},{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn access_check_matches_canonical() {
+        let l = line(&[1, 8, 9, 23, 56, 63]);
+        let enc = L1Line1::encode(&l);
+        for i in 0..LINE_BYTES {
+            assert_eq!(enc.is_security_byte(i), l.is_security_byte(i), "byte {i}");
+        }
+    }
+
+    #[test]
+    fn metadata_is_one_bit_per_chunk() {
+        assert_eq!(L1Line1::metadata_bits(), 8); // 1 B per 64 B line
+    }
+}

@@ -1,0 +1,174 @@
+//! Appendix A variant: *califorms-4B* (paper Figure 14).
+//!
+//! Instead of a full 8 B bit vector per line, the line is divided into
+//! eight 8 B chunks and the per-chunk 8-bit security bit vector is stored
+//! **inside one of the chunk's own security bytes**. The additional
+//! metadata is 4 bits per chunk — one *chunk califormed?* bit plus a 3-bit
+//! address of the byte holding the bit vector — for 4 B (6.25 %) per 64 B
+//! line instead of 8 B (12.5 %).
+//!
+//! The price is an indirection on every access (read the chunk metadata,
+//! then the in-chunk bit vector), which the paper's VLSI evaluation
+//! (Table 7) measures as a 49 % longer L1 hit delay; `califorms-vlsi`
+//! models that cost. Functionally the format is lossless, which this
+//! module demonstrates by round-tripping through the canonical line.
+
+use crate::line::{CaliformedLine, LINE_BYTES};
+
+/// Number of 8-byte chunks per line.
+pub const CHUNKS: usize = 8;
+/// Bytes per chunk.
+pub const CHUNK_BYTES: usize = 8;
+
+/// Per-chunk metadata: the *chunk califormed?* bit and the 3-bit location
+/// of the byte storing the chunk's bit vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChunkMeta4 {
+    /// Whether the chunk contains at least one security byte.
+    pub califormed: bool,
+    /// Chunk-relative index (0–7) of the security byte holding the chunk's
+    /// bit vector; meaningful only when `califormed`.
+    pub holder: u8,
+}
+
+/// A line in califorms-4B format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct L1Line4 {
+    /// Line bytes, with each califormed chunk's bit vector stored in-band.
+    pub bytes: [u8; LINE_BYTES],
+    /// The 4-bit-per-chunk metadata array.
+    pub meta: [ChunkMeta4; CHUNKS],
+}
+
+impl L1Line4 {
+    /// Encodes a canonical line into califorms-4B format.
+    pub fn encode(line: &CaliformedLine) -> Self {
+        let mut bytes = *line.data();
+        let mut meta = [ChunkMeta4::default(); CHUNKS];
+        for (chunk, m) in meta.iter_mut().enumerate() {
+            let base = chunk * CHUNK_BYTES;
+            let chunk_mask = (line.security_mask() >> base & 0xFF) as u8;
+            if chunk_mask == 0 {
+                continue;
+            }
+            // The first security byte of the chunk holds the bit vector.
+            let holder = chunk_mask.trailing_zeros() as u8;
+            bytes[base + holder as usize] = chunk_mask;
+            *m = ChunkMeta4 {
+                califormed: true,
+                holder,
+            };
+        }
+        Self { bytes, meta }
+    }
+
+    /// Decodes back to the canonical line.
+    pub fn decode(&self) -> CaliformedLine {
+        let mut data = self.bytes;
+        let mut mask = 0u64;
+        for (chunk, m) in self.meta.iter().enumerate() {
+            if !m.califormed {
+                continue;
+            }
+            let base = chunk * CHUNK_BYTES;
+            let chunk_mask = self.bytes[base + m.holder as usize];
+            mask |= (chunk_mask as u64) << base;
+            for bit in 0..CHUNK_BYTES {
+                if chunk_mask >> bit & 1 == 1 {
+                    data[base + bit] = 0;
+                }
+            }
+        }
+        CaliformedLine::new(data, mask)
+    }
+
+    /// Whether byte `index` is a security byte, resolved through the chunk
+    /// indirection exactly as the hardware would on an access.
+    pub fn is_security_byte(&self, index: usize) -> bool {
+        assert!(index < LINE_BYTES, "byte index out of line");
+        let chunk = index / CHUNK_BYTES;
+        let m = &self.meta[chunk];
+        if !m.califormed {
+            return false;
+        }
+        let bv = self.bytes[chunk * CHUNK_BYTES + m.holder as usize];
+        bv >> (index % CHUNK_BYTES) & 1 == 1
+    }
+
+    /// Total additional metadata storage in bits (4 per chunk).
+    pub const fn metadata_bits() -> usize {
+        4 * CHUNKS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(at: &[usize]) -> CaliformedLine {
+        let mut data = [0u8; LINE_BYTES];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = 0x80u8 | i as u8;
+        }
+        let mut line = CaliformedLine::from_data(data);
+        for &i in at {
+            line.set_security_byte(i);
+        }
+        line
+    }
+
+    #[test]
+    fn clean_line_round_trips_untouched() {
+        let l = line(&[]);
+        let enc = L1Line4::encode(&l);
+        assert!(enc.meta.iter().all(|m| !m.califormed));
+        assert_eq!(enc.bytes, *l.data());
+        assert_eq!(enc.decode(), l);
+    }
+
+    #[test]
+    fn single_security_byte_per_chunk_round_trips() {
+        for i in 0..LINE_BYTES {
+            let l = line(&[i]);
+            let enc = L1Line4::encode(&l);
+            assert_eq!(enc.decode(), l, "security byte at {i}");
+            assert!(enc.is_security_byte(i));
+        }
+    }
+
+    #[test]
+    fn holder_is_first_security_byte_of_chunk() {
+        let l = line(&[10, 12, 15]); // chunk 1
+        let enc = L1Line4::encode(&l);
+        assert!(enc.meta[1].califormed);
+        assert_eq!(enc.meta[1].holder, 2); // 10 % 8
+        // The holder byte stores the chunk bit vector.
+        let bv = enc.bytes[8 + 2];
+        assert_eq!(bv, 1 << 2 | 1 << 4 | 1 << 7);
+    }
+
+    #[test]
+    fn dense_lines_round_trip() {
+        let all: Vec<usize> = (0..LINE_BYTES).collect();
+        let l = line(&all);
+        assert_eq!(L1Line4::encode(&l).decode(), l);
+
+        let every_other: Vec<usize> = (0..LINE_BYTES).step_by(2).collect();
+        let l = line(&every_other);
+        assert_eq!(L1Line4::encode(&l).decode(), l);
+    }
+
+    #[test]
+    fn access_check_matches_canonical() {
+        let l = line(&[0, 7, 8, 33, 63]);
+        let enc = L1Line4::encode(&l);
+        for i in 0..LINE_BYTES {
+            assert_eq!(enc.is_security_byte(i), l.is_security_byte(i), "byte {i}");
+        }
+    }
+
+    #[test]
+    fn metadata_is_half_a_byte_per_chunk() {
+        assert_eq!(L1Line4::metadata_bits(), 32); // 4 B per 64 B line
+    }
+}

@@ -1,0 +1,109 @@
+//! Error types for the core Califorms primitives.
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = core::result::Result<T, CoreError>;
+
+/// Errors raised by the core line formats and instruction semantics.
+///
+/// Variants that correspond to architectural traps (the privileged
+/// Califorms exception of Section 4.2) carry enough context for an
+/// exception handler to report the faulting byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreError {
+    /// A line was constructed whose security byte carried non-zero data,
+    /// violating the canonical zeroing discipline.
+    NonCanonicalSecurityByte {
+        /// Index of the offending byte within the line.
+        index: usize,
+    },
+    /// A store targeted a security byte (raises the Califorms exception
+    /// before the store commits).
+    StoreToSecurityByte {
+        /// Index of the targeted byte within the line.
+        index: usize,
+    },
+    /// A load targeted a security byte (raises the Califorms exception when
+    /// the load becomes non-speculative; the load itself returns zero).
+    LoadFromSecurityByte {
+        /// Index of the targeted byte within the line.
+        index: usize,
+    },
+    /// `CFORM` tried to set a security byte over an existing security byte
+    /// (Table 1: Set/Allow on Security Byte ⇒ Exception).
+    CformSetOnSecurityByte {
+        /// Index of the targeted byte within the line.
+        index: usize,
+    },
+    /// `CFORM` tried to unset a security byte that is a normal byte
+    /// (Table 1: Unset/Allow on Regular Byte ⇒ Exception).
+    CformUnsetOnNormalByte {
+        /// Index of the targeted byte within the line.
+        index: usize,
+    },
+    /// A sentinel value could not be chosen. Unreachable for well-formed
+    /// input (≥1 security byte ⇒ ≤63 normal bytes ⇒ a free 6-bit pattern
+    /// exists); surfaced instead of panicking so the hardware model can
+    /// assert on it.
+    NoSentinelAvailable,
+    /// An L2 line claimed to be califormed decoded to zero security bytes,
+    /// or its header was otherwise internally inconsistent.
+    CorruptSentinelHeader {
+        /// Human-readable description of the inconsistency.
+        what: &'static str,
+    },
+}
+
+impl core::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::NonCanonicalSecurityByte { index } => {
+                write!(f, "security byte {index} carries non-zero data")
+            }
+            Self::StoreToSecurityByte { index } => {
+                write!(f, "store to security byte {index}")
+            }
+            Self::LoadFromSecurityByte { index } => {
+                write!(f, "load from security byte {index}")
+            }
+            Self::CformSetOnSecurityByte { index } => {
+                write!(f, "CFORM set on existing security byte {index}")
+            }
+            Self::CformUnsetOnNormalByte { index } => {
+                write!(f, "CFORM unset on normal byte {index}")
+            }
+            Self::NoSentinelAvailable => {
+                write!(f, "no free 6-bit sentinel pattern (corrupt input line)")
+            }
+            Self::CorruptSentinelHeader { what } => {
+                write!(f, "corrupt califorms-sentinel header: {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_identify_the_byte() {
+        let msg = CoreError::StoreToSecurityByte { index: 7 }.to_string();
+        assert!(msg.contains('7'));
+        let msg = CoreError::CformSetOnSecurityByte { index: 12 }.to_string();
+        assert!(msg.contains("12"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            CoreError::NoSentinelAvailable,
+            CoreError::NoSentinelAvailable
+        );
+        assert_ne!(
+            CoreError::LoadFromSecurityByte { index: 1 },
+            CoreError::LoadFromSecurityByte { index: 2 }
+        );
+    }
+}

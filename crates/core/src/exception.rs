@@ -1,0 +1,200 @@
+//! The privileged Califorms exception and whitelist masking (Sections 4.2,
+//! 6.3).
+//!
+//! When hardware detects an access to a security byte it raises a
+//! **privileged, precise** exception once the instruction becomes
+//! non-speculative; the faulting address is passed to the handler in an
+//! existing register. Some whitelisted library routines (`memcpy`-style
+//! bulk copies, struct assignment) legitimately sweep over security bytes;
+//! the OS arms an *exception mask* around those regions of execution, and
+//! the handler suppresses — but still counts — masked exceptions.
+
+/// The kind of memory access that faulted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessKind {
+    /// A data load. Architecturally it returned zero; the exception is
+    /// deferred to commit.
+    Load,
+    /// A data store. The exception is raised before the store commits.
+    Store,
+    /// A `CFORM` metadata update that violated the Table 1 K-map.
+    Cform,
+}
+
+/// Why the exception was raised.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExceptionKind {
+    /// A load or store touched a security byte.
+    SecurityByteAccess,
+    /// `CFORM` tried to set an already-set security byte.
+    CformDoubleSet,
+    /// `CFORM` tried to unset a regular byte.
+    CformUnsetNormal,
+}
+
+/// A privileged Califorms exception, as delivered to the handler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CaliformsException {
+    /// Faulting byte's virtual address.
+    pub fault_addr: u64,
+    /// Access that triggered the fault.
+    pub access: AccessKind,
+    /// Classification of the fault.
+    pub kind: ExceptionKind,
+    /// Program-counter-like identifier of the faulting instruction, for
+    /// reporting (the simulator supplies its instruction sequence number).
+    pub pc: u64,
+}
+
+/// The exception mask registers used for whitelisting (Section 6.3).
+///
+/// A privileged store arms the mask before entering a whitelisted function
+/// and disarms it after; while armed, Califorms exceptions in the masked
+/// address window are suppressed. Masking is scoped — the common whole
+/// address-space mask is [`ExceptionMask::push_allow_all`] — and nestable, since
+/// whitelisted routines may call each other.
+#[derive(Debug, Clone, Default)]
+pub struct ExceptionMask {
+    /// Stack of armed windows `(lo, hi)`, half-open, innermost last.
+    windows: Vec<(u64, u64)>,
+    suppressed: u64,
+    delivered: u64,
+}
+
+impl ExceptionMask {
+    /// A disarmed mask: every exception is delivered.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arms suppression for faulting addresses in `[lo, hi)`.
+    pub fn push_window(&mut self, lo: u64, hi: u64) {
+        assert!(lo < hi, "empty whitelist window");
+        self.windows.push((lo, hi));
+    }
+
+    /// Arms suppression for the whole address space (the paper's
+    /// register-writes-around-`memcpy` pattern).
+    pub fn push_allow_all(&mut self) {
+        self.windows.push((0, u64::MAX));
+    }
+
+    /// Disarms the innermost window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no window is armed — unbalanced arm/disarm is a kernel bug.
+    pub fn pop_window(&mut self) {
+        self.windows.pop().expect("unbalanced exception-mask pop");
+    }
+
+    /// Whether a fault at `addr` would currently be suppressed.
+    pub fn is_suppressed(&self, addr: u64) -> bool {
+        self.windows.iter().any(|&(lo, hi)| (lo..hi).contains(&addr))
+    }
+
+    /// Filters an exception through the mask: returns it for delivery, or
+    /// `None` (and counts it) if suppressed.
+    pub fn filter(&mut self, exception: CaliformsException) -> Option<CaliformsException> {
+        if self.is_suppressed(exception.fault_addr) {
+            self.suppressed += 1;
+            None
+        } else {
+            self.delivered += 1;
+            Some(exception)
+        }
+    }
+
+    /// Number of exceptions suppressed so far (whitelisted accesses still
+    /// leave an audit trail).
+    pub fn suppressed_count(&self) -> u64 {
+        self.suppressed
+    }
+
+    /// Number of exceptions delivered to the handler so far.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Whether any window is currently armed.
+    pub fn is_armed(&self) -> bool {
+        !self.windows.is_empty()
+    }
+}
+
+impl core::fmt::Display for CaliformsException {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "califorms exception: {:?}/{:?} at address {:#x} (pc {:#x})",
+            self.access, self.kind, self.fault_addr, self.pc
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exc(addr: u64) -> CaliformsException {
+        CaliformsException {
+            fault_addr: addr,
+            access: AccessKind::Load,
+            kind: ExceptionKind::SecurityByteAccess,
+            pc: 0x400_000,
+        }
+    }
+
+    #[test]
+    fn disarmed_mask_delivers() {
+        let mut mask = ExceptionMask::new();
+        assert_eq!(mask.filter(exc(0x1000)), Some(exc(0x1000)));
+        assert_eq!(mask.delivered_count(), 1);
+        assert_eq!(mask.suppressed_count(), 0);
+    }
+
+    #[test]
+    fn armed_window_suppresses_in_range_only() {
+        let mut mask = ExceptionMask::new();
+        mask.push_window(0x1000, 0x2000);
+        assert_eq!(mask.filter(exc(0x1800)), None);
+        assert_eq!(mask.filter(exc(0x2000)), Some(exc(0x2000)), "hi is exclusive");
+        assert_eq!(mask.filter(exc(0x0FFF)), Some(exc(0x0FFF)));
+        assert_eq!(mask.suppressed_count(), 1);
+        assert_eq!(mask.delivered_count(), 2);
+    }
+
+    #[test]
+    fn allow_all_suppresses_everything() {
+        let mut mask = ExceptionMask::new();
+        mask.push_allow_all();
+        assert_eq!(mask.filter(exc(0)), None);
+        assert_eq!(mask.filter(exc(u64::MAX - 1)), None);
+    }
+
+    #[test]
+    fn nesting_and_pop_restore_delivery() {
+        let mut mask = ExceptionMask::new();
+        mask.push_window(0x1000, 0x2000);
+        mask.push_window(0x5000, 0x6000);
+        assert!(mask.is_suppressed(0x1100));
+        assert!(mask.is_suppressed(0x5100));
+        mask.pop_window();
+        assert!(mask.is_suppressed(0x1100));
+        assert!(!mask.is_suppressed(0x5100));
+        mask.pop_window();
+        assert!(!mask.is_armed());
+        assert!(!mask.is_suppressed(0x1100));
+    }
+
+    #[test]
+    #[should_panic(expected = "unbalanced")]
+    fn unbalanced_pop_panics() {
+        ExceptionMask::new().pop_window();
+    }
+
+    #[test]
+    fn display_includes_address() {
+        assert!(exc(0xdead40).to_string().contains("0xdead40"));
+    }
+}

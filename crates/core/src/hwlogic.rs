@@ -1,0 +1,188 @@
+//! Hardware-style combinational blocks used by the spill/fill converters.
+//!
+//! The paper's Figures 8 and 9 build the L1↔L2 format converters out of a
+//! small set of blocks: 6→64 one-hot decoders, an OR-reduction into a
+//! *used-values* vector, and *Find-index* blocks (64 shifters plus one
+//! comparator) that locate the first set/clear bit. This module models those
+//! blocks as pure functions over 64-bit vectors so that
+//!
+//! 1. the converter in [`crate::convert`] is a direct transcription of the
+//!    paper's logic rather than an opaque re-derivation, and
+//! 2. the VLSI cost model (`califorms-vlsi`) can count exactly these
+//!    structures.
+
+use crate::line::LINE_BYTES;
+
+/// 6→64 one-hot decoder: returns a vector with only bit `value` set.
+///
+/// `value` is masked to its least significant 6 bits, mirroring the
+/// hardware, which only ever sees 6 wires.
+#[inline]
+pub fn decode6(value: u8) -> u64 {
+    1u64 << (value & 0x3F)
+}
+
+/// Builds the *used-values* vector of a line: bit `v` is set iff some
+/// **normal** byte of the line has `v` as its least significant 6 bits.
+///
+/// Security bytes are excluded (their decoder outputs are gated by the
+/// bitvector metadata): they carry no program data, and excluding them is
+/// what guarantees a free pattern exists — with at least one security byte
+/// there are at most 63 normal bytes, hence at most 63 used patterns out of
+/// 64.
+pub fn used_values(data: &[u8; LINE_BYTES], security_mask: u64) -> u64 {
+    let mut used = 0u64;
+    for (i, &byte) in data.iter().enumerate() {
+        if security_mask >> i & 1 == 0 {
+            used |= decode6(byte);
+        }
+    }
+    used
+}
+
+/// Find-index block: index of the first **zero** bit of `vector`, scanning
+/// from bit 0, or `None` if all 64 bits are set.
+///
+/// The hardware realises this with 64 shift blocks feeding one comparator;
+/// here `trailing_ones` is the same function.
+#[inline]
+pub fn find_first_zero(vector: u64) -> Option<u8> {
+    let idx = vector.trailing_ones();
+    (idx < 64).then_some(idx as u8)
+}
+
+/// Find-index block: index of the first **one** bit of `vector`, or `None`
+/// if the vector is all zeros.
+#[inline]
+pub fn find_first_one(vector: u64) -> Option<u8> {
+    let idx = vector.trailing_zeros();
+    (idx < 64).then_some(idx as u8)
+}
+
+/// Successive-find block: the indices of the first `n` set bits, ascending.
+///
+/// The spill path (Figure 8, step 8) chains four of these to extract the
+/// first four security-byte locations; each stage masks off the bit the
+/// previous stage found.
+pub fn find_first_n_ones(mut vector: u64, n: usize) -> Vec<u8> {
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        match find_first_one(vector) {
+            Some(idx) => {
+                out.push(idx);
+                vector &= !(1u64 << idx);
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+/// Chooses the sentinel for a line: the first 6-bit pattern not used by any
+/// normal byte (Figure 8's Find-index-of-first-0 over the used-values
+/// vector).
+///
+/// Returns `None` only if every one of the 64 patterns is in use, which
+/// cannot happen when the line holds at least one security byte.
+pub fn find_sentinel(data: &[u8; LINE_BYTES], security_mask: u64) -> Option<u8> {
+    find_first_zero(used_values(data, security_mask))
+}
+
+/// The parallel comparator bank of the fill path (Figure 9): bit `i` of the
+/// result is set iff byte `i`'s least significant 6 bits equal `sentinel`.
+pub fn sentinel_matches(data: &[u8; LINE_BYTES], sentinel: u8) -> u64 {
+    let mut matches = 0u64;
+    for (i, &byte) in data.iter().enumerate() {
+        if byte & 0x3F == sentinel & 0x3F {
+            matches |= 1u64 << i;
+        }
+    }
+    matches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode6_is_one_hot() {
+        for v in 0u8..64 {
+            assert_eq!(decode6(v).count_ones(), 1);
+            assert_eq!(decode6(v).trailing_zeros(), v as u32);
+        }
+        // Only the low 6 bits participate.
+        assert_eq!(decode6(0xFF), decode6(0x3F));
+        assert_eq!(decode6(0x40), decode6(0x00));
+    }
+
+    #[test]
+    fn used_values_ignores_security_bytes() {
+        let mut data = [0u8; LINE_BYTES];
+        data[0] = 5;
+        data[1] = 9;
+        let used = used_values(&data, 1 << 1);
+        assert_eq!(used, decode6(5) | decode6(0)); // byte 1 excluded; rest are 0
+    }
+
+    #[test]
+    fn used_values_collapses_on_low_six_bits() {
+        let mut data = [0u8; LINE_BYTES];
+        data[0] = 0x41; // low 6 bits = 1
+        data[1] = 0x01; // low 6 bits = 1
+        let used = used_values(&data, !0u64 << 2); // only bytes 0 and 1 normal
+        assert_eq!(used, decode6(1));
+    }
+
+    #[test]
+    fn find_first_zero_finds_gaps() {
+        assert_eq!(find_first_zero(0), Some(0));
+        assert_eq!(find_first_zero(0b0111), Some(3));
+        assert_eq!(find_first_zero(u64::MAX), None);
+        assert_eq!(find_first_zero(u64::MAX ^ (1 << 63)), Some(63));
+    }
+
+    #[test]
+    fn find_first_one_finds_bits() {
+        assert_eq!(find_first_one(0), None);
+        assert_eq!(find_first_one(0b1000), Some(3));
+        assert_eq!(find_first_one(1 << 63), Some(63));
+    }
+
+    #[test]
+    fn find_first_n_ones_ascends_and_truncates() {
+        let v = 1 << 3 | 1 << 17 | 1 << 42;
+        assert_eq!(find_first_n_ones(v, 4), vec![3, 17, 42]);
+        assert_eq!(find_first_n_ones(v, 2), vec![3, 17]);
+        assert_eq!(find_first_n_ones(0, 4), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn sentinel_always_exists_with_a_security_byte() {
+        // Worst case: normal bytes cover 63 distinct low-6 patterns.
+        let mut data = [0u8; LINE_BYTES];
+        for (i, byte) in data.iter_mut().enumerate().take(63) {
+            *byte = i as u8; // patterns 0..=62
+        }
+        // byte 63 is the security byte
+        let mask = 1u64 << 63;
+        assert_eq!(find_sentinel(&data, mask), Some(63));
+    }
+
+    #[test]
+    fn sentinel_matches_compares_low_six_bits() {
+        let mut data = [0xFFu8; LINE_BYTES];
+        data[2] = 0x2A;
+        data[7] = 0x6A; // low 6 bits also 0x2A
+        let m = sentinel_matches(&data, 0x2A);
+        assert_eq!(m, 1 << 2 | 1 << 7);
+    }
+
+    #[test]
+    fn no_sentinel_when_all_patterns_used_by_normal_bytes() {
+        let mut data = [0u8; LINE_BYTES];
+        for (i, byte) in data.iter_mut().enumerate() {
+            *byte = i as u8;
+        }
+        assert_eq!(find_sentinel(&data, 0), None);
+    }
+}

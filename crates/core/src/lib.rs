@@ -1,0 +1,59 @@
+//! # califorms-core
+//!
+//! The core Califorms primitive from *Practical Byte-Granular Memory
+//! Blacklisting using Califorms* (Sasaki et al., MICRO 2019).
+//!
+//! Califorms blacklists memory at **byte** granularity by storing the
+//! blacklist metadata *inline* in the data itself ("security bytes"), with
+//! different cache-line formats at different levels of the memory hierarchy:
+//!
+//! * **L1** — [`bitvector::L1Line`]: one metadata bit per byte (8 B per 64 B
+//!   line) so hits need no address recalculation ([`bitvector`]). Appendix A
+//!   variants with 4 B ([`bitvector4`]) and 1 B ([`bitvector1`]) of metadata
+//!   trade latency for storage.
+//! * **L2 and beyond** — [`sentinel::L2Line`]: a single *califormed?* bit per
+//!   line. The first ≤4 bytes of a califormed line form a header holding the
+//!   security-byte count and locations; lines with ≥4 security bytes also
+//!   carry a 6-bit **sentinel** value that marks every remaining security
+//!   byte ([`sentinel`]).
+//! * The **spill** (L1→L2, paper Algorithm 1) and **fill** (L2→L1, paper
+//!   Algorithm 2) conversions live in [`convert`], built on the
+//!   hardware-style blocks of [`hwlogic`] (6→64 decoders, used-value
+//!   vectors, find-first-index).
+//!
+//! The ISA surface is the [`cform::CformInstruction`] (paper Table 1 K-map)
+//! and the privileged [`exception::CaliformsException`], with
+//! [`exception::ExceptionMask`] providing the whitelisting that functions
+//! like `memcpy` need.
+//!
+//! ## Canonical representation
+//!
+//! Throughout this crate a cache line's logical content is the pair
+//! *(64 data bytes, 64-bit security mask)*. The crate maintains the paper's
+//! zeroing discipline as an invariant: **a security byte's data is always
+//! zero** (deallocated regions are zeroed; loads of security bytes return
+//! zero to defeat speculative probing). [`line::CaliformedLine`] enforces
+//! this canonical form and is what the conversions round-trip through.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitvector;
+pub mod bitvector1;
+pub mod bitvector4;
+pub mod cform;
+pub mod convert;
+pub mod error;
+pub mod exception;
+pub mod hwlogic;
+pub mod line;
+pub mod sentinel;
+
+pub use cform::{CformInstruction, CformOutcome};
+pub use convert::{fill, spill};
+pub use error::{CoreError, Result};
+pub use exception::{AccessKind, CaliformsException, ExceptionKind, ExceptionMask};
+pub use line::{CaliformedLine, LINE_BYTES};
+pub use sentinel::L2Line;
+
+pub use bitvector::L1Line;

@@ -1,0 +1,77 @@
+//! Fault-injection robustness: the fill path receives whatever the L2
+//! hands it. Corrupt (attacker-crafted or bit-flipped) califormed lines
+//! must produce an error or a valid line — never a panic, and never a
+//! non-canonical line.
+
+use califorms_core::convert::fill;
+use califorms_core::line::LINE_BYTES;
+use califorms_core::L2Line;
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary bytes with the califormed bit set: fill either decodes a
+    /// canonical line or reports a corrupt header — total function.
+    #[test]
+    fn fill_is_total_on_arbitrary_califormed_lines(
+        half in proptest::array::uniform32(any::<u8>()),
+        salt in any::<u8>(),
+    ) {
+        let mut bytes = [0u8; LINE_BYTES];
+        for i in 0..LINE_BYTES {
+            bytes[i] = half[i % 32].wrapping_add(i as u8).wrapping_mul(salt | 1);
+        }
+        let l2 = L2Line { bytes, califormed: true };
+        match fill(&l2) {
+            Ok(l1) => {
+                // Whatever decoded must be canonical: security bytes zero.
+                let line = l1.line();
+                for i in line.security_byte_indices() {
+                    prop_assert_eq!(line.data()[i], 0);
+                }
+                prop_assert!(line.is_califormed(), "califormed bit implies >=1 security byte");
+            }
+            Err(_) => {} // rejected corrupt header: acceptable
+        }
+    }
+
+    /// Single bit flips in a legitimately spilled line: fill must stay
+    /// total (the decode may differ — ECC is DRAM's job — but no panic,
+    /// no non-canonical output).
+    #[test]
+    fn fill_survives_single_bit_flips(
+        sec_mask in any::<u64>(),
+        flip_byte in 0usize..LINE_BYTES,
+        flip_bit in 0u8..8,
+    ) {
+        prop_assume!(sec_mask != 0);
+        let mut data = [0u8; LINE_BYTES];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(73).wrapping_add(29);
+        }
+        let line = califorms_core::CaliformedLine::new(data, sec_mask);
+        let spilled = califorms_core::spill(&califorms_core::L1Line::new(line)).unwrap();
+        let mut corrupted = spilled;
+        corrupted.bytes[flip_byte] ^= 1 << flip_bit;
+        match fill(&corrupted) {
+            Ok(l1) => {
+                let line = l1.line();
+                for i in line.security_byte_indices() {
+                    prop_assert_eq!(line.data()[i], 0);
+                }
+            }
+            Err(_) => {}
+        }
+    }
+
+    /// Plain (non-califormed) lines always decode to themselves.
+    #[test]
+    fn plain_lines_decode_verbatim(half in proptest::array::uniform32(any::<u8>())) {
+        let mut bytes = [0u8; LINE_BYTES];
+        for i in 0..LINE_BYTES {
+            bytes[i] = half[i % 32] ^ (i as u8);
+        }
+        let l1 = fill(&L2Line::plain(bytes)).unwrap();
+        prop_assert_eq!(l1.line().data(), &bytes);
+        prop_assert_eq!(l1.line().security_mask(), 0);
+    }
+}

@@ -1,0 +1,236 @@
+//! A model IR of C/C++ types with x86-64 (LP64) sizes and alignments.
+//!
+//! This is what the paper's source-to-source LLVM pass sees when it
+//! examines "each compound data type, a struct or a class" (Section 3).
+//! The model covers what the insertion policies need: scalar kinds (to
+//! tell which fields are attack-prone), arrays, pointers, and nesting.
+
+/// C scalar types under the LP64 data model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scalar {
+    /// `char` / `signed char` / `unsigned char` — 1 byte.
+    Char,
+    /// `short` — 2 bytes.
+    Short,
+    /// `int` — 4 bytes.
+    Int,
+    /// `long` / `long long` / `size_t` — 8 bytes.
+    Long,
+    /// `float` — 4 bytes.
+    Float,
+    /// `double` — 8 bytes.
+    Double,
+    /// Data pointer — 8 bytes.
+    Ptr,
+    /// Function pointer — 8 bytes; the *intelligent* policy treats it as
+    /// the most security-critical scalar.
+    FnPtr,
+}
+
+impl Scalar {
+    /// Size in bytes.
+    pub const fn size(self) -> usize {
+        match self {
+            Scalar::Char => 1,
+            Scalar::Short => 2,
+            Scalar::Int | Scalar::Float => 4,
+            Scalar::Long | Scalar::Double | Scalar::Ptr | Scalar::FnPtr => 8,
+        }
+    }
+
+    /// Alignment in bytes (natural alignment on x86-64).
+    pub const fn align(self) -> usize {
+        self.size()
+    }
+
+    /// Whether the intelligent policy considers this scalar a pointer
+    /// (data or function) worth fencing.
+    pub const fn is_pointer(self) -> bool {
+        matches!(self, Scalar::Ptr | Scalar::FnPtr)
+    }
+}
+
+/// A C type: scalar, array, or (possibly nested) struct.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum CType {
+    /// A scalar field.
+    Scalar(Scalar),
+    /// `T[n]`.
+    Array(Box<CType>, usize),
+    /// A nested struct (by value).
+    Struct(StructDef),
+}
+
+impl CType {
+    /// Shorthand for `char buf[n]`.
+    pub fn char_array(n: usize) -> Self {
+        CType::Array(Box::new(CType::Scalar(Scalar::Char)), n)
+    }
+
+    /// Size in bytes, including internal and tail padding for structs.
+    pub fn size(&self) -> usize {
+        match self {
+            CType::Scalar(s) => s.size(),
+            CType::Array(elem, n) => elem.size() * n,
+            CType::Struct(def) => def.layout_size(),
+        }
+    }
+
+    /// Alignment in bytes.
+    pub fn align(&self) -> usize {
+        match self {
+            CType::Scalar(s) => s.align(),
+            CType::Array(elem, _) => elem.align(),
+            CType::Struct(def) => def.align(),
+        }
+    }
+
+    /// Whether the intelligent policy fences this type: arrays (overflow
+    /// sources) and pointers (overflow targets).
+    pub fn is_attack_prone(&self) -> bool {
+        match self {
+            CType::Scalar(s) => s.is_pointer(),
+            CType::Array(..) => true,
+            CType::Struct(_) => false,
+        }
+    }
+}
+
+/// A named struct field, optionally a bit-field.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Field {
+    /// Field name (diagnostics only).
+    pub name: String,
+    /// Field type (for a bit-field, the declared base type).
+    pub ty: CType,
+    /// `Some(width)` makes this a bit-field of `width` bits packed into
+    /// units of the base type (GCC-style packing: consecutive bit-fields
+    /// share a unit while they fit). Califorms cannot blacklist at bit
+    /// granularity (Section 7.2) — the policies fence around the packed
+    /// *unit*, never inside it.
+    pub bits: Option<u8>,
+}
+
+impl Field {
+    /// Convenience constructor for an ordinary field.
+    pub fn new(name: impl Into<String>, ty: CType) -> Self {
+        Self {
+            name: name.into(),
+            ty,
+            bits: None,
+        }
+    }
+
+    /// A bit-field of `bits` bits over a scalar base type.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the base type is not a scalar or `bits` exceeds the base
+    /// type's width (C constraint).
+    pub fn bitfield(name: impl Into<String>, base: Scalar, bits: u8) -> Self {
+        assert!(bits >= 1, "zero-width anonymous bit-fields not modelled");
+        assert!(
+            (bits as usize) <= base.size() * 8,
+            "bit-field wider than its base type"
+        );
+        Self {
+            name: name.into(),
+            ty: CType::Scalar(base),
+            bits: Some(bits),
+        }
+    }
+}
+
+/// A struct (or class) definition.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// Fields in declaration order.
+    pub fields: Vec<Field>,
+}
+
+impl StructDef {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, fields: Vec<Field>) -> Self {
+        Self {
+            name: name.into(),
+            fields,
+        }
+    }
+
+    /// The struct's alignment: the maximum field alignment (1 for an empty
+    /// struct).
+    pub fn align(&self) -> usize {
+        self.fields.iter().map(|f| f.ty.align()).max().unwrap_or(1)
+    }
+
+    /// Natural (compiler) layout size including tail padding.
+    pub fn layout_size(&self) -> usize {
+        crate::layout::StructLayout::natural(self).size
+    }
+
+    /// The paper's running example (Listing 1a): `struct A`.
+    pub fn paper_example() -> Self {
+        Self::new(
+            "A",
+            vec![
+                Field::new("c", CType::Scalar(Scalar::Char)),
+                Field::new("i", CType::Scalar(Scalar::Int)),
+                Field::new("buf", CType::char_array(64)),
+                Field::new("fp", CType::Scalar(Scalar::FnPtr)),
+                Field::new("d", CType::Scalar(Scalar::Double)),
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_sizes_match_lp64() {
+        assert_eq!(Scalar::Char.size(), 1);
+        assert_eq!(Scalar::Short.size(), 2);
+        assert_eq!(Scalar::Int.size(), 4);
+        assert_eq!(Scalar::Long.size(), 8);
+        assert_eq!(Scalar::Float.size(), 4);
+        assert_eq!(Scalar::Double.size(), 8);
+        assert_eq!(Scalar::Ptr.size(), 8);
+        assert_eq!(Scalar::FnPtr.size(), 8);
+    }
+
+    #[test]
+    fn array_size_multiplies() {
+        let a = CType::char_array(64);
+        assert_eq!(a.size(), 64);
+        assert_eq!(a.align(), 1);
+        let ints = CType::Array(Box::new(CType::Scalar(Scalar::Int)), 10);
+        assert_eq!(ints.size(), 40);
+        assert_eq!(ints.align(), 4);
+    }
+
+    #[test]
+    fn attack_prone_classification() {
+        assert!(CType::char_array(4).is_attack_prone());
+        assert!(CType::Scalar(Scalar::Ptr).is_attack_prone());
+        assert!(CType::Scalar(Scalar::FnPtr).is_attack_prone());
+        assert!(!CType::Scalar(Scalar::Int).is_attack_prone());
+        assert!(!CType::Scalar(Scalar::Char).is_attack_prone());
+    }
+
+    #[test]
+    fn paper_example_size() {
+        // char(1) + pad(3) + int(4) + buf(64) + fp(8) + double(8) = 88.
+        let def = StructDef::paper_example();
+        assert_eq!(def.align(), 8);
+        assert_eq!(def.layout_size(), 88);
+    }
+
+    #[test]
+    fn empty_struct_has_align_one() {
+        let def = StructDef::new("E", vec![]);
+        assert_eq!(def.align(), 1);
+    }
+}

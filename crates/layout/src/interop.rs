@@ -1,0 +1,205 @@
+//! Interoperability with uninstrumented modules (Sections 6.2 and 7.3).
+//!
+//! The full/intelligent policies modify type layouts, so objects crossing
+//! into an external module compiled without Califorms support must be
+//! **marshalled**: serialised into the natural layout on the way out and
+//! re-inserted on the way back. The window in which the data exists in
+//! natural form is the "lucrative point in execution" the paper's
+//! coverage-based-attack discussion warns about — this module makes the
+//! conversion explicit and measurable. Two safe cases need no
+//! marshalling: the opportunistic policy (layout unchanged) and opaque
+//! pointers (the external module never dereferences the fields; the
+//! implicit hardware checks keep protecting the object).
+
+use crate::califormed::CaliformedLayout;
+use crate::layout::StructLayout;
+
+/// How an object may cross a module boundary under a given policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundaryStrategy {
+    /// Layout identical to natural: pass the pointer through unchanged
+    /// (opportunistic / no policy).
+    PassThrough,
+    /// Layout differs but the callee treats the pointer as opaque:
+    /// pass through, protection persists (the paper's "persistent
+    /// tampering protection … across binary module boundaries").
+    OpaquePointer,
+    /// Layout differs and the callee reads fields: marshal out/in, with a
+    /// temporary unprotected window.
+    Marshal,
+}
+
+/// Picks the boundary strategy for a layout and callee behaviour: pass
+/// through when the ABI is bit-identical to the natural layout, otherwise
+/// opaque-pointer or full marshalling depending on whether the callee
+/// reads fields.
+pub fn boundary_strategy(
+    layout: &CaliformedLayout,
+    natural: &StructLayout,
+    callee_dereferences: bool,
+) -> BoundaryStrategy {
+    let abi_identical = layout.size == natural.size
+        && layout
+            .fields
+            .iter()
+            .zip(&natural.fields)
+            .all(|(a, b)| a.offset == b.offset && a.size == b.size);
+    if abi_identical {
+        BoundaryStrategy::PassThrough
+    } else if !callee_dereferences {
+        BoundaryStrategy::OpaquePointer
+    } else {
+        BoundaryStrategy::Marshal
+    }
+}
+
+/// Serialises a califormed object image into its natural layout
+/// (security bytes stripped): the out-marshalling step.
+///
+/// `image` is the object's raw bytes in califormed layout. The natural
+/// layout must come from the same struct definition.
+///
+/// # Panics
+///
+/// Panics if the image size does not match the califormed layout, or the
+/// layouts' field lists disagree (caller mixed up types).
+pub fn marshal_out(
+    califormed: &CaliformedLayout,
+    natural: &StructLayout,
+    image: &[u8],
+) -> Vec<u8> {
+    assert_eq!(image.len(), califormed.size, "image size mismatch");
+    assert_eq!(
+        califormed.fields.len(),
+        natural.fields.len(),
+        "field count mismatch"
+    );
+    let mut out = vec![0u8; natural.size];
+    for (cf, nf) in califormed.fields.iter().zip(&natural.fields) {
+        assert_eq!(cf.name, nf.name, "field order mismatch");
+        assert_eq!(cf.size, nf.size, "field size mismatch");
+        out[nf.offset..nf.offset + nf.size]
+            .copy_from_slice(&image[cf.offset..cf.offset + cf.size]);
+    }
+    out
+}
+
+/// Re-inserts natural-layout data into a califormed image: the
+/// in-marshalling step after the external call returns. Security-byte
+/// positions are (re)zeroed — the caller re-arms them with `CFORM`s.
+pub fn marshal_in(
+    califormed: &CaliformedLayout,
+    natural: &StructLayout,
+    data: &[u8],
+) -> Vec<u8> {
+    assert_eq!(data.len(), natural.size, "data size mismatch");
+    assert_eq!(
+        califormed.fields.len(),
+        natural.fields.len(),
+        "field count mismatch"
+    );
+    let mut image = vec![0u8; califormed.size];
+    for (cf, nf) in califormed.fields.iter().zip(&natural.fields) {
+        image[cf.offset..cf.offset + cf.size]
+            .copy_from_slice(&data[nf.offset..nf.offset + nf.size]);
+    }
+    image
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctype::StructDef;
+    use crate::policy::InsertionPolicy;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn setup(policy: InsertionPolicy) -> (CaliformedLayout, StructLayout) {
+        let def = StructDef::paper_example();
+        let mut rng = SmallRng::seed_from_u64(9);
+        (policy.apply(&def, &mut rng), StructLayout::natural(&def))
+    }
+
+    #[test]
+    fn opportunistic_passes_through() {
+        let (l, nat) = setup(InsertionPolicy::Opportunistic);
+        assert_eq!(
+            boundary_strategy(&l, &nat, true),
+            BoundaryStrategy::PassThrough
+        );
+        assert_eq!(
+            boundary_strategy(&l, &nat, false),
+            BoundaryStrategy::PassThrough
+        );
+    }
+
+    #[test]
+    fn modified_layouts_marshal_only_when_dereferenced() {
+        let (l, nat) = setup(InsertionPolicy::full_1_to(7));
+        assert_eq!(boundary_strategy(&l, &nat, true), BoundaryStrategy::Marshal);
+        assert_eq!(
+            boundary_strategy(&l, &nat, false),
+            BoundaryStrategy::OpaquePointer
+        );
+    }
+
+    #[test]
+    fn marshal_round_trip_preserves_fields() {
+        let (cf, nat) = setup(InsertionPolicy::full_1_to(5));
+        // Build a califormed image with recognisable field contents.
+        let mut image = vec![0u8; cf.size];
+        for (k, f) in cf.fields.iter().enumerate() {
+            for (j, b) in image[f.offset..f.offset + f.size].iter_mut().enumerate() {
+                *b = (k as u8) << 4 | (j as u8 & 0xF);
+            }
+        }
+        let natural_form = marshal_out(&cf, &nat, &image);
+        assert_eq!(natural_form.len(), nat.size);
+        // The external module sees fields at their natural offsets.
+        for (k, f) in nat.fields.iter().enumerate() {
+            assert_eq!(natural_form[f.offset], (k as u8) << 4);
+        }
+        let back = marshal_in(&cf, &nat, &natural_form);
+        assert_eq!(back, image, "round trip preserves every field byte");
+    }
+
+    #[test]
+    fn marshalled_output_contains_no_span_artifacts() {
+        let (cf, nat) = setup(InsertionPolicy::intelligent_1_to(7));
+        // Poison the span bytes in the image; they must not leak out.
+        let mut image = vec![0u8; cf.size];
+        for s in &cf.security_spans {
+            for b in &mut image[s.offset..s.offset + s.len] {
+                *b = 0xEE;
+            }
+        }
+        let natural_form = marshal_out(&cf, &nat, &image);
+        assert!(
+            natural_form.iter().all(|&b| b != 0xEE),
+            "span bytes never cross the boundary"
+        );
+    }
+
+    #[test]
+    fn marshal_in_zeroes_span_positions() {
+        let (cf, nat) = setup(InsertionPolicy::full_1_to(3));
+        let data = vec![0xFFu8; nat.size];
+        let image = marshal_in(&cf, &nat, &data);
+        for s in &cf.security_spans {
+            assert!(
+                image[s.offset..s.offset + s.len].iter().all(|&b| b == 0),
+                "span positions come back zeroed, ready for CFORM"
+            );
+        }
+        for f in &cf.fields {
+            assert!(image[f.offset..f.offset + f.size].iter().all(|&b| b == 0xFF));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "image size mismatch")]
+    fn size_mismatch_is_rejected() {
+        let (cf, nat) = setup(InsertionPolicy::full_1_to(3));
+        marshal_out(&cf, &nat, &vec![0u8; cf.size + 1]);
+    }
+}

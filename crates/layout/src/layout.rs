@@ -1,0 +1,321 @@
+//! Natural (compiler) struct layout: field offsets and padding spans.
+//!
+//! This is the layout a C compiler produces from alignment rules alone —
+//! the starting point for every insertion policy, and the source of the
+//! "dead spaces" the opportunistic policy harvests (Section 2).
+
+use crate::ctype::StructDef;
+
+/// Where a padding span sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PaddingKind {
+    /// Between two fields (alignment of the following field).
+    Interior,
+    /// After the last field (struct size rounded to its alignment).
+    Tail,
+}
+
+/// A run of compiler-inserted padding bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PaddingSpan {
+    /// Byte offset of the first padding byte.
+    pub offset: usize,
+    /// Number of padding bytes.
+    pub len: usize,
+    /// Interior or tail.
+    pub kind: PaddingKind,
+}
+
+/// A field placed at its natural offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacedField {
+    /// Field name.
+    pub name: String,
+    /// Byte offset within the struct.
+    pub offset: usize,
+    /// Field size in bytes.
+    pub size: usize,
+    /// Whether the intelligent policy fences this field.
+    pub attack_prone: bool,
+}
+
+/// The natural layout of a struct.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StructLayout {
+    /// Struct name.
+    pub name: String,
+    /// Fields at their offsets, in declaration order.
+    pub fields: Vec<PlacedField>,
+    /// Compiler-inserted padding spans, ascending by offset.
+    pub paddings: Vec<PaddingSpan>,
+    /// Total size including tail padding.
+    pub size: usize,
+    /// Struct alignment.
+    pub align: usize,
+}
+
+/// A placement item: a plain field, or a run of consecutive bit-fields
+/// packed into shared storage units. Califorms fences around runs, never
+/// inside them (byte granularity cannot split a bit, Section 7.2).
+pub(crate) enum Item<'a> {
+    /// An ordinary field.
+    Plain(&'a crate::ctype::Field),
+    /// A maximal run of consecutive bit-fields.
+    Run(Vec<&'a crate::ctype::Field>),
+}
+
+/// Groups a definition's fields into placement items.
+pub(crate) fn placement_items(def: &StructDef) -> Vec<Item<'_>> {
+    let mut items = Vec::new();
+    let mut run: Vec<&crate::ctype::Field> = Vec::new();
+    for f in &def.fields {
+        if f.bits.is_some() {
+            run.push(f);
+        } else {
+            if !run.is_empty() {
+                items.push(Item::Run(std::mem::take(&mut run)));
+            }
+            items.push(Item::Plain(f));
+        }
+    }
+    if !run.is_empty() {
+        items.push(Item::Run(run));
+    }
+    items
+}
+
+/// A packed bit-field run (packed from bit 0; the run itself is placed at
+/// a boundary aligned to its strictest base type).
+pub(crate) struct PackedRun {
+    /// `(name, byte offset within the run, bytes covered)` per bit-field.
+    pub fields: Vec<(String, usize, usize)>,
+    /// Run alignment (max base-type alignment).
+    pub align: usize,
+    /// Run size in bytes (bits rounded up; trailing dead bits are not
+    /// harvestable padding).
+    pub size: usize,
+}
+
+/// Packs a run of bit-fields GCC-style: consecutive bit-fields share a
+/// base-type storage unit while they fit; a field that would cross a unit
+/// boundary starts the next unit.
+pub(crate) fn pack_run(run: &[&crate::ctype::Field]) -> PackedRun {
+    let mut fields = Vec::with_capacity(run.len());
+    let mut bit = 0usize;
+    let mut align = 1usize;
+    for f in run {
+        let width = usize::from(f.bits.expect("run contains only bit-fields"));
+        let unit = f.ty.size() * 8;
+        align = align.max(f.ty.align());
+        if bit % unit + width > unit {
+            bit = bit.div_ceil(unit) * unit;
+        }
+        let first_byte = bit / 8;
+        let last_byte = (bit + width - 1) / 8;
+        fields.push((f.name.clone(), first_byte, last_byte - first_byte + 1));
+        bit += width;
+    }
+    PackedRun {
+        fields,
+        align,
+        size: bit.div_ceil(8),
+    }
+}
+
+impl StructLayout {
+    /// Computes the natural C layout of `def`.
+    pub fn natural(def: &StructDef) -> Self {
+        let align = def.align();
+        let mut fields = Vec::with_capacity(def.fields.len());
+        let mut paddings = Vec::new();
+        let mut cursor = 0usize;
+        let pad_to = |paddings: &mut Vec<PaddingSpan>, cursor: usize, aligned: usize| {
+            if aligned > cursor {
+                paddings.push(PaddingSpan {
+                    offset: cursor,
+                    len: aligned - cursor,
+                    kind: PaddingKind::Interior,
+                });
+            }
+        };
+        for item in placement_items(def) {
+            match item {
+                Item::Plain(f) => {
+                    let fa = f.ty.align();
+                    let aligned = cursor.div_ceil(fa) * fa;
+                    pad_to(&mut paddings, cursor, aligned);
+                    fields.push(PlacedField {
+                        name: f.name.clone(),
+                        offset: aligned,
+                        size: f.ty.size(),
+                        attack_prone: f.ty.is_attack_prone(),
+                    });
+                    cursor = aligned + f.ty.size();
+                }
+                Item::Run(run) => {
+                    let packed = pack_run(&run);
+                    let aligned = cursor.div_ceil(packed.align) * packed.align;
+                    pad_to(&mut paddings, cursor, aligned);
+                    for (name, off, covered) in &packed.fields {
+                        fields.push(PlacedField {
+                            name: name.clone(),
+                            offset: aligned + off,
+                            size: *covered,
+                            attack_prone: false,
+                        });
+                    }
+                    cursor = aligned + packed.size;
+                }
+            }
+        }
+        let size = cursor.div_ceil(align) * align;
+        if size > cursor {
+            paddings.push(PaddingSpan {
+                offset: cursor,
+                len: size - cursor,
+                kind: PaddingKind::Tail,
+            });
+        }
+        Self {
+            name: def.name.clone(),
+            fields,
+            paddings,
+            size: size.max(if def.fields.is_empty() { 1 } else { 0 }),
+            align,
+        }
+    }
+
+    /// Sum of field sizes (no padding).
+    pub fn payload_bytes(&self) -> usize {
+        self.fields.iter().map(|f| f.size).sum()
+    }
+
+    /// Total padding bytes.
+    pub fn padding_bytes(&self) -> usize {
+        self.paddings.iter().map(|p| p.len).sum()
+    }
+
+    /// The paper's *struct density*: payload over total size (Section 2).
+    /// An empty struct has density 0.
+    pub fn density(&self) -> f64 {
+        if self.size == 0 {
+            0.0
+        } else {
+            self.payload_bytes() as f64 / self.size as f64
+        }
+    }
+
+    /// Whether the struct has at least one byte of harvestable padding.
+    pub fn has_padding(&self) -> bool {
+        !self.paddings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctype::{CType, Field, Scalar, StructDef};
+
+    fn s(name: &str, fields: Vec<Field>) -> StructLayout {
+        StructLayout::natural(&StructDef::new(name, fields))
+    }
+
+    #[test]
+    fn paper_example_places_padding_after_char() {
+        let layout = StructLayout::natural(&StructDef::paper_example());
+        assert_eq!(layout.size, 88);
+        assert_eq!(layout.paddings.len(), 1);
+        assert_eq!(
+            layout.paddings[0],
+            PaddingSpan {
+                offset: 1,
+                len: 3,
+                kind: PaddingKind::Interior
+            }
+        );
+        assert_eq!(layout.fields[1].offset, 4); // int i
+        assert_eq!(layout.fields[2].offset, 8); // buf
+        assert_eq!(layout.fields[3].offset, 72); // fp
+        assert_eq!(layout.fields[4].offset, 80); // d
+        let density = layout.density();
+        assert!((density - 85.0 / 88.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tail_padding_is_detected() {
+        // struct { long l; char c; } → 8 + 1 + 7 tail = 16.
+        let layout = s(
+            "T",
+            vec![
+                Field::new("l", CType::Scalar(Scalar::Long)),
+                Field::new("c", CType::Scalar(Scalar::Char)),
+            ],
+        );
+        assert_eq!(layout.size, 16);
+        assert_eq!(layout.paddings.len(), 1);
+        assert_eq!(layout.paddings[0].kind, PaddingKind::Tail);
+        assert_eq!(layout.paddings[0].offset, 9);
+        assert_eq!(layout.paddings[0].len, 7);
+    }
+
+    #[test]
+    fn dense_struct_has_no_padding() {
+        let layout = s(
+            "D",
+            vec![
+                Field::new("a", CType::Scalar(Scalar::Int)),
+                Field::new("b", CType::Scalar(Scalar::Int)),
+            ],
+        );
+        assert_eq!(layout.size, 8);
+        assert!(!layout.has_padding());
+        assert_eq!(layout.density(), 1.0);
+    }
+
+    #[test]
+    fn nested_struct_uses_inner_alignment() {
+        let inner = StructDef::new(
+            "I",
+            vec![
+                Field::new("c", CType::Scalar(Scalar::Char)),
+                Field::new("d", CType::Scalar(Scalar::Double)),
+            ],
+        );
+        // inner: char + 7 pad + double = 16, align 8.
+        assert_eq!(inner.layout_size(), 16);
+        let outer = s(
+            "O",
+            vec![
+                Field::new("c", CType::Scalar(Scalar::Char)),
+                Field::new("in", CType::Struct(inner)),
+            ],
+        );
+        assert_eq!(outer.fields[1].offset, 8);
+        assert_eq!(outer.size, 24);
+    }
+
+    #[test]
+    fn char_only_struct_is_fully_dense() {
+        let layout = s("C", vec![Field::new("b", CType::char_array(13))]);
+        assert_eq!(layout.size, 13);
+        assert_eq!(layout.align, 1);
+        assert_eq!(layout.density(), 1.0);
+    }
+
+    #[test]
+    fn density_counts_all_paddings() {
+        // char, int, char, long → 1+3pad+4+1+7pad+8 = 24; payload 14.
+        let layout = s(
+            "P",
+            vec![
+                Field::new("a", CType::Scalar(Scalar::Char)),
+                Field::new("b", CType::Scalar(Scalar::Int)),
+                Field::new("c", CType::Scalar(Scalar::Char)),
+                Field::new("d", CType::Scalar(Scalar::Long)),
+            ],
+        );
+        assert_eq!(layout.size, 24);
+        assert_eq!(layout.payload_bytes(), 14);
+        assert_eq!(layout.padding_bytes(), 10);
+    }
+}

@@ -1,0 +1,38 @@
+//! # califorms-layout
+//!
+//! The software half of Califorms' compiler support (Sections 2 and 6.2):
+//! a C-ABI struct-layout engine and the three security-byte insertion
+//! policies.
+//!
+//! * [`ctype`] — a model IR of C types (scalars, pointers, arrays, nested
+//!   structs) with x86-64 sizes and alignments.
+//! * [`layout`] — natural struct layout: field offsets, compiler-inserted
+//!   padding spans, tail padding (what the paper's opportunistic policy
+//!   harvests).
+//! * [`policy`] — the insertion policies of Listing 1: *opportunistic*
+//!   (padding bytes become security bytes, layout unchanged), *full*
+//!   (random-sized spans around every field), *intelligent* (spans around
+//!   arrays and pointers), plus the fixed-size padding used by the
+//!   motivation study (Figure 4).
+//! * [`califormed`] — the resulting califormed layout: where fields landed,
+//!   where security bytes sit, and the per-line `CFORM` masks an allocator
+//!   must issue.
+//! * [`census`] — struct-density statistics over synthetic corpora (the
+//!   Figure 3 histograms).
+//! * [`interop`] — marshalling across uninstrumented-module boundaries
+//!   (the Sections 6.2/7.3 interoperability story).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod califormed;
+pub mod census;
+pub mod ctype;
+pub mod interop;
+pub mod layout;
+pub mod policy;
+
+pub use califormed::CaliformedLayout;
+pub use ctype::{CType, Field, Scalar, StructDef};
+pub use layout::{PaddingSpan, StructLayout};
+pub use policy::InsertionPolicy;

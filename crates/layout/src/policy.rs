@@ -1,0 +1,392 @@
+//! Security-byte insertion policies (Listing 1, Sections 2 and 6.2).
+//!
+//! | policy | layout change | what becomes a security byte |
+//! |---|---|---|
+//! | [`InsertionPolicy::None`] | none | nothing (baseline) |
+//! | [`InsertionPolicy::Opportunistic`] | none | existing compiler padding |
+//! | [`InsertionPolicy::Full`] | grows | random 1–N B spans before the first field, between every pair, and after the last |
+//! | [`InsertionPolicy::Intelligent`] | grows | random 1–N B spans around arrays and pointers only |
+//! | [`InsertionPolicy::FixedPad`] | grows | a fixed-size span after every field (the Figure 4 motivation sweep) |
+//!
+//! Random span sizes make the layout unpredictable (the derandomisation
+//! analysis of Section 7.3 relies on the 1–7 B span distribution); fixed
+//! sizes could be jumped over once learned. Alignment fill created by an
+//! inserted span is absorbed into the span — those bytes are dead anyway
+//! and califorming them costs nothing extra — whereas natural padding
+//! *not* adjacent to an inserted span is left unprotected under the
+//! intelligent policy (califorming it would cost extra `CFORM` work for
+//! little security, Section 2).
+
+use crate::califormed::{CaliformedLayout, SecuritySpan};
+use crate::ctype::StructDef;
+use crate::layout::StructLayout;
+use rand::Rng;
+
+/// A security-byte insertion policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertionPolicy {
+    /// No security bytes at all (the un-califormed baseline).
+    None,
+    /// Harvest existing padding; layout (and ABI) unchanged.
+    Opportunistic,
+    /// Random-sized spans around every field.
+    Full {
+        /// Minimum span size in bytes (the paper uses 1).
+        min: u8,
+        /// Maximum span size in bytes (3, 5 or 7 in the evaluation).
+        max: u8,
+    },
+    /// Random-sized spans around arrays and pointers only.
+    Intelligent {
+        /// Minimum span size in bytes.
+        min: u8,
+        /// Maximum span size in bytes.
+        max: u8,
+    },
+    /// Fixed `n`-byte span after every field — the Figure 4 sweep. Not a
+    /// deployment policy (predictable), only a measurement device.
+    FixedPad(u8),
+}
+
+impl InsertionPolicy {
+    /// The evaluation's three random-size variants: 1–3 B, 1–5 B, 1–7 B.
+    pub const fn full_1_to(max: u8) -> Self {
+        InsertionPolicy::Full { min: 1, max }
+    }
+
+    /// Intelligent counterpart of [`Self::full_1_to`].
+    pub const fn intelligent_1_to(max: u8) -> Self {
+        InsertionPolicy::Intelligent { min: 1, max }
+    }
+
+    /// Whether this policy modifies the type layout (breaking binary
+    /// interoperability with uninstrumented modules, Section 6.2).
+    pub fn changes_layout(&self) -> bool {
+        !matches!(
+            self,
+            InsertionPolicy::None | InsertionPolicy::Opportunistic
+        )
+    }
+
+    /// Applies the policy to a struct definition, producing the califormed
+    /// layout. Random span sizes are drawn from `rng` (the compiler's
+    /// per-build randomness; see the BROP discussion in Section 7.3).
+    pub fn apply<R: Rng + ?Sized>(&self, def: &StructDef, rng: &mut R) -> CaliformedLayout {
+        match *self {
+            InsertionPolicy::None => from_natural(def, false),
+            InsertionPolicy::Opportunistic => from_natural(def, true),
+            InsertionPolicy::Full { min, max } => {
+                rebuild(def, rng, SpanRule::Around, SpanSize::Random { min, max })
+            }
+            InsertionPolicy::Intelligent { min, max } => {
+                rebuild(def, rng, SpanRule::AttackProne, SpanSize::Random { min, max })
+            }
+            InsertionPolicy::FixedPad(n) => {
+                rebuild(def, rng, SpanRule::AfterEach, SpanSize::Fixed(n))
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy)]
+enum SpanRule {
+    /// Before the first field, between every pair, after the last (full).
+    Around,
+    /// Only next to attack-prone fields (intelligent).
+    AttackProne,
+    /// After every field only (Figure 4's fixed padding sweep).
+    AfterEach,
+}
+
+#[derive(Clone, Copy)]
+enum SpanSize {
+    Fixed(u8),
+    Random { min: u8, max: u8 },
+}
+
+impl SpanSize {
+    fn draw<R: Rng + ?Sized>(self, rng: &mut R) -> usize {
+        match self {
+            SpanSize::Fixed(n) => n as usize,
+            SpanSize::Random { min, max } => {
+                assert!(min >= 1 && min <= max, "invalid span range");
+                rng.gen_range(min..=max) as usize
+            }
+        }
+    }
+}
+
+fn from_natural(def: &StructDef, harvest_padding: bool) -> CaliformedLayout {
+    let natural = StructLayout::natural(def);
+    let spans = if harvest_padding {
+        natural
+            .paddings
+            .iter()
+            .map(|p| SecuritySpan {
+                offset: p.offset,
+                len: p.len,
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    CaliformedLayout {
+        name: natural.name.clone(),
+        fields: natural.fields.clone(),
+        security_spans: spans,
+        size: natural.size,
+        align: natural.align,
+        natural_size: natural.size,
+    }
+}
+
+fn rebuild<R: Rng + ?Sized>(
+    def: &StructDef,
+    rng: &mut R,
+    rule: SpanRule,
+    size: SpanSize,
+) -> CaliformedLayout {
+    use crate::layout::{pack_run, placement_items, Item};
+
+    let natural = StructLayout::natural(def);
+    let align = natural.align;
+    let mut fields = Vec::with_capacity(def.fields.len());
+    let mut spans: Vec<SecuritySpan> = Vec::new();
+    let mut cursor = 0usize;
+
+    // Spans are decided per placement *item*: a bit-field run is an
+    // indivisible composite (Section 7.2 — security bytes go around
+    // composites of bit-fields, never inside them).
+    let items = placement_items(def);
+    let prone: Vec<bool> = items
+        .iter()
+        .map(|item| match item {
+            Item::Plain(f) => f.ty.is_attack_prone(),
+            Item::Run(_) => false,
+        })
+        .collect();
+    let insert_before = |i: usize| match rule {
+        SpanRule::Around => true,
+        SpanRule::AttackProne => prone[i] || (i > 0 && prone[i - 1]),
+        SpanRule::AfterEach => i > 0,
+    };
+    let insert_after_last = match rule {
+        SpanRule::Around | SpanRule::AfterEach => !items.is_empty(),
+        SpanRule::AttackProne => *prone.last().unwrap_or(&false),
+    };
+
+    for (i, item) in items.iter().enumerate() {
+        let (item_align, item_size) = match item {
+            Item::Plain(f) => (f.ty.align(), f.ty.size()),
+            Item::Run(run) => {
+                let packed = pack_run(run);
+                (packed.align, packed.size)
+            }
+        };
+        if insert_before(i) {
+            let start = cursor;
+            cursor += size.draw(rng);
+            // Absorb the alignment fill into the span.
+            cursor = cursor.div_ceil(item_align) * item_align;
+            spans.push(SecuritySpan {
+                offset: start,
+                len: cursor - start,
+            });
+        } else {
+            // Plain (unprotected) alignment padding.
+            cursor = cursor.div_ceil(item_align) * item_align;
+        }
+        match item {
+            Item::Plain(f) => {
+                fields.push(crate::layout::PlacedField {
+                    name: f.name.clone(),
+                    offset: cursor,
+                    size: f.ty.size(),
+                    attack_prone: prone[i],
+                });
+            }
+            Item::Run(run) => {
+                for (name, off, covered) in pack_run(run).fields {
+                    fields.push(crate::layout::PlacedField {
+                        name,
+                        offset: cursor + off,
+                        size: covered,
+                        attack_prone: false,
+                    });
+                }
+            }
+        }
+        cursor += item_size;
+    }
+
+    if insert_after_last {
+        let start = cursor;
+        cursor += size.draw(rng);
+        cursor = cursor.div_ceil(align) * align;
+        spans.push(SecuritySpan {
+            offset: start,
+            len: cursor - start,
+        });
+    } else {
+        cursor = cursor.div_ceil(align) * align;
+    }
+
+    CaliformedLayout {
+        name: natural.name.clone(),
+        fields,
+        security_spans: spans,
+        size: cursor.max(natural.size.min(1)),
+        align,
+        natural_size: natural.size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctype::{CType, Field, Scalar, StructDef};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn none_policy_is_the_natural_layout() {
+        let def = StructDef::paper_example();
+        let l = InsertionPolicy::None.apply(&def, &mut rng());
+        assert_eq!(l.size, 88);
+        assert!(l.security_spans.is_empty());
+        assert_eq!(l.memory_overhead(), 1.0);
+    }
+
+    #[test]
+    fn opportunistic_harvests_padding_without_moving_fields() {
+        let def = StructDef::paper_example();
+        let l = InsertionPolicy::Opportunistic.apply(&def, &mut rng());
+        assert_eq!(l.size, 88, "layout unchanged");
+        assert_eq!(l.security_spans.len(), 1);
+        assert_eq!(l.security_spans[0].offset, 1);
+        assert_eq!(l.security_spans[0].len, 3);
+        let natural = StructLayout::natural(&def);
+        for (a, b) in l.fields.iter().zip(natural.fields.iter()) {
+            assert_eq!(a.offset, b.offset);
+        }
+    }
+
+    #[test]
+    fn full_policy_fences_every_field() {
+        let def = StructDef::paper_example();
+        let l = InsertionPolicy::full_1_to(3).apply(&def, &mut rng());
+        // Spans: before each of 5 fields + after the last = 6.
+        assert_eq!(l.security_spans.len(), 6);
+        assert!(l.size > 88);
+        assert!(l.memory_overhead() > 1.0);
+        // Every span is at least one byte.
+        assert!(l.security_spans.iter().all(|s| s.len >= 1));
+        // Fields never overlap spans.
+        for f in &l.fields {
+            for s in &l.security_spans {
+                assert!(
+                    f.offset + f.size <= s.offset || s.offset + s.len <= f.offset,
+                    "field {} overlaps span at {}",
+                    f.name,
+                    s.offset
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn intelligent_policy_fences_only_prone_fields() {
+        let def = StructDef::paper_example(); // c, i, buf, fp, d
+        let l = InsertionPolicy::intelligent_1_to(7).apply(&def, &mut rng());
+        // Spans: before buf (prone), between buf and fp (both prone → one),
+        // after fp (prone, d not) = 3. Nothing before c or i, none after d.
+        assert_eq!(l.security_spans.len(), 3);
+        // c and i keep their natural offsets (nothing inserted before them).
+        assert_eq!(l.fields[0].offset, 0);
+        assert_eq!(l.fields[1].offset, 4);
+        // buf moved right by the first span.
+        assert!(l.fields[2].offset > 8);
+    }
+
+    #[test]
+    fn intelligent_on_scalar_only_struct_inserts_nothing() {
+        let def = StructDef::new(
+            "S",
+            vec![
+                Field::new("a", CType::Scalar(Scalar::Int)),
+                Field::new("b", CType::Scalar(Scalar::Double)),
+            ],
+        );
+        let l = InsertionPolicy::intelligent_1_to(7).apply(&def, &mut rng());
+        assert!(l.security_spans.is_empty());
+        assert_eq!(l.size, StructLayout::natural(&def).size);
+    }
+
+    #[test]
+    fn fixed_pad_grows_monotonically() {
+        let def = StructDef::paper_example();
+        let mut last = 0usize;
+        for n in 1..=7u8 {
+            let l = InsertionPolicy::FixedPad(n).apply(&def, &mut rng());
+            assert!(l.size >= last, "size must grow with padding");
+            last = l.size;
+        }
+    }
+
+    #[test]
+    fn random_spans_vary_between_builds() {
+        let def = StructDef::paper_example();
+        let mut r1 = SmallRng::seed_from_u64(1);
+        let mut r2 = SmallRng::seed_from_u64(2);
+        let a = InsertionPolicy::full_1_to(7).apply(&def, &mut r1);
+        let b = InsertionPolicy::full_1_to(7).apply(&def, &mut r2);
+        assert_ne!(
+            a.security_spans, b.security_spans,
+            "different build seeds must randomise the layout"
+        );
+    }
+
+    #[test]
+    fn layout_change_classification() {
+        assert!(!InsertionPolicy::None.changes_layout());
+        assert!(!InsertionPolicy::Opportunistic.changes_layout());
+        assert!(InsertionPolicy::full_1_to(3).changes_layout());
+        assert!(InsertionPolicy::intelligent_1_to(3).changes_layout());
+        assert!(InsertionPolicy::FixedPad(1).changes_layout());
+    }
+
+    #[test]
+    fn alignment_is_preserved_under_insertion() {
+        let def = StructDef::paper_example();
+        for policy in [
+            InsertionPolicy::full_1_to(7),
+            InsertionPolicy::intelligent_1_to(5),
+            InsertionPolicy::FixedPad(3),
+        ] {
+            let l = policy.apply(&def, &mut rng());
+            for f in &l.fields {
+                let natural_field = &StructLayout::natural(&def)
+                    .fields
+                    .iter()
+                    .find(|nf| nf.name == f.name)
+                    .unwrap()
+                    .clone();
+                // Natural alignment of each field (infer from def).
+                let fa = def
+                    .fields
+                    .iter()
+                    .find(|df| df.name == f.name)
+                    .unwrap()
+                    .ty
+                    .align();
+                assert_eq!(f.offset % fa, 0, "field {} misaligned", f.name);
+                assert_eq!(f.size, natural_field.size);
+            }
+            assert_eq!(l.size % l.align, 0, "struct size must stay aligned");
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Bit-field layout and the Section 7.2 bit-granularity limitation:
+//! Califorms fences around bit-field composites, never inside them.
+
+use califorms_layout::ctype::{CType, Field, Scalar, StructDef};
+use califorms_layout::{InsertionPolicy, StructLayout};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn flags_struct() -> StructDef {
+    // struct { char tag; unsigned a:3; unsigned b:7; unsigned c:30; void (*fp)(); }
+    StructDef::new(
+        "flags",
+        vec![
+            Field::new("tag", CType::Scalar(Scalar::Char)),
+            Field::bitfield("a", Scalar::Int, 3),
+            Field::bitfield("b", Scalar::Int, 7),
+            Field::bitfield("c", Scalar::Int, 30),
+            Field::new("fp", CType::Scalar(Scalar::FnPtr)),
+        ],
+    )
+}
+
+#[test]
+fn bitfields_pack_into_shared_units() {
+    let layout = StructLayout::natural(&flags_struct());
+    let off = |n: &str| layout.fields.iter().find(|f| f.name == n).unwrap().offset;
+    // tag at 0; the run is int-aligned at 4.
+    assert_eq!(off("tag"), 0);
+    assert_eq!(off("a"), 4, "run starts at the next int boundary");
+    assert_eq!(off("b"), 4, "a(3)+b(7)=10 bits share the first unit byte-range");
+    // c:30 cannot fit after bit 10 of a 32-bit unit → next unit at byte 8.
+    assert_eq!(off("c"), 8);
+    assert_eq!(off("fp"), 16, "run consumes bytes 4..12, fp aligns to 16");
+    assert_eq!(layout.size, 24);
+}
+
+#[test]
+fn adjacent_small_bitfields_share_one_unit() {
+    let def = StructDef::new(
+        "small",
+        vec![
+            Field::bitfield("x", Scalar::Int, 5),
+            Field::bitfield("y", Scalar::Int, 11),
+            Field::bitfield("z", Scalar::Int, 16),
+        ],
+    );
+    let layout = StructLayout::natural(&def);
+    // 5+11+16 = 32 bits exactly: one int unit.
+    assert_eq!(layout.size, 4);
+    for f in &layout.fields {
+        assert!(f.offset < 4);
+    }
+}
+
+#[test]
+fn full_policy_fences_around_the_run_not_inside() {
+    let mut rng = SmallRng::seed_from_u64(3);
+    let l = InsertionPolicy::full_1_to(7).apply(&flags_struct(), &mut rng);
+    // Items: tag, run(a,b,c), fp → spans before each of the 3 items + one
+    // after the last = 4.
+    assert_eq!(l.security_spans.len(), 4);
+    // No span byte may fall between the run's first and last covered byte.
+    let run_start = l.field_offset("a").unwrap();
+    let c = l.fields.iter().find(|f| f.name == "c").unwrap();
+    let run_end = c.offset + c.size;
+    for s in &l.security_spans {
+        let inside = s.offset >= run_start && s.offset < run_end;
+        assert!(!inside, "span at {} lands inside the bit-field run", s.offset);
+    }
+}
+
+#[test]
+fn intelligent_policy_ignores_bitfields_but_fences_the_pointer() {
+    let mut rng = SmallRng::seed_from_u64(4);
+    let l = InsertionPolicy::intelligent_1_to(7).apply(&flags_struct(), &mut rng);
+    // Only fp is attack-prone: one span before it, one after.
+    assert_eq!(l.security_spans.len(), 2);
+    let fp = l.field_offset("fp").unwrap();
+    assert!(l.security_spans[0].offset < fp);
+    assert!(l.security_spans[1].offset >= fp + 8);
+}
+
+#[test]
+fn bitfield_runs_keep_their_base_alignment_under_insertion() {
+    let mut rng = SmallRng::seed_from_u64(5);
+    let l = InsertionPolicy::full_1_to(7).apply(&flags_struct(), &mut rng);
+    let a = l.field_offset("a").unwrap();
+    assert_eq!(a % 4, 0, "int-based run stays int-aligned");
+}
+
+#[test]
+fn long_based_bitfields_use_eight_byte_units() {
+    let def = StructDef::new(
+        "wide",
+        vec![
+            Field::bitfield("lo", Scalar::Long, 40),
+            Field::bitfield("hi", Scalar::Long, 30),
+        ],
+    );
+    let layout = StructLayout::natural(&def);
+    // 40 bits then 30 more cannot share a 64-bit unit → second unit.
+    let hi = layout.fields.iter().find(|f| f.name == "hi").unwrap();
+    assert_eq!(hi.offset, 8);
+    assert_eq!(layout.size, 16);
+    assert_eq!(layout.align, 8);
+}
+
+#[test]
+#[should_panic(expected = "wider than its base type")]
+fn oversized_bitfield_is_rejected() {
+    Field::bitfield("bad", Scalar::Int, 33);
+}
+
+#[test]
+fn char_bitfields_turned_functional_can_be_fenced() {
+    // The paper's workaround: turn bit-fields into chars to protect them.
+    let def = StructDef::new(
+        "charified",
+        vec![
+            Field::new("a", CType::Scalar(Scalar::Char)), // was a:3
+            Field::new("b", CType::Scalar(Scalar::Char)), // was b:7
+        ],
+    );
+    let mut rng = SmallRng::seed_from_u64(6);
+    let l = InsertionPolicy::full_1_to(3).apply(&def, &mut rng);
+    // Now every boundary can carry a span: a | span | b.
+    assert_eq!(l.security_spans.len(), 3);
+    let (a, b) = (l.field_offset("a").unwrap(), l.field_offset("b").unwrap());
+    assert!(
+        l.security_spans.iter().any(|s| s.offset > a && s.offset < b),
+        "a span fits between the two char-ified flags"
+    );
+}

@@ -1,0 +1,198 @@
+//! Blind-ROP-style derandomisation (Section 7.3, "Derandomization
+//! Attacks").
+//!
+//! The compiler's span randomness is *static* — fixed at build time, like
+//! the Linux `randstruct` plugin. A BROP attacker exploits
+//! restart-after-crash semantics: crash the service repeatedly, keeping
+//! partial knowledge between attempts, until the layout is learned. The
+//! paper's mitigation is to respawn with a **different padding layout**
+//! (one of several pre-built binaries, or re-randomised spawn).
+//!
+//! This module simulates both worlds. With a *fixed* layout the attacker
+//! learns one span width per crash or success (binary-search-free linear
+//! probing is enough: guess width 1, 2, … — a crash means "too small",
+//! moving on means learned), so the expected number of crashes is linear
+//! in the number of spans. With *re-randomised* respawn, knowledge never
+//! accumulates: each attempt is an independent `1/7ⁿ` shot.
+
+use califorms_layout::{CType, Field, InsertionPolicy, StructDef};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// The victim service: a struct with `spans` fenced boundaries and the
+/// respawn policy under test.
+#[derive(Debug, Clone, Copy)]
+pub struct BropScenario {
+    /// Number of security spans the attacker must traverse in order.
+    pub spans: usize,
+    /// Maximum random span width (the paper's 7).
+    pub max_width: u8,
+    /// Whether a crash respawns with a fresh random layout.
+    pub rerandomize_on_crash: bool,
+}
+
+/// Result of a BROP campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BropResult {
+    /// Whether the attacker eventually reached the target.
+    pub succeeded: bool,
+    /// Crashes (= detected probes) consumed.
+    pub crashes: u64,
+    /// Total probes sent.
+    pub probes: u64,
+}
+
+fn victim_def(spans: usize) -> StructDef {
+    // `spans + 1` byte-aligned buffers: a span lands between each pair.
+    let fields = (0..=spans)
+        .map(|i| Field::new(format!("b{i}"), CType::char_array(8)))
+        .collect();
+    StructDef::new("brop_victim", fields)
+}
+
+/// Draws the victim's span widths for one (re)spawn. Byte-aligned fields
+/// keep the widths exactly uniform in `1..=max_width`.
+fn spawn_widths(scenario: &BropScenario, rng: &mut SmallRng) -> Vec<u64> {
+    let def = victim_def(scenario.spans);
+    let layout = InsertionPolicy::Full {
+        min: 1,
+        max: scenario.max_width,
+    }
+    .apply(&def, rng);
+    // Interior spans only (between consecutive buffers).
+    (0..scenario.spans)
+        .map(|i| {
+            let end_of_b = layout.field_offset(&format!("b{i}")).unwrap() + 8;
+            let next = layout.field_offset(&format!("b{}", i + 1)).unwrap();
+            (next - end_of_b) as u64
+        })
+        .collect()
+}
+
+/// Runs a BROP campaign: the attacker probes span widths in order,
+/// remembering what it learned, until it traverses all spans or exhausts
+/// `max_crashes`.
+pub fn run_brop(scenario: BropScenario, max_crashes: u64, seed: u64) -> BropResult {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut widths = spawn_widths(&scenario, &mut rng);
+    // Attacker state: per-span minimum width not yet excluded.
+    let mut known_min = vec![1u64; scenario.spans];
+    let mut crashes = 0u64;
+    let mut probes = 0u64;
+
+    loop {
+        // One attempt: walk the spans with current knowledge, probing the
+        // smallest not-yet-excluded width for each.
+        let mut advanced = true;
+        for i in 0..scenario.spans {
+            probes += 1;
+            let guess = known_min[i];
+            if guess == widths[i] {
+                continue; // correct: lands on the next field, keep walking
+            }
+            // Wrong guess: landing inside the span (guess < width) or past
+            // the field start (guess > width) — inside-span probes crash.
+            crashes += 1;
+            if crashes >= max_crashes {
+                return BropResult {
+                    succeeded: false,
+                    crashes,
+                    probes,
+                };
+            }
+            if scenario.rerandomize_on_crash {
+                // Fresh layout: everything learned is worthless.
+                widths = spawn_widths(&scenario, &mut rng);
+                known_min = vec![1; scenario.spans];
+            } else {
+                // Fixed layout: "width > guess" is now known.
+                known_min[i] = guess + 1;
+            }
+            advanced = false;
+            break;
+        }
+        if advanced {
+            return BropResult {
+                succeeded: true,
+                crashes,
+                probes,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_layout_falls_to_linear_probing() {
+        // With a static layout, each crash permanently narrows one span:
+        // expected crashes ≈ spans × (E[width] − 1) = 3 × 3 = 9.
+        let scenario = BropScenario {
+            spans: 3,
+            max_width: 7,
+            rerandomize_on_crash: false,
+        };
+        let mut total_crashes = 0u64;
+        let trials = 200u64;
+        for t in 0..trials {
+            let r = run_brop(scenario, 10_000, t);
+            assert!(r.succeeded, "static layouts are BROP-able");
+            total_crashes += r.crashes;
+        }
+        let avg = total_crashes as f64 / trials as f64;
+        assert!(
+            (5.0..14.0).contains(&avg),
+            "expected ~9 crashes for 3 spans, got {avg:.1}"
+        );
+    }
+
+    #[test]
+    fn rerandomized_respawn_resists() {
+        // With re-randomisation each attempt is an independent (1/7)³
+        // shot: success within a small crash budget is rare.
+        let scenario = BropScenario {
+            spans: 3,
+            max_width: 7,
+            rerandomize_on_crash: true,
+        };
+        let budget = 20; // the same budget that trivially breaks the fixed layout
+        let trials = 300u32;
+        let successes = (0..trials)
+            .filter(|&t| run_brop(scenario, budget, u64::from(t) ^ 0xB0B).succeeded)
+            .count();
+        let rate = successes as f64 / f64::from(trials);
+        // P(success in ≤20 attempts) ≈ 1 − (1 − 1/343)^20 ≈ 5.7 %.
+        assert!(
+            rate < 0.15,
+            "re-randomisation must keep success rare, got {rate:.3}"
+        );
+    }
+
+    #[test]
+    fn rerandomization_needs_exponentially_more_crashes() {
+        let fixed = BropScenario {
+            spans: 2,
+            max_width: 7,
+            rerandomize_on_crash: false,
+        };
+        let rerand = BropScenario {
+            rerandomize_on_crash: true,
+            ..fixed
+        };
+        let trials = 100u64;
+        let avg = |s: BropScenario, salt: u64| {
+            (0..trials)
+                .map(|t| run_brop(s, 1_000_000, t ^ salt).crashes)
+                .sum::<u64>() as f64
+                / trials as f64
+        };
+        let fixed_avg = avg(fixed, 0);
+        let rerand_avg = avg(rerand, 1);
+        assert!(
+            rerand_avg > 3.0 * fixed_avg,
+            "re-randomisation: {rerand_avg:.1} crashes vs fixed {fixed_avg:.1}"
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! # califorms-security
+//!
+//! The security evaluation of Section 7: executable attack scenarios run
+//! against the simulated Califorms machine, and the closed-form
+//! derandomisation analysis of Section 7.3 (with Monte-Carlo
+//! cross-checks).
+//!
+//! * [`threat`] — the paper's threat model as a typed description.
+//! * [`attacks`] — intra-object overflow/overread, use-after-free against
+//!   the quarantining heap, memory-scan (de)randomisation, span-width
+//!   guessing, and the speculative zero-return probe.
+//! * [`probability`] — `(1 − P/N)^O` scan survival and `1/7ⁿ` guessing
+//!   probabilities.
+//! * [`brop`] — blind-ROP derandomisation campaigns against fixed vs
+//!   re-randomised layouts (the Section 7.3 BROP discussion).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attacks;
+pub mod brop;
+pub mod probability;
+pub mod threat;
+
+pub use attacks::{AttackOutcome, AttackReport};
+pub use probability::{guess_success_probability, scan_survival_probability};
+pub use threat::ThreatModel;

@@ -1,0 +1,112 @@
+//! The closed-form derandomisation analysis of Section 7.3.
+
+/// Probability that scanning a process' memory touches **no** security
+/// byte: `(1 − P/N)^O`, where `P/N` is the blacklisted fraction of each
+/// object and `O` the number of objects scanned.
+///
+/// The paper's calibration point: with 10 % padding and `O = 250`, the
+/// survival probability is ~10⁻¹² (and the attack success effectively 0 by
+/// `O ≈ 250`; the paper quotes 10⁻²⁰ at a larger scan).
+///
+/// # Panics
+///
+/// Panics unless `blacklisted_fraction ∈ [0, 1]`.
+pub fn scan_survival_probability(blacklisted_fraction: f64, objects: u32) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&blacklisted_fraction),
+        "fraction out of range"
+    );
+    (1.0 - blacklisted_fraction).powi(objects as i32)
+}
+
+/// Probability of guessing `n` independent security-span widths, each
+/// uniform over `1..=max_width`: `(1/max_width)ⁿ` — the paper's `1/7ⁿ`
+/// for its 1–7 B spans (the attacker's best case, `O = 1`).
+///
+/// # Panics
+///
+/// Panics if `max_width == 0`.
+pub fn guess_success_probability(spans: u32, max_width: u32) -> f64 {
+    assert!(max_width >= 1, "spans have at least width 1");
+    (1.0 / f64::from(max_width)).powi(spans as i32)
+}
+
+/// Expected number of scanned objects before the first detection, under
+/// per-object detection probability `p = P/N` (geometric distribution).
+pub fn expected_objects_until_detection(blacklisted_fraction: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&blacklisted_fraction),
+        "fraction out of range"
+    );
+    if blacklisted_fraction == 0.0 {
+        f64::INFINITY
+    } else {
+        1.0 / blacklisted_fraction
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_calibration_point() {
+        // 10 % padding, O = 250 → survival below 1e-11 (the paper's "attack
+        // success goes to ~0" regime).
+        let p = scan_survival_probability(0.10, 250);
+        assert!(p < 1e-11, "survival {p:e}");
+        // And far below 1e-20 well before O = 500.
+        assert!(scan_survival_probability(0.10, 500) < 1e-20);
+    }
+
+    #[test]
+    fn survival_decreases_monotonically_in_objects() {
+        let mut last = 1.0;
+        for o in [1u32, 10, 50, 100, 250] {
+            let p = scan_survival_probability(0.10, o);
+            assert!(p < last);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn survival_edge_cases() {
+        assert_eq!(scan_survival_probability(0.0, 1000), 1.0);
+        assert_eq!(scan_survival_probability(1.0, 1), 0.0);
+        assert_eq!(scan_survival_probability(0.5, 0), 1.0);
+    }
+
+    #[test]
+    fn guessing_compounds_per_span() {
+        // The paper's 1/7ⁿ.
+        assert!((guess_success_probability(1, 7) - 1.0 / 7.0).abs() < 1e-12);
+        assert!((guess_success_probability(3, 7) - (1.0f64 / 7.0).powi(3)).abs() < 1e-15);
+        assert_eq!(guess_success_probability(0, 7), 1.0);
+    }
+
+    #[test]
+    fn expected_detection_point_matches_geometric() {
+        assert_eq!(expected_objects_until_detection(0.10), 10.0);
+        assert_eq!(expected_objects_until_detection(0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn monte_carlo_confirms_survival_formula() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(99);
+        let (frac, objects, trials) = (0.10, 20u32, 200_000u32);
+        let mut survived = 0u32;
+        for _ in 0..trials {
+            if (0..objects).all(|_| rng.gen_range(0.0..1.0) >= frac) {
+                survived += 1;
+            }
+        }
+        let empirical = f64::from(survived) / f64::from(trials);
+        let analytic = scan_survival_probability(frac, objects);
+        assert!(
+            (empirical - analytic).abs() < 0.005,
+            "empirical {empirical:.4} vs analytic {analytic:.4}"
+        );
+    }
+}

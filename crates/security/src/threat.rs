@@ -1,0 +1,73 @@
+//! The threat model of Section 7.1, as a typed description the attack
+//! scenarios are parameterised by.
+
+/// Attacker capabilities and assumptions (Section 7.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreatModel {
+    /// The victim has at least one vulnerability giving the attacker
+    /// arbitrary read capability in its address space.
+    pub arbitrary_read: bool,
+    /// …and arbitrary write capability.
+    pub arbitrary_write: bool,
+    /// The attacker has the program's **source** (can derive
+    /// non-califormed layouts) …
+    pub knows_source: bool,
+    /// … but not the **host binary** (cannot read the concrete randomised
+    /// span sizes of this build — server-side deployment).
+    pub knows_binary: bool,
+    /// Hardware is trusted (no glitching/physical attacks).
+    pub hardware_trusted: bool,
+    /// Side channels are in scope (the design must not leak security-byte
+    /// locations through timing or speculation).
+    pub side_channels_in_scope: bool,
+}
+
+impl ThreatModel {
+    /// The paper's model: arbitrary R/W, source but no binary, trusted
+    /// hardware, side channels considered.
+    pub const fn paper() -> Self {
+        Self {
+            arbitrary_read: true,
+            arbitrary_write: true,
+            knows_source: true,
+            knows_binary: false,
+            hardware_trusted: true,
+            side_channels_in_scope: true,
+        }
+    }
+
+    /// Whether the derandomisation analysis applies (it assumes the span
+    /// layout is *not* directly readable by the attacker).
+    pub const fn randomisation_is_effective(&self) -> bool {
+        !self.knows_binary
+    }
+}
+
+impl Default for ThreatModel {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_model_assumptions() {
+        let t = ThreatModel::paper();
+        assert!(t.arbitrary_read && t.arbitrary_write);
+        assert!(t.knows_source && !t.knows_binary);
+        assert!(t.hardware_trusted && t.side_channels_in_scope);
+        assert!(t.randomisation_is_effective());
+    }
+
+    #[test]
+    fn binary_knowledge_defeats_randomisation() {
+        let t = ThreatModel {
+            knows_binary: true,
+            ..ThreatModel::paper()
+        };
+        assert!(!t.randomisation_is_effective());
+    }
+}

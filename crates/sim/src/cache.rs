@@ -1,0 +1,307 @@
+//! A generic set-associative, write-back cache with true-LRU replacement.
+//!
+//! The cache is generic over its line payload so the L1 can hold
+//! [`califorms_core::L1Line`] (bitvector format) while L2/L3 hold
+//! [`califorms_core::L2Line`] (sentinel format) — the format conversion at
+//! the boundary is then *forced* by the types, mirroring the hardware.
+
+use crate::stats::CacheStats;
+use crate::LINE_BYTES;
+
+/// A line evicted to make room for an insertion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Eviction<V> {
+    /// Line base address of the victim.
+    pub line_addr: u64,
+    /// Victim payload.
+    pub value: V,
+    /// Whether the victim was dirty (must be written back).
+    pub dirty: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<V> {
+    tag: u64,
+    dirty: bool,
+    value: V,
+}
+
+/// Set-associative cache keyed by 64 B line address.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache<V> {
+    /// Each set is kept in LRU order: index 0 = most recently used.
+    sets: Vec<Vec<Entry<V>>>,
+    ways: usize,
+    /// Hit latency in cycles, exposed for the hierarchy's accounting.
+    pub latency: u32,
+    /// Hit/miss/eviction counters.
+    pub stats: CacheStats,
+}
+
+impl<V> SetAssocCache<V> {
+    /// Creates a cache of `size_bytes` capacity with `ways` ways and the
+    /// given hit latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `size_bytes` is a multiple of `ways * 64` and the
+    /// resulting set count is a power of two (hardware indexing).
+    pub fn new(size_bytes: usize, ways: usize, latency: u32) -> Self {
+        assert!(ways > 0, "cache must have at least one way");
+        let line = LINE_BYTES as usize;
+        assert_eq!(size_bytes % (ways * line), 0, "capacity not divisible");
+        let set_count = size_bytes / (ways * line);
+        assert!(set_count.is_power_of_two(), "set count must be a power of two");
+        Self {
+            sets: (0..set_count).map(|_| Vec::with_capacity(ways)).collect(),
+            ways,
+            latency,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of sets.
+    pub fn set_count(&self) -> usize {
+        self.sets.len()
+    }
+
+    /// Associativity.
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.ways * LINE_BYTES as usize
+    }
+
+    fn index(&self, line_addr: u64) -> (usize, u64) {
+        let line_no = line_addr / LINE_BYTES;
+        let set = (line_no as usize) & (self.sets.len() - 1);
+        let tag = line_no / self.sets.len() as u64;
+        (set, tag)
+    }
+
+    /// Looks up a line, updating LRU and hit/miss counters.
+    ///
+    /// Returns a mutable reference to the payload on a hit.
+    pub fn access(&mut self, line_addr: u64) -> Option<&mut V> {
+        let (set_idx, tag) = self.index(line_addr);
+        let set = &mut self.sets[set_idx];
+        match set.iter().position(|e| e.tag == tag) {
+            Some(pos) => {
+                self.stats.hits += 1;
+                let entry = set.remove(pos);
+                set.insert(0, entry);
+                Some(&mut set[0].value)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks up a line, updating LRU but **not** the hit/miss counters.
+    ///
+    /// For multi-step operations (fill then write, read-modify-write) that
+    /// are one architectural access but several internal touches.
+    pub fn access_uncounted(&mut self, line_addr: u64) -> Option<&mut V> {
+        let (set_idx, tag) = self.index(line_addr);
+        let set = &mut self.sets[set_idx];
+        let pos = set.iter().position(|e| e.tag == tag)?;
+        let entry = set.remove(pos);
+        set.insert(0, entry);
+        Some(&mut set[0].value)
+    }
+
+    /// Looks up a line without affecting LRU order or counters.
+    pub fn peek(&self, line_addr: u64) -> Option<&V> {
+        let (set_idx, tag) = self.index(line_addr);
+        self.sets[set_idx]
+            .iter()
+            .find(|e| e.tag == tag)
+            .map(|e| &e.value)
+    }
+
+    /// Marks a resident line dirty (no-op if absent).
+    pub fn mark_dirty(&mut self, line_addr: u64) {
+        let (set_idx, tag) = self.index(line_addr);
+        if let Some(e) = self.sets[set_idx].iter_mut().find(|e| e.tag == tag) {
+            e.dirty = true;
+        }
+    }
+
+    /// Inserts (or replaces) a line as MRU, returning the victim if the set
+    /// was full.
+    pub fn insert(&mut self, line_addr: u64, value: V, dirty: bool) -> Option<Eviction<V>> {
+        let (set_idx, tag) = self.index(line_addr);
+        let ways = self.ways;
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|e| e.tag == tag) {
+            let mut entry = set.remove(pos);
+            entry.value = value;
+            entry.dirty = entry.dirty || dirty;
+            set.insert(0, entry);
+            return None;
+        }
+        let victim = if set.len() == ways {
+            let victim = set.pop().expect("full set has a tail");
+            self.stats.evictions += 1;
+            if victim.dirty {
+                self.stats.writebacks += 1;
+            }
+            let line_no = victim.tag * self.sets.len() as u64 + set_idx as u64;
+            Some(Eviction {
+                line_addr: line_no * LINE_BYTES,
+                value: victim.value,
+                dirty: victim.dirty,
+            })
+        } else {
+            None
+        };
+        self.sets[set_idx].insert(0, Entry { tag, dirty, value });
+        victim
+    }
+
+    /// Removes a line, returning its payload and dirtiness.
+    pub fn invalidate(&mut self, line_addr: u64) -> Option<(V, bool)> {
+        let (set_idx, tag) = self.index(line_addr);
+        let set = &mut self.sets[set_idx];
+        set.iter()
+            .position(|e| e.tag == tag)
+            .map(|pos| {
+                let e = set.remove(pos);
+                (e.value, e.dirty)
+            })
+    }
+
+    /// Number of lines currently resident.
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Drains every resident line (for end-of-simulation flush), returning
+    /// `(line_addr, payload, dirty)` triples in no particular order.
+    pub fn drain(&mut self) -> Vec<(u64, V, bool)> {
+        let set_count = self.sets.len() as u64;
+        let mut out = Vec::new();
+        for (set_idx, set) in self.sets.iter_mut().enumerate() {
+            for e in set.drain(..) {
+                let line_no = e.tag * set_count + set_idx as u64;
+                out.push((line_no * LINE_BYTES, e.value, e.dirty));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> SetAssocCache<u32> {
+        // 4 sets × 2 ways × 64 B = 512 B
+        SetAssocCache::new(512, 2, 4)
+    }
+
+    #[test]
+    fn geometry_is_derived_from_capacity() {
+        let c = cache();
+        assert_eq!(c.set_count(), 4);
+        assert_eq!(c.ways(), 2);
+        assert_eq!(c.capacity(), 512);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = cache();
+        assert!(c.access(0).is_none());
+        assert!(c.insert(0, 42, false).is_none());
+        assert_eq!(c.access(0), Some(&mut 42));
+        assert_eq!(c.stats.hits, 1);
+        assert_eq!(c.stats.misses, 1);
+    }
+
+    #[test]
+    fn same_set_conflict_evicts_lru() {
+        let mut c = cache();
+        // Lines 0, 4*64, 8*64 map to set 0 (4 sets).
+        let (a, b, d) = (0u64, 4 * 64, 8 * 64);
+        c.insert(a, 1, false);
+        c.insert(b, 2, false);
+        // Touch `a` so `b` becomes LRU.
+        assert!(c.access(a).is_some());
+        let ev = c.insert(d, 3, false).expect("set is full");
+        assert_eq!(ev.line_addr, b);
+        assert_eq!(ev.value, 2);
+        assert!(!ev.dirty);
+        assert!(c.peek(a).is_some());
+        assert!(c.peek(b).is_none());
+        assert!(c.peek(d).is_some());
+    }
+
+    #[test]
+    fn dirty_eviction_counts_writeback() {
+        let mut c = cache();
+        c.insert(0, 1, true);
+        c.insert(4 * 64, 2, false);
+        c.insert(8 * 64, 3, false); // evicts line 0 (LRU, dirty)
+        let ev_dirty = c.stats.writebacks;
+        assert_eq!(ev_dirty, 1);
+        assert_eq!(c.stats.evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_merges_dirtiness() {
+        let mut c = cache();
+        c.insert(0, 1, true);
+        assert!(c.insert(0, 5, false).is_none(), "replacement, not eviction");
+        c.insert(4 * 64, 2, false);
+        let ev = c.insert(8 * 64, 3, false).unwrap();
+        assert!(ev.dirty, "dirtiness sticks across replacement");
+        assert_eq!(ev.value, 5);
+    }
+
+    #[test]
+    fn mark_dirty_and_invalidate() {
+        let mut c = cache();
+        c.insert(64, 9, false);
+        c.mark_dirty(64);
+        assert_eq!(c.invalidate(64), Some((9, true)));
+        assert_eq!(c.invalidate(64), None);
+    }
+
+    #[test]
+    fn drain_returns_all_lines_with_addresses() {
+        let mut c = cache();
+        c.insert(0, 1, false);
+        c.insert(64, 2, true);
+        c.insert(8 * 64, 3, false);
+        let mut drained = c.drain();
+        drained.sort_by_key(|(a, _, _)| *a);
+        assert_eq!(
+            drained,
+            vec![(0, 1, false), (64, 2, true), (8 * 64, 3, false)]
+        );
+        assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    fn peek_does_not_touch_lru() {
+        let mut c = cache();
+        c.insert(0, 1, false);
+        c.insert(4 * 64, 2, false);
+        // peek at line 0 (LRU untouched: 0 is still LRU after peeking? No —
+        // 4*64 was inserted last, so 0 is LRU. Peek must not promote it.)
+        assert!(c.peek(0).is_some());
+        let ev = c.insert(8 * 64, 3, false).unwrap();
+        assert_eq!(ev.line_addr, 0, "peek did not promote the line");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        SetAssocCache::<u8>::new(3 * 64 * 2, 2, 1);
+    }
+}

@@ -1,0 +1,99 @@
+//! Core timing model.
+//!
+//! A deliberately simple out-of-order abstraction: the core retires up to
+//! `width` instructions per cycle, and a fraction `overlap` of every
+//! beyond-L1 memory latency is hidden by the instruction window (memory
+//! level parallelism + independent work). L1 hits are fully pipelined.
+//!
+//! This is the standard first-order model for trace-driven studies: it
+//! does not predict absolute IPC, but it propagates *relative* changes in
+//! cache behaviour — which is all the paper's Figures 4 and 10–12 measure
+//! — and it lets workload profiles express their memory-boundedness
+//! through `overlap` (a pointer-chasing workload hides almost nothing; a
+//! streaming workload hides almost everything).
+
+/// Core timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoreConfig {
+    /// Retire width (instructions per cycle), Westmere-like default 4.
+    pub width: u32,
+    /// Fraction of beyond-L1 miss latency hidden by the OoO window,
+    /// in `[0, 1)`.
+    pub overlap: f64,
+}
+
+impl CoreConfig {
+    /// Westmere-like defaults: 4-wide, 60 % of miss latency hidden.
+    pub fn westmere() -> Self {
+        Self {
+            width: 4,
+            overlap: 0.6,
+        }
+    }
+
+    /// Same core with a different overlap (workload-specific
+    /// memory-boundedness).
+    pub fn with_overlap(self, overlap: f64) -> Self {
+        assert!((0.0..1.0).contains(&overlap), "overlap must be in [0,1)");
+        Self { overlap, ..self }
+    }
+
+    /// Cycles to retire `n` plain instructions.
+    pub fn exec_cycles(&self, n: u64) -> f64 {
+        n as f64 / f64::from(self.width)
+    }
+
+    /// Stall cycles charged for a memory access of total `latency`, given
+    /// the L1 hit latency `l1_latency`: L1 hits are free (pipelined);
+    /// beyond-L1 latency is charged at `1 − overlap`.
+    pub fn memory_stall(&self, latency: u32, l1_latency: u32) -> f64 {
+        if latency <= l1_latency {
+            0.0
+        } else {
+            f64::from(latency - l1_latency) * (1.0 - self.overlap)
+        }
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self::westmere()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exec_cycles_respect_width() {
+        let c = CoreConfig::westmere();
+        assert!((c.exec_cycles(8) - 2.0).abs() < 1e-12);
+        assert!((c.exec_cycles(1) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn l1_hits_are_free() {
+        let c = CoreConfig::westmere();
+        assert_eq!(c.memory_stall(4, 4), 0.0);
+        assert_eq!(c.memory_stall(3, 4), 0.0);
+    }
+
+    #[test]
+    fn misses_are_charged_at_one_minus_overlap() {
+        let c = CoreConfig::westmere().with_overlap(0.5);
+        assert!((c.memory_stall(4 + 7, 4) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_overlap_charges_full_latency() {
+        let c = CoreConfig::westmere().with_overlap(0.0);
+        assert!((c.memory_stall(238, 4) - 234.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap must be in")]
+    fn overlap_out_of_range_panics() {
+        CoreConfig::westmere().with_overlap(1.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Heterogeneous / DMA access (Section 7.2, "Heterogeneous Architectural
+//! Attacks").
+//!
+//! Califorms' protection lives in the memory hierarchy's layers; a DMA
+//! engine (or accelerator) that bypasses them sees the **raw sentinel
+//! format** below the L1. This module models both worlds:
+//!
+//! * a *califorms-aware* engine ([`DmaEngine::respecting`]) performs the
+//!   fill conversion and honours security bytes — the mitigation the
+//!   paper prescribes ("these mechanisms [must] always respect the
+//!   security byte semantics");
+//! * a *legacy* engine ([`DmaEngine::bypassing`]) copies raw bytes. The
+//!   tests demonstrate the two failure modes the paper warns about: the
+//!   tripwires are silently skipped, **and** the data itself is garbled,
+//!   because a califormed line's first bytes hold the header and the
+//!   displaced data sits in the security-byte slots.
+
+use crate::hierarchy::Hierarchy;
+use crate::{line_base, LINE_BYTES};
+use califorms_core::fill;
+
+/// Result of a DMA transfer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DmaTransfer {
+    /// Bytes delivered to the device.
+    pub data: Vec<u8>,
+    /// Security bytes encountered (aware engines report them; bypassing
+    /// engines cannot tell and always report 0).
+    pub security_bytes_seen: usize,
+}
+
+/// A DMA engine reading below the L1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmaEngine {
+    /// Whether the engine understands the califorms-sentinel format.
+    pub respects_califorms: bool,
+}
+
+impl DmaEngine {
+    /// An engine extended with califorms support (the mitigation).
+    pub const fn respecting() -> Self {
+        Self {
+            respects_califorms: true,
+        }
+    }
+
+    /// A legacy engine that bypasses the security-byte semantics.
+    pub const fn bypassing() -> Self {
+        Self {
+            respects_califorms: false,
+        }
+    }
+
+    /// Reads `[addr, addr+len)` directly from memory (the hierarchy first
+    /// writes the lines back, as a coherent DMA would force).
+    pub fn read(&self, hierarchy: &mut Hierarchy, addr: u64, len: usize) -> DmaTransfer {
+        let mut data = Vec::with_capacity(len);
+        let mut security = 0usize;
+        let mut cur = addr;
+        let end = addr + len as u64;
+        while cur < end {
+            let line_addr = line_base(cur);
+            hierarchy.evict_line_to_dram(line_addr);
+            let raw = hierarchy.dram_line(line_addr);
+            let chunk_end = (line_addr + LINE_BYTES).min(end);
+            if self.respects_califorms {
+                let l1 = fill(&raw).expect("well-formed line");
+                while cur < chunk_end {
+                    let off = (cur - line_addr) as usize;
+                    if l1.line().is_security_byte(off) {
+                        security += 1;
+                        data.push(0); // zero-substitute, like the core would
+                    } else {
+                        data.push(l1.line().data()[off]);
+                    }
+                    cur += 1;
+                }
+            } else {
+                // Legacy path: raw bytes, sentinel header and all.
+                while cur < chunk_end {
+                    data.push(raw.bytes[(cur - line_addr) as usize]);
+                    cur += 1;
+                }
+            }
+        }
+        DmaTransfer {
+            data,
+            security_bytes_seen: security,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::HierarchyConfig;
+    use califorms_core::CformInstruction;
+
+    fn hier_with_victim() -> (Hierarchy, u64) {
+        let mut h = Hierarchy::new(HierarchyConfig::westmere());
+        let base = 0x6_0000u64;
+        h.store(base, &[0xAB; 16], 0);
+        h.cform(&CformInstruction::set(base, 1 << 4), 0);
+        (h, base)
+    }
+
+    #[test]
+    fn respecting_dma_behaves_like_the_core() {
+        let (mut h, base) = hier_with_victim();
+        let t = DmaEngine::respecting().read(&mut h, base, 16);
+        assert_eq!(t.security_bytes_seen, 1);
+        assert_eq!(t.data[4], 0, "security byte zero-substituted");
+        assert_eq!(t.data[0], 0xAB);
+        assert_eq!(t.data[15], 0xAB);
+    }
+
+    #[test]
+    fn bypassing_dma_misses_tripwires_and_garbles_data() {
+        let (mut h, base) = hier_with_victim();
+        let t = DmaEngine::bypassing().read(&mut h, base, 16);
+        assert_eq!(t.security_bytes_seen, 0, "legacy engine is blind");
+        // The raw sentinel line puts the header in byte 0 (count code +
+        // Addr0 = 4 → byte0 = 0b000100_00 = 0x10, not the program's 0xAB):
+        // the device receives garbage, the paper's compatibility hazard.
+        assert_ne!(t.data[0], 0xAB, "header where data should be");
+        // And the displaced original byte sits in the security slot.
+        assert_eq!(t.data[4], 0xAB, "displaced data visible raw");
+    }
+
+    #[test]
+    fn clean_lines_are_identical_for_both_engines() {
+        let mut h = Hierarchy::new(HierarchyConfig::westmere());
+        h.store(0x7_0000, &[3, 1, 4, 1, 5, 9, 2, 6], 0);
+        let a = DmaEngine::respecting().read(&mut h, 0x7_0000, 8);
+        let b = DmaEngine::bypassing().read(&mut h, 0x7_0000, 8);
+        assert_eq!(a.data, b.data);
+        assert_eq!(a.data, vec![3, 1, 4, 1, 5, 9, 2, 6]);
+    }
+}

@@ -1,0 +1,306 @@
+//! The simulation engine: runs a trace through the core model and the
+//! memory hierarchy, handling Califorms exceptions and whitelist masks.
+
+use crate::cpu::CoreConfig;
+use crate::hierarchy::{Hierarchy, HierarchyConfig};
+use crate::stats::SimStats;
+use crate::trace::TraceOp;
+use califorms_core::{CaliformsException, CformInstruction, ExceptionMask};
+
+/// Outcome of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Aggregate statistics.
+    pub stats: SimStats,
+    /// The delivered exceptions, in order, capped at
+    /// [`Engine::MAX_RECORDED_EXCEPTIONS`] (a real handler would have
+    /// terminated the program at the first one; attack experiments want a
+    /// few for inspection, not millions).
+    pub exceptions: Vec<CaliformsException>,
+}
+
+/// Trace-driven simulator: Westmere-like core + Califorms hierarchy.
+#[derive(Debug)]
+pub struct Engine {
+    /// The simulated memory hierarchy (public: attack simulations inspect
+    /// and prod it directly).
+    pub hierarchy: Hierarchy,
+    core: CoreConfig,
+    mask: ExceptionMask,
+    cycles: f64,
+    instructions: u64,
+    loads: u64,
+    stores: u64,
+    cforms: u64,
+    stores_suppressed: u64,
+    exceptions: Vec<CaliformsException>,
+    pc: u64,
+}
+
+impl Engine {
+    /// Exceptions recorded verbatim before only counting.
+    pub const MAX_RECORDED_EXCEPTIONS: usize = 1024;
+
+    /// Builds an engine from hierarchy and core configurations.
+    pub fn new(hcfg: HierarchyConfig, core: CoreConfig) -> Self {
+        Self {
+            hierarchy: Hierarchy::new(hcfg),
+            core,
+            mask: ExceptionMask::new(),
+            cycles: 0.0,
+            instructions: 0,
+            loads: 0,
+            stores: 0,
+            cforms: 0,
+            stores_suppressed: 0,
+            exceptions: Vec::new(),
+            pc: 0,
+        }
+    }
+
+    /// Convenience constructor with the paper's default configuration.
+    pub fn westmere() -> Self {
+        Self::new(HierarchyConfig::westmere(), CoreConfig::westmere())
+    }
+
+    /// Executes one trace operation.
+    pub fn step(&mut self, op: TraceOp) {
+        self.pc += 1;
+        self.instructions += op.instruction_count();
+        match op {
+            TraceOp::Exec(n) => {
+                self.cycles += self.core.exec_cycles(u64::from(n));
+            }
+            TraceOp::Load { addr, size } => {
+                self.loads += 1;
+                let r = self.hierarchy.load(addr, size as usize, self.pc);
+                self.account_memory(r.latency);
+                self.deliver(r.exception);
+            }
+            TraceOp::Store { addr, size } => {
+                self.stores += 1;
+                let data = Self::store_pattern(addr, size as usize);
+                let r = self.hierarchy.store(addr, &data, self.pc);
+                self.account_memory(r.latency);
+                if r.exception.is_some() {
+                    self.stores_suppressed += 1;
+                }
+                self.deliver(r.exception);
+            }
+            TraceOp::Cform {
+                line_addr,
+                attrs,
+                mask,
+            } => {
+                self.cforms += 1;
+                let insn = CformInstruction::new(line_addr, attrs, mask);
+                let r = self.hierarchy.cform(&insn, self.pc);
+                self.account_memory(r.latency);
+                self.deliver(r.exception);
+            }
+            TraceOp::CformNt {
+                line_addr,
+                attrs,
+                mask,
+            } => {
+                self.cforms += 1;
+                let insn = CformInstruction::new(line_addr, attrs, mask);
+                let r = self.hierarchy.cform_nt(&insn, self.pc);
+                self.account_memory(r.latency);
+                self.deliver(r.exception);
+            }
+            TraceOp::MaskPush => {
+                self.cycles += self.core.exec_cycles(1);
+                self.mask.push_allow_all();
+            }
+            TraceOp::MaskPop => {
+                self.cycles += self.core.exec_cycles(1);
+                self.mask.pop_window();
+            }
+        }
+    }
+
+    fn account_memory(&mut self, latency: u32) {
+        let l1 = self.hierarchy.config().l1d_latency;
+        self.cycles += self.core.exec_cycles(1) + self.core.memory_stall(latency, l1);
+    }
+
+    fn deliver(&mut self, exception: Option<CaliformsException>) {
+        if let Some(exc) = exception {
+            if let Some(delivered) = self.mask.filter(exc) {
+                if self.exceptions.len() < Self::MAX_RECORDED_EXCEPTIONS {
+                    self.exceptions.push(delivered);
+                }
+            }
+        }
+    }
+
+    /// Deterministic store payload: traces carry no data, but the
+    /// califormed format conversions need real byte values flowing through
+    /// the hierarchy, so stores write a pattern derived from the address.
+    fn store_pattern(addr: u64, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| ((addr + i as u64).wrapping_mul(0x9E37_79B9) >> 16) as u8)
+            .collect()
+    }
+
+    /// Runs a whole trace to completion and returns the outcome.
+    pub fn run<I>(mut self, trace: I) -> SimOutcome
+    where
+        I: IntoIterator<Item = TraceOp>,
+    {
+        for op in trace {
+            self.step(op);
+        }
+        self.finish()
+    }
+
+    /// Finalises the run (no flush: cache state is part of steady-state
+    /// measurement, as with the paper's SimPoint regions).
+    pub fn finish(self) -> SimOutcome {
+        let mut stats = SimStats {
+            cycles: self.cycles,
+            instructions: self.instructions,
+            loads: self.loads,
+            stores: self.stores,
+            cforms: self.cforms,
+            stores_suppressed: self.stores_suppressed,
+            exceptions_delivered: self.mask.delivered_count(),
+            exceptions_suppressed: self.mask.suppressed_count(),
+            ..SimStats::default()
+        };
+        self.hierarchy.export_stats(&mut stats);
+        SimOutcome {
+            stats,
+            exceptions: self.exceptions,
+        }
+    }
+
+    /// Cycles accumulated so far (for incremental drivers).
+    pub fn cycles(&self) -> f64 {
+        self.cycles
+    }
+
+    /// Exceptions delivered so far.
+    pub fn delivered_exceptions(&self) -> &[CaliformsException] {
+        &self.exceptions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use califorms_core::AccessKind;
+
+    #[test]
+    fn exec_only_trace_is_width_limited() {
+        let out = Engine::westmere().run([TraceOp::Exec(400)]);
+        assert!((out.stats.cycles - 100.0).abs() < 1e-9);
+        assert_eq!(out.stats.instructions, 400);
+    }
+
+    #[test]
+    fn store_load_cform_counts() {
+        let trace = [
+            TraceOp::Store { addr: 0x100, size: 8 },
+            TraceOp::Load { addr: 0x100, size: 8 },
+            TraceOp::Cform {
+                line_addr: 0x100,
+                attrs: 1 << 20,
+                mask: 1 << 20,
+            },
+        ];
+        let out = Engine::westmere().run(trace);
+        assert_eq!(out.stats.loads, 1);
+        assert_eq!(out.stats.stores, 1);
+        assert_eq!(out.stats.cforms, 1);
+        assert_eq!(out.stats.instructions, 3);
+    }
+
+    #[test]
+    fn rogue_access_is_delivered_by_default() {
+        let trace = [
+            TraceOp::Cform {
+                line_addr: 0x200,
+                attrs: 1 << 5,
+                mask: 1 << 5,
+            },
+            TraceOp::Load { addr: 0x205, size: 1 },
+        ];
+        let out = Engine::westmere().run(trace);
+        assert_eq!(out.stats.exceptions_delivered, 1);
+        assert_eq!(out.exceptions.len(), 1);
+        assert_eq!(out.exceptions[0].fault_addr, 0x205);
+        assert_eq!(out.exceptions[0].access, AccessKind::Load);
+    }
+
+    #[test]
+    fn whitelisted_access_is_suppressed_but_counted() {
+        let trace = [
+            TraceOp::Cform {
+                line_addr: 0x200,
+                attrs: 1 << 5,
+                mask: 1 << 5,
+            },
+            TraceOp::MaskPush,
+            TraceOp::Load { addr: 0x205, size: 1 }, // memcpy-style sweep
+            TraceOp::MaskPop,
+            TraceOp::Load { addr: 0x205, size: 1 }, // rogue again
+        ];
+        let out = Engine::westmere().run(trace);
+        assert_eq!(out.stats.exceptions_suppressed, 1);
+        assert_eq!(out.stats.exceptions_delivered, 1);
+    }
+
+    #[test]
+    fn suppressed_store_is_counted() {
+        let trace = [
+            TraceOp::Cform {
+                line_addr: 0x40,
+                attrs: 0xF,
+                mask: 0xF,
+            },
+            TraceOp::Store { addr: 0x40, size: 4 },
+        ];
+        let out = Engine::westmere().run(trace);
+        assert_eq!(out.stats.stores_suppressed, 1);
+    }
+
+    #[test]
+    fn identical_traces_are_deterministic() {
+        let trace: Vec<TraceOp> = (0..1000)
+            .map(|i| TraceOp::Load {
+                addr: (i * 8389) % 65536,
+                size: 8,
+            })
+            .collect();
+        let a = Engine::westmere().run(trace.clone());
+        let b = Engine::westmere().run(trace);
+        assert_eq!(a.stats.cycles, b.stats.cycles);
+        assert_eq!(a.stats.l1d, b.stats.l1d);
+    }
+
+    #[test]
+    fn extra_latency_slows_the_same_trace() {
+        let trace: Vec<TraceOp> = (0..2000u64)
+            .flat_map(|i| {
+                [
+                    TraceOp::Exec(10),
+                    TraceOp::Load {
+                        addr: (i * 4096) % (8 * 1024 * 1024),
+                        size: 8,
+                    },
+                ]
+            })
+            .collect();
+        let base = Engine::westmere().run(trace.clone());
+        let plus = Engine::new(
+            HierarchyConfig::westmere_plus_one_cycle(),
+            CoreConfig::westmere(),
+        )
+        .run(trace);
+        let slowdown = plus.stats.slowdown_vs(&base.stats);
+        assert!(slowdown > 0.0, "extra latency must cost cycles");
+        assert!(slowdown < 0.05, "one cycle must cost little");
+    }
+}

@@ -1,0 +1,251 @@
+//! Load/store-queue semantics for in-flight `CFORM` instructions
+//! (Section 5.3).
+//!
+//! `CFORM` is handled like a store in the pipeline, with one crucial
+//! difference: it must **never** forward a value to a younger load whose
+//! address matches — the load receives **zero** instead, and both loads and
+//! stores younger than an in-flight `CFORM` that touch its bytes are marked
+//! for a Califorms exception at commit. This is the tamper-resistance rule
+//! that stops an attacker from using store-to-load forwarding as a side
+//! channel to observe califorming in flight.
+//!
+//! The model is functional (the paper argues the CFORM match is off the
+//! critical path and has no timing effect); the engine and the security
+//! tests use it to check the forwarding rules.
+
+use crate::{line_base, LINE_BYTES};
+
+/// An entry occupying the LSQ, oldest first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LsqEntry {
+    /// An in-flight store: address, data.
+    Store {
+        /// Byte address of the store.
+        addr: u64,
+        /// Store payload.
+        data: Vec<u8>,
+    },
+    /// An in-flight `CFORM`: line address plus the bytes whose state it
+    /// changes (attributes ∧ mask — the "to-be-califormed" bytes the match
+    /// logic checks).
+    Cform {
+        /// Cache-line-aligned target address.
+        line_addr: u64,
+        /// Bit `i` set ⇒ byte `i` of the line is being (un)califormed.
+        affected: u64,
+    },
+}
+
+/// What the LSQ tells a younger load about its address match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ForwardResult {
+    /// No older in-flight entry overlaps: go to the cache.
+    NoMatch,
+    /// A store fully covers the load: forward its bytes.
+    Forwarded(Vec<u8>),
+    /// A store partially overlaps: stall/replay (modelled as going to the
+    /// cache after the store drains; no data here).
+    PartialOverlap,
+    /// The youngest overlapping entry is a `CFORM`: the load receives
+    /// zeros and is marked for a Califorms exception at commit.
+    CformMatch {
+        /// The zeros handed to the load.
+        data: Vec<u8>,
+    },
+}
+
+/// A program-ordered load/store queue.
+#[derive(Debug, Default)]
+pub struct LoadStoreQueue {
+    entries: Vec<LsqEntry>,
+}
+
+impl LoadStoreQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of in-flight entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Inserts an in-flight store (program order: youngest last).
+    pub fn push_store(&mut self, addr: u64, data: Vec<u8>) {
+        self.entries.push(LsqEntry::Store { addr, data });
+    }
+
+    /// Inserts an in-flight `CFORM`. Each LSQ entry carries a "is CFORM"
+    /// bit in hardware; here it is the enum discriminant.
+    pub fn push_cform(&mut self, line_addr: u64, affected: u64) {
+        assert_eq!(line_addr % LINE_BYTES, 0, "CFORM targets a full line");
+        self.entries.push(LsqEntry::Cform { line_addr, affected });
+    }
+
+    /// Resolves a younger load against the queue: scans from the youngest
+    /// older entry, returning the first overlap's verdict.
+    pub fn resolve_load(&self, addr: u64, len: usize) -> ForwardResult {
+        let lo = addr;
+        let hi = addr + len as u64;
+        for entry in self.entries.iter().rev() {
+            match entry {
+                LsqEntry::Store { addr: sa, data } => {
+                    let slo = *sa;
+                    let shi = *sa + data.len() as u64;
+                    if hi <= slo || lo >= shi {
+                        continue;
+                    }
+                    if slo <= lo && hi <= shi {
+                        let start = (lo - slo) as usize;
+                        return ForwardResult::Forwarded(data[start..start + len].to_vec());
+                    }
+                    return ForwardResult::PartialOverlap;
+                }
+                LsqEntry::Cform { line_addr, affected } => {
+                    // First a (cheap) line-address match, then the mask
+                    // confirms the byte overlap — the two-step match of
+                    // Section 5.3.
+                    if line_base(lo) != *line_addr && line_base(hi - 1) != *line_addr {
+                        continue;
+                    }
+                    let mut overlap = false;
+                    for a in lo..hi {
+                        if line_base(a) == *line_addr {
+                            let bit = (a - line_addr) as u32;
+                            if affected >> bit & 1 == 1 {
+                                overlap = true;
+                                break;
+                            }
+                        }
+                    }
+                    if overlap {
+                        return ForwardResult::CformMatch {
+                            data: vec![0; len],
+                        };
+                    }
+                }
+            }
+        }
+        ForwardResult::NoMatch
+    }
+
+    /// Whether a younger **store** to `[addr, addr+len)` must be marked for
+    /// a Califorms exception (it follows an in-flight `CFORM` touching the
+    /// same bytes).
+    pub fn store_conflicts_with_cform(&self, addr: u64, len: usize) -> bool {
+        matches!(
+            self.resolve_load(addr, len),
+            ForwardResult::CformMatch { .. }
+        )
+    }
+
+    /// Drains the oldest entry (commit).
+    pub fn retire_oldest(&mut self) -> Option<LsqEntry> {
+        if self.entries.is_empty() {
+            None
+        } else {
+            Some(self.entries.remove(0))
+        }
+    }
+
+    /// Memory-serialising barrier: drains everything (the paper's
+    /// LSQ-modification-free alternative).
+    pub fn drain_all(&mut self) -> Vec<LsqEntry> {
+        std::mem::take(&mut self.entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_forwards_to_covered_load() {
+        let mut q = LoadStoreQueue::new();
+        q.push_store(0x100, vec![1, 2, 3, 4]);
+        assert_eq!(
+            q.resolve_load(0x101, 2),
+            ForwardResult::Forwarded(vec![2, 3])
+        );
+    }
+
+    #[test]
+    fn partial_overlap_is_not_forwarded() {
+        let mut q = LoadStoreQueue::new();
+        q.push_store(0x100, vec![1, 2]);
+        assert_eq!(q.resolve_load(0x101, 4), ForwardResult::PartialOverlap);
+    }
+
+    #[test]
+    fn cform_never_forwards_returns_zeros() {
+        let mut q = LoadStoreQueue::new();
+        q.push_cform(0x1000, 1 << 8 | 1 << 9);
+        match q.resolve_load(0x1008, 2) {
+            ForwardResult::CformMatch { data } => assert_eq!(data, vec![0, 0]),
+            other => panic!("expected CformMatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cform_without_byte_overlap_is_no_match() {
+        let mut q = LoadStoreQueue::new();
+        q.push_cform(0x1000, 1 << 8);
+        assert_eq!(q.resolve_load(0x1010, 4), ForwardResult::NoMatch);
+    }
+
+    #[test]
+    fn youngest_matching_entry_wins() {
+        let mut q = LoadStoreQueue::new();
+        q.push_store(0x1008, vec![7, 7]);
+        q.push_cform(0x1000, 1 << 8 | 1 << 9);
+        // CFORM is younger than the store: the load sees the CFORM.
+        assert!(matches!(
+            q.resolve_load(0x1008, 2),
+            ForwardResult::CformMatch { .. }
+        ));
+        // Reverse order: store younger than CFORM forwards normally.
+        let mut q = LoadStoreQueue::new();
+        q.push_cform(0x1000, 1 << 8 | 1 << 9);
+        q.push_store(0x1008, vec![7, 7]);
+        assert_eq!(
+            q.resolve_load(0x1008, 2),
+            ForwardResult::Forwarded(vec![7, 7])
+        );
+    }
+
+    #[test]
+    fn younger_store_conflict_is_flagged() {
+        let mut q = LoadStoreQueue::new();
+        q.push_cform(0x1000, 0xFF);
+        assert!(q.store_conflicts_with_cform(0x1000, 4));
+        assert!(!q.store_conflicts_with_cform(0x1000 + 8, 4));
+    }
+
+    #[test]
+    fn retire_and_drain() {
+        let mut q = LoadStoreQueue::new();
+        q.push_store(0, vec![1]);
+        q.push_cform(0x40, 1);
+        assert_eq!(q.len(), 2);
+        assert!(matches!(q.retire_oldest(), Some(LsqEntry::Store { .. })));
+        let rest = q.drain_all();
+        assert_eq!(rest.len(), 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn line_crossing_load_matches_cform_in_second_line() {
+        let mut q = LoadStoreQueue::new();
+        q.push_cform(0x1040, 1); // byte 0 of the second line
+        assert!(matches!(
+            q.resolve_load(0x1030, 32),
+            ForwardResult::CformMatch { .. }
+        ));
+    }
+}

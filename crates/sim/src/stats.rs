@@ -1,0 +1,121 @@
+//! Simulation statistics counters.
+
+/// Per-cache hit/miss counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit in this cache.
+    pub hits: u64,
+    /// Accesses that missed.
+    pub misses: u64,
+    /// Lines evicted (capacity/conflict).
+    pub evictions: u64,
+    /// Dirty lines written back on eviction.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Total accesses observed.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in `[0, 1]`; zero when no accesses were made.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.accesses();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+/// Full-run statistics produced by [`crate::engine::Engine`].
+#[derive(Debug, Clone, Default)]
+pub struct SimStats {
+    /// Simulated cycles (fractional: the core model issues multiple
+    /// instructions per cycle).
+    pub cycles: f64,
+    /// Instructions retired, including memory ops and `CFORM`s.
+    pub instructions: u64,
+    /// Data loads executed.
+    pub loads: u64,
+    /// Data stores executed (committed or suppressed).
+    pub stores: u64,
+    /// `CFORM` instructions executed.
+    pub cforms: u64,
+    /// L1 data cache counters.
+    pub l1d: CacheStats,
+    /// L2 cache counters.
+    pub l2: CacheStats,
+    /// L3 cache counters.
+    pub l3: CacheStats,
+    /// Main-memory line fetches.
+    pub dram_accesses: u64,
+    /// L1→L2 spill conversions performed (califormed lines only).
+    pub spills: u64,
+    /// L2→L1 fill conversions performed (califormed lines only).
+    pub fills: u64,
+    /// Califorms exceptions delivered to the handler.
+    pub exceptions_delivered: u64,
+    /// Califorms exceptions suppressed by whitelist masks.
+    pub exceptions_suppressed: u64,
+    /// Stores suppressed because they targeted a security byte.
+    pub stores_suppressed: u64,
+}
+
+impl SimStats {
+    /// Instructions per cycle over the whole run.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0.0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles
+        }
+    }
+
+    /// Slowdown of `self` relative to a `baseline` run of the same work:
+    /// `cycles / baseline.cycles − 1`, e.g. `0.03` = 3 % slower.
+    pub fn slowdown_vs(&self, baseline: &SimStats) -> f64 {
+        assert!(baseline.cycles > 0.0, "baseline ran zero cycles");
+        self.cycles / baseline.cycles - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_ratio_handles_zero_and_counts() {
+        let mut s = CacheStats::default();
+        assert_eq!(s.miss_ratio(), 0.0);
+        s.hits = 3;
+        s.misses = 1;
+        assert_eq!(s.accesses(), 4);
+        assert!((s.miss_ratio() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slowdown_is_relative_cycles() {
+        let base = SimStats {
+            cycles: 1000.0,
+            ..Default::default()
+        };
+        let run = SimStats {
+            cycles: 1030.0,
+            ..Default::default()
+        };
+        assert!((run.slowdown_vs(&base) - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ipc_computes() {
+        let s = SimStats {
+            cycles: 500.0,
+            instructions: 1000,
+            ..Default::default()
+        };
+        assert!((s.ipc() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,108 @@
+//! Memory-access traces: the interface between workload generators and the
+//! simulation engine.
+//!
+//! A trace is any iterator of [`TraceOp`]s. Workloads in
+//! `califorms-workloads` generate them lazily (streams of hundreds of
+//! millions of ops never materialise in memory); tests build small `Vec`s.
+
+/// One operation of a program trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOp {
+    /// `n` non-memory instructions (ALU/branch work between memory ops).
+    Exec(u32),
+    /// A data load of `size` bytes.
+    Load {
+        /// Byte address.
+        addr: u64,
+        /// Access size in bytes (1–64; line-crossing allowed).
+        size: u8,
+    },
+    /// A data store of `size` bytes. The simulator synthesises the value
+    /// (traces don't carry payloads; the engine writes a deterministic
+    /// pattern so califormed data paths stay exercised).
+    Store {
+        /// Byte address.
+        addr: u64,
+        /// Access size in bytes.
+        size: u8,
+    },
+    /// A `CFORM` instruction over one line.
+    Cform {
+        /// Cache-line-aligned target.
+        line_addr: u64,
+        /// Attribute bits (1 = set security byte).
+        attrs: u64,
+        /// Mask bits (1 = allow change).
+        mask: u64,
+    },
+    /// The non-temporal `CFORM` variant (paper footnote 3): updates the
+    /// line below the L1 without allocating it there — used on
+    /// deallocation so dead lines don't pollute the L1.
+    CformNt {
+        /// Cache-line-aligned target.
+        line_addr: u64,
+        /// Attribute bits (1 = set security byte).
+        attrs: u64,
+        /// Mask bits (1 = allow change).
+        mask: u64,
+    },
+    /// Arms the whole-address-space exception mask (entering a whitelisted
+    /// routine such as `memcpy`).
+    MaskPush,
+    /// Disarms the innermost mask window (leaving the routine).
+    MaskPop,
+}
+
+impl TraceOp {
+    /// Number of retired instructions this op represents.
+    pub fn instruction_count(&self) -> u64 {
+        match self {
+            TraceOp::Exec(n) => u64::from(*n),
+            // Mask pushes/pops are privileged stores to the mask register.
+            _ => 1,
+        }
+    }
+
+    /// Whether this op touches the data memory hierarchy.
+    pub fn is_memory_op(&self) -> bool {
+        matches!(
+            self,
+            TraceOp::Load { .. }
+                | TraceOp::Store { .. }
+                | TraceOp::Cform { .. }
+                | TraceOp::CformNt { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruction_counts() {
+        assert_eq!(TraceOp::Exec(17).instruction_count(), 17);
+        assert_eq!(TraceOp::Load { addr: 0, size: 8 }.instruction_count(), 1);
+        assert_eq!(TraceOp::MaskPush.instruction_count(), 1);
+    }
+
+    #[test]
+    fn memory_op_classification() {
+        assert!(TraceOp::Load { addr: 0, size: 1 }.is_memory_op());
+        assert!(TraceOp::Store { addr: 0, size: 1 }.is_memory_op());
+        assert!(TraceOp::Cform {
+            line_addr: 0,
+            attrs: 0,
+            mask: 0
+        }
+        .is_memory_op());
+        assert!(TraceOp::CformNt {
+            line_addr: 0,
+            attrs: 0,
+            mask: 0
+        }
+        .is_memory_op());
+        assert!(!TraceOp::Exec(1).is_memory_op());
+        assert!(!TraceOp::MaskPush.is_memory_op());
+    }
+}

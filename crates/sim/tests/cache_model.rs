@@ -1,0 +1,112 @@
+//! Model-based property tests: the set-associative cache against a naive
+//! reference implementation, over arbitrary access sequences.
+
+use califorms_sim::cache::SetAssocCache;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Naive reference: per-set vectors in explicit LRU order.
+struct RefCache {
+    sets: HashMap<usize, Vec<(u64, u32)>>, // MRU first
+    set_count: usize,
+    ways: usize,
+}
+
+impl RefCache {
+    fn new(set_count: usize, ways: usize) -> Self {
+        Self {
+            sets: HashMap::new(),
+            set_count,
+            ways,
+        }
+    }
+
+    fn set_of(&self, line_addr: u64) -> usize {
+        ((line_addr / 64) as usize) % self.set_count
+    }
+
+    fn access(&mut self, line_addr: u64) -> Option<u32> {
+        let set = self.sets.entry(self.set_of(line_addr)).or_default();
+        let pos = set.iter().position(|&(a, _)| a == line_addr)?;
+        let entry = set.remove(pos);
+        set.insert(0, entry);
+        Some(set[0].1)
+    }
+
+    fn insert(&mut self, line_addr: u64, value: u32) -> Option<u64> {
+        let ways = self.ways;
+        let set = self.sets.entry(self.set_of(line_addr)).or_default();
+        if let Some(pos) = set.iter().position(|&(a, _)| a == line_addr) {
+            set.remove(pos);
+            set.insert(0, (line_addr, value));
+            return None;
+        }
+        let victim = if set.len() == ways {
+            Some(set.pop().unwrap().0)
+        } else {
+            None
+        };
+        set.insert(0, (line_addr, value));
+        victim
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Access(u64),
+    Insert(u64, u32),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..64).prop_map(|l| Op::Access(l * 64)),
+            ((0u64..64), any::<u32>()).prop_map(|(l, v)| Op::Insert(l * 64, v)),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    /// Every access and every eviction decision matches the reference
+    /// model exactly (8 sets × 2 ways keeps collision pressure high).
+    #[test]
+    fn cache_matches_reference_model(ops in arb_ops()) {
+        let mut sut = SetAssocCache::<u32>::new(8 * 2 * 64, 2, 1);
+        let mut reference = RefCache::new(8, 2);
+        for op in ops {
+            match op {
+                Op::Access(addr) => {
+                    let got = sut.access(addr).map(|v| *v);
+                    let want = reference.access(addr);
+                    prop_assert_eq!(got, want, "access {:#x}", addr);
+                }
+                Op::Insert(addr, value) => {
+                    let got = sut.insert(addr, value, false).map(|e| e.line_addr);
+                    let want = reference.insert(addr, value);
+                    prop_assert_eq!(got, want, "insert {:#x}", addr);
+                }
+            }
+        }
+    }
+
+    /// Residency never exceeds capacity, and hit+miss counts add up.
+    #[test]
+    fn capacity_and_counters_are_consistent(ops in arb_ops()) {
+        let mut sut = SetAssocCache::<u32>::new(8 * 2 * 64, 2, 1);
+        let mut accesses = 0u64;
+        for op in ops {
+            match op {
+                Op::Access(addr) => {
+                    accesses += 1;
+                    let _ = sut.access(addr);
+                }
+                Op::Insert(addr, v) => {
+                    let _ = sut.insert(addr, v, false);
+                }
+            }
+            prop_assert!(sut.resident_lines() <= 16);
+        }
+        prop_assert_eq!(sut.stats.accesses(), accesses);
+    }
+}

@@ -1,0 +1,225 @@
+//! Technology constants and cost algebra for the analytic VLSI model.
+
+use core::ops::Add;
+
+/// An area/delay/power triple.
+///
+/// `+` composes blocks **in series** (areas and powers add, delays add);
+/// [`Cost::parallel`] composes blocks side by side (areas and powers add,
+/// delay is the max).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Cost {
+    /// Area in gate equivalents (NAND2-equivalents).
+    pub area_ge: f64,
+    /// Critical-path delay in nanoseconds.
+    pub delay_ns: f64,
+    /// Power in milliwatts (at the calibration frequency).
+    pub power_mw: f64,
+}
+
+impl Cost {
+    /// A zero-cost block.
+    pub const ZERO: Cost = Cost {
+        area_ge: 0.0,
+        delay_ns: 0.0,
+        power_mw: 0.0,
+    };
+
+    /// Parallel composition: delay is the slower of the two.
+    pub fn parallel(self, other: Cost) -> Cost {
+        Cost {
+            area_ge: self.area_ge + other.area_ge,
+            delay_ns: self.delay_ns.max(other.delay_ns),
+            power_mw: self.power_mw + other.power_mw,
+        }
+    }
+
+    /// Adds area/power of `other` but ignores its delay (off the critical
+    /// path).
+    pub fn with_off_path(self, other: Cost) -> Cost {
+        Cost {
+            area_ge: self.area_ge + other.area_ge,
+            delay_ns: self.delay_ns,
+            power_mw: self.power_mw + other.power_mw,
+        }
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+    fn add(self, other: Cost) -> Cost {
+        Cost {
+            area_ge: self.area_ge + other.area_ge,
+            delay_ns: self.delay_ns + other.delay_ns,
+            power_mw: self.power_mw + other.power_mw,
+        }
+    }
+}
+
+/// 65 nm-class technology constants, calibrated so the baseline 32 KB L1
+/// lands on the paper's Table 2 row (347 k GE, 1.62 ns, 15.84 mW).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tech {
+    /// SRAM storage cost per bit, in GE (cell + amortised periphery of a
+    /// large macro).
+    pub sram_ge_per_bit: f64,
+    /// Fixed periphery per SRAM macro (decoders, sense amps), in GE.
+    pub sram_macro_overhead_ge: f64,
+    /// Delay of one gate level (FO4-ish), ns.
+    pub gate_delay_ns: f64,
+    /// Area of one simple gate (NAND/NOR/AND), GE.
+    pub gate_area_ge: f64,
+    /// Dynamic + leakage power per GE at the calibration frequency, mW.
+    pub power_per_ge_mw: f64,
+    /// SRAM random-access delay for a macro of `bits`, modelled as
+    /// `a + b·log2(bits)` — `a` (ns).
+    pub sram_delay_base_ns: f64,
+    /// The `b` coefficient (ns per doubling).
+    pub sram_delay_per_log2_ns: f64,
+}
+
+impl Tech {
+    /// The calibrated 65 nm TSMC-like corner.
+    pub fn tsmc65() -> Self {
+        Self {
+            sram_ge_per_bit: 1.245,
+            sram_macro_overhead_ge: 6_000.0,
+            gate_delay_ns: 0.045,
+            gate_area_ge: 1.6,
+            power_per_ge_mw: 4.35e-5,
+            sram_delay_base_ns: 0.30,
+            sram_delay_per_log2_ns: 0.0585,
+        }
+    }
+
+    /// An SRAM macro of `bits` bits.
+    pub fn sram(&self, bits: usize) -> Cost {
+        let area = bits as f64 * self.sram_ge_per_bit + self.sram_macro_overhead_ge;
+        Cost {
+            area_ge: area,
+            delay_ns: self.sram_delay_base_ns
+                + self.sram_delay_per_log2_ns * (bits.max(2) as f64).log2(),
+            power_mw: area * self.power_per_ge_mw,
+        }
+    }
+
+    /// A block of `gates` simple gates with a critical path of `levels`
+    /// logic levels.
+    pub fn logic(&self, gates: usize, levels: usize) -> Cost {
+        let area = gates as f64 * self.gate_area_ge;
+        Cost {
+            area_ge: area,
+            delay_ns: levels as f64 * self.gate_delay_ns,
+            power_mw: area * self.power_per_ge_mw,
+        }
+    }
+
+    /// A 6→64 one-hot decoder (Figure 8): 64 AND gates over 6 inputs,
+    /// two levels.
+    pub fn decoder6x64(&self) -> Cost {
+        self.logic(64 * 2, 2)
+    }
+
+    /// An n-input OR reduction tree.
+    pub fn or_tree(&self, inputs: usize) -> Cost {
+        let gates = inputs.saturating_sub(1);
+        let levels = (inputs.max(2) as f64).log2().ceil() as usize;
+        self.logic(gates, levels)
+    }
+
+    /// A Find-index block: "64 shift blocks followed by a single
+    /// comparator" (Figure 8) — the serial shift chain makes this the
+    /// deepest block in the spill path.
+    pub fn find_index(&self) -> Cost {
+        self.logic(64 * 4 + 24, 24)
+    }
+
+    /// A 6-bit equality comparator (the fill path's sentinel matchers,
+    /// Figure 9): 6 XNORs + an AND tree.
+    pub fn comparator6(&self) -> Cost {
+        self.logic(6 + 5, 4)
+    }
+
+    /// An `n`-way byte multiplexer (per output byte).
+    pub fn byte_mux(&self, ways: usize) -> Cost {
+        self.logic(ways * 8, (ways.max(2) as f64).log2().ceil() as usize)
+    }
+
+    /// Pipeline/staging registers for `bits` bits.
+    pub fn registers(&self, bits: usize) -> Cost {
+        // A flop is ~4 GE; setup time folded into gate delay budget.
+        self.logic(bits * 4 / (self.gate_area_ge as usize).max(1), 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_adds_delay_parallel_takes_max() {
+        let t = Tech::tsmc65();
+        let a = t.logic(10, 2);
+        let b = t.logic(20, 5);
+        let series = a + b;
+        assert!((series.delay_ns - (a.delay_ns + b.delay_ns)).abs() < 1e-12);
+        let par = a.parallel(b);
+        assert!((par.delay_ns - b.delay_ns).abs() < 1e-12);
+        assert!((par.area_ge - (a.area_ge + b.area_ge)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn off_path_costs_area_not_delay() {
+        let t = Tech::tsmc65();
+        let main = t.logic(10, 3);
+        let side = t.logic(1000, 20);
+        let combined = main.with_off_path(side);
+        assert!((combined.delay_ns - main.delay_ns).abs() < 1e-12);
+        assert!(combined.area_ge > main.area_ge);
+    }
+
+    #[test]
+    fn sram_scales_with_bits() {
+        let t = Tech::tsmc65();
+        let small = t.sram(1 << 10);
+        let big = t.sram(1 << 18);
+        assert!(big.area_ge > small.area_ge * 30.0);
+        assert!(big.delay_ns > small.delay_ns);
+        assert!(big.delay_ns < small.delay_ns * 2.0, "delay grows with log2");
+    }
+
+    #[test]
+    fn baseline_l1_lands_near_table2() {
+        // 32 KB data + tag: the baseline row of Table 2 is ~347 k GE,
+        // 1.62 ns, 15.84 mW. The model must land within 10 %.
+        let t = Tech::tsmc65();
+        let data_bits = 32 * 1024 * 8;
+        let tag_bits = 512 * 25;
+        let l1 = t.sram(data_bits).parallel(t.sram(tag_bits))
+            + t.logic(2_000, 6) // hit logic, aligner
+            ;
+        assert!(
+            (l1.area_ge - 347_329.0).abs() / 347_329.0 < 0.10,
+            "area {} vs 347329",
+            l1.area_ge
+        );
+        assert!(
+            (l1.delay_ns - 1.62).abs() / 1.62 < 0.10,
+            "delay {} vs 1.62",
+            l1.delay_ns
+        );
+        assert!(
+            (l1.power_mw - 15.84).abs() / 15.84 < 0.15,
+            "power {} vs 15.84",
+            l1.power_mw
+        );
+    }
+
+    #[test]
+    fn component_areas_are_positive_and_ordered() {
+        let t = Tech::tsmc65();
+        assert!(t.decoder6x64().area_ge > 0.0);
+        assert!(t.find_index().area_ge > t.comparator6().area_ge);
+        assert!(t.or_tree(64).delay_ns > t.or_tree(4).delay_ns);
+    }
+}

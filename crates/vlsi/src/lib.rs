@@ -1,0 +1,34 @@
+//! # califorms-vlsi
+//!
+//! An analytic gate-equivalent area / delay / power model of the Califorms
+//! L1 designs and the fill/spill converters — the substitute for the
+//! paper's 65 nm TSMC synthesis + ARM Artisan memory-compiler flow
+//! (Tables 2 and 7; substitution recorded in DESIGN.md §2).
+//!
+//! The model is *structural*: it counts the same building blocks the
+//! paper's Figures 8 and 9 draw (SRAM macros, 6→64 decoders, find-index
+//! chains, comparator banks, crossbars) and converts them to numbers with
+//! a handful of 65 nm-calibrated technology constants ([`gates::Tech`]).
+//! Absolute values are calibrated against the paper's baseline; what the
+//! reproduction asserts is the *orderings and ratios* the paper's
+//! conclusions rest on:
+//!
+//! * L1 delay: baseline < califorms-8B (≈ +2 %) < califorms-1B (≈ +22 %)
+//!   < califorms-4B (≈ +49 %);
+//! * spill is several times slower than fill (pure combinational sentinel
+//!   search), but both are off the hit path;
+//! * metadata storage: 8B = 12.5 %, 4B = 6.25 %, 1B = 1.56 % of the data
+//!   array.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gates;
+pub mod l1_model;
+pub mod spillfill;
+pub mod tables;
+
+pub use gates::{Cost, Tech};
+pub use l1_model::{L1Design, L1Variant};
+pub use spillfill::{fill_module, spill_module};
+pub use tables::{table2, table7, TableRow};

@@ -1,0 +1,162 @@
+//! Structural models of the fill and spill conversion modules
+//! (Figures 8 and 9; the right-hand columns of Tables 2 and 7).
+
+use crate::gates::{Cost, Tech};
+use crate::l1_model::L1Variant;
+
+/// The spill module (L1 → L2, Algorithm 1 / Figure 8): pure combinational
+/// logic building the califorms-sentinel format in one cycle.
+///
+/// Structure (the circled steps of Figure 8):
+/// 1. OR-reduce the 64 metadata bits into the L2 metadata bit;
+/// 7. 64 six-to-64 decoders + a 64-wide OR per pattern build the
+///    used-values vector, then a Find-index-of-first-0 picks the sentinel;
+/// 8. four chained Find-index-of-first-1 blocks locate the first four
+///    security bytes;
+/// 9-11. a crossbar displaces the header bytes' data and writes the
+///    header/sentinel.
+pub fn spill_module(tech: &Tech) -> Cost {
+    let metadata_or = tech.or_tree(64);
+    // Step 7: decoders are parallel; the per-pattern OR across 64 decoder
+    // outputs is a 64-input tree (64 of them, one per pattern).
+    let decoders = (0..64)
+        .map(|_| tech.decoder6x64())
+        .fold(Cost::ZERO, Cost::parallel);
+    let used_values = (0..64)
+        .map(|_| tech.or_tree(64))
+        .fold(Cost::ZERO, Cost::parallel);
+    let sentinel_find = tech.find_index();
+    // Step 8: four *successive* find-index blocks (each masks the previous
+    // hit) — the serial chain that dominates the 5.5 ns delay and that the
+    // paper suggests pipelining into four stages.
+    let first_four = tech.find_index() + tech.find_index() + tech.find_index() + tech.find_index();
+    // Step 9–11: crossbar + header packing + sentinel broadcast.
+    let crossbar = tech.logic(4 * 64 * 8, 6);
+    let header = tech.logic(1_200, 4);
+    let staging = tech.registers(64 * 8 + 64);
+
+    metadata_or.parallel(decoders + used_values + sentinel_find)
+        .parallel(first_four.parallel(Cost::ZERO))
+        + crossbar
+        + header
+        + staging
+}
+
+/// The fill module (L2 → L1, Algorithm 2 / Figure 9).
+///
+/// The count-code comparators and the 60-way parallel sentinel comparator
+/// bank run side by side; parallelism is what keeps fill at ~1.4 ns.
+pub fn fill_module(tech: &Tech) -> Cost {
+    let code_cmp = tech.logic(4 * 8, 4); // the !=00/==10/==11 blocks
+    // The sentinel must first be extracted from byte 3 (an extraction mux
+    // gated by the ==11 compare) before the comparator bank can run — the
+    // serialisation that puts fill at ~1.4 ns rather than a handful of
+    // gate delays.
+    let sentinel_extract = tech.logic(200, 6);
+    let addr_decode = (0..4)
+        .map(|_| tech.decoder6x64())
+        .fold(Cost::ZERO, Cost::parallel);
+    let sentinel_bank = (0..60)
+        .map(|_| tech.comparator6())
+        .fold(Cost::ZERO, Cost::parallel)
+        + tech.or_tree(60);
+    let restore_mux = tech.byte_mux(4).parallel(tech.logic(4 * 64, 6));
+    let metadata_set = tech.logic(400, 2);
+    let staging = tech.registers(64 * 8 + 64);
+
+    code_cmp + sentinel_extract + addr_decode.parallel(sentinel_bank) + restore_mux
+        + metadata_set
+        + staging
+}
+
+/// Fill/spill module costs per L1 variant (Table 7's right-hand columns):
+/// the converters for the 4B/1B variants carry extra format-adaptation
+/// logic (their L1 formats are not the plain bit vector), which the paper
+/// measures as ~10–30 % more area/power at essentially the same delay.
+pub fn conversion_modules(variant: L1Variant, tech: &Tech) -> Option<(Cost, Cost)> {
+    if variant == L1Variant::Baseline {
+        return None;
+    }
+    let fill = fill_module(tech);
+    let spill = spill_module(tech);
+    let (fill_extra, spill_extra) = match variant {
+        L1Variant::Baseline => unreachable!(),
+        L1Variant::Bitvector8B => (Cost::ZERO, Cost::ZERO),
+        // Reconstruct/deconstruct the in-band chunk bit vectors.
+        L1Variant::Bitvector4B => (tech.logic(500, 3), tech.logic(750, 2)),
+        L1Variant::Bitvector1B => (tech.logic(780, 3), tech.logic(860, 2)),
+    };
+    Some((fill + fill_extra, spill + spill_extra))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spill_is_much_slower_than_fill() {
+        let t = Tech::tsmc65();
+        let spill = spill_module(&t);
+        let fill = fill_module(&t);
+        // Paper: 5.50 ns vs 1.43 ns (~3.8×).
+        let ratio = spill.delay_ns / fill.delay_ns;
+        assert!(
+            (2.5..6.0).contains(&ratio),
+            "spill/fill delay ratio {ratio:.2}"
+        );
+    }
+
+    #[test]
+    fn spill_is_larger_than_fill() {
+        let t = Tech::tsmc65();
+        // Paper: 34.6 k GE vs 9.0 k GE (~3.9×).
+        let ratio = spill_module(&t).area_ge / fill_module(&t).area_ge;
+        assert!((2.0..6.0).contains(&ratio), "area ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn magnitudes_near_table2() {
+        let t = Tech::tsmc65();
+        let fill = fill_module(&t);
+        let spill = spill_module(&t);
+        assert!(
+            (5_000.0..15_000.0).contains(&fill.area_ge),
+            "fill area {} vs paper 8957",
+            fill.area_ge
+        );
+        assert!(
+            (24_000.0..48_000.0).contains(&spill.area_ge),
+            "spill area {} vs paper 34562",
+            spill.area_ge
+        );
+        assert!(
+            (1.0..2.1).contains(&fill.delay_ns),
+            "fill delay {} vs paper 1.43",
+            fill.delay_ns
+        );
+        assert!(
+            (4.0..7.5).contains(&spill.delay_ns),
+            "spill delay {} vs paper 5.50",
+            spill.delay_ns
+        );
+    }
+
+    #[test]
+    fn fill_delay_fits_the_l1_access_period() {
+        // Section 8.1: "the latency impact of the fill operation is within
+        // the access period of the L1 design" (1.62 ns baseline).
+        let t = Tech::tsmc65();
+        assert!(fill_module(&t).delay_ns <= 2.1);
+    }
+
+    #[test]
+    fn variant_converters_cost_slightly_more() {
+        let t = Tech::tsmc65();
+        let (f8, s8) = conversion_modules(L1Variant::Bitvector8B, &t).unwrap();
+        let (f4, s4) = conversion_modules(L1Variant::Bitvector4B, &t).unwrap();
+        let (f1, s1) = conversion_modules(L1Variant::Bitvector1B, &t).unwrap();
+        assert!(f4.area_ge > f8.area_ge && f1.area_ge > f8.area_ge);
+        assert!(s4.area_ge > s8.area_ge && s1.area_ge > s8.area_ge);
+        assert!(conversion_modules(L1Variant::Baseline, &t).is_none());
+    }
+}

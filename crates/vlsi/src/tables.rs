@@ -1,0 +1,192 @@
+//! Renderers for the paper's VLSI tables (Tables 2 and 7), printing the
+//! modelled numbers next to the paper's synthesis results.
+
+use crate::gates::{Cost, Tech};
+use crate::l1_model::{L1Design, L1Variant};
+use crate::spillfill::conversion_modules;
+
+/// One row of Table 2 / Table 7.
+#[derive(Debug, Clone)]
+pub struct TableRow {
+    /// Design name.
+    pub name: &'static str,
+    /// Main synthesis results for the L1.
+    pub main: Cost,
+    /// (% area, % delay, % power) vs baseline; `None` for the baseline row.
+    pub l1_overheads: Option<(f64, f64, f64)>,
+    /// Fill module cost; `None` for the baseline row.
+    pub fill: Option<Cost>,
+    /// Spill module cost; `None` for the baseline row.
+    pub spill: Option<Cost>,
+}
+
+/// The paper's measured values for a row, for side-by-side reporting.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperRow {
+    /// Design name.
+    pub name: &'static str,
+    /// Area GE / delay ns / power mW of the main synthesis.
+    pub main: (f64, f64, f64),
+    /// (% area, % delay, % power) L1 overheads.
+    pub l1_overheads: Option<(f64, f64, f64)>,
+    /// Fill module (GE, ns, mW).
+    pub fill: Option<(f64, f64, f64)>,
+    /// Spill module (GE, ns, mW).
+    pub spill: Option<(f64, f64, f64)>,
+}
+
+/// The paper's Table 7 (which subsumes Table 2's two rows).
+pub fn paper_table7() -> Vec<PaperRow> {
+    vec![
+        PaperRow {
+            name: "Baseline",
+            main: (347_329.19, 1.62, 15.84),
+            l1_overheads: None,
+            fill: None,
+            spill: None,
+        },
+        PaperRow {
+            name: "Califorms-8B",
+            main: (412_263.87, 1.65, 16.17),
+            l1_overheads: Some((18.69, 1.85, 2.12)),
+            fill: Some((8_957.16, 1.43, 0.18)),
+            spill: Some((34_561.80, 5.50, 0.52)),
+        },
+        PaperRow {
+            name: "Califorms-4B",
+            main: (370_972.35, 2.42, 17.95),
+            l1_overheads: Some((6.80, 49.38, 11.00)),
+            fill: Some((9_770.04, 1.92, 0.21)),
+            spill: Some((35_775.36, 5.99, 0.68)),
+        },
+        PaperRow {
+            name: "Califorms-1B",
+            main: (356_694.82, 1.98, 16.00),
+            l1_overheads: Some((2.69, 22.22, 1.06)),
+            fill: Some((10_223.28, 1.94, 0.22)),
+            spill: Some((35_958.24, 5.99, 0.67)),
+        },
+    ]
+}
+
+fn model_rows(variants: &[L1Variant], tech: &Tech) -> Vec<TableRow> {
+    let baseline = L1Design::model(L1Variant::Baseline, tech);
+    variants
+        .iter()
+        .map(|&v| {
+            let design = L1Design::model(v, tech);
+            let (fill, spill) = match conversion_modules(v, tech) {
+                Some((f, s)) => (Some(f), Some(s)),
+                None => (None, None),
+            };
+            TableRow {
+                name: v.name(),
+                main: design.cost,
+                l1_overheads: (v != L1Variant::Baseline)
+                    .then(|| design.overhead_vs(&baseline)),
+                fill,
+                spill,
+            }
+        })
+        .collect()
+}
+
+/// Table 2: baseline vs Califorms-8B.
+pub fn table2(tech: &Tech) -> Vec<TableRow> {
+    model_rows(&[L1Variant::Baseline, L1Variant::Bitvector8B], tech)
+}
+
+/// Table 7: all four designs.
+pub fn table7(tech: &Tech) -> Vec<TableRow> {
+    model_rows(&L1Variant::ALL, tech)
+}
+
+/// Formats modelled rows next to the paper's rows, Markdown-ish.
+pub fn render_comparison(rows: &[TableRow]) -> String {
+    let paper = paper_table7();
+    let mut out = String::new();
+    out.push_str(
+        "design        | source | area GE   | delay ns | power mW | L1 ovh (a%/d%/p%)   | fill GE/ns | spill GE/ns\n",
+    );
+    out.push_str(
+        "--------------+--------+-----------+----------+----------+---------------------+------------+------------\n",
+    );
+    for row in rows {
+        let p = paper
+            .iter()
+            .find(|p| p.name == row.name)
+            .expect("every modelled design has a paper row");
+        let ovh = |o: Option<(f64, f64, f64)>| match o {
+            Some((a, d, pw)) => format!("{a:5.1}/{d:5.1}/{pw:5.1}"),
+            None => "        —        ".to_string(),
+        };
+        let module = |c: Option<(f64, f64)>| match c {
+            Some((ge, ns)) => format!("{ge:6.0}/{ns:4.2}"),
+            None => "     —     ".to_string(),
+        };
+        out.push_str(&format!(
+            "{:<13} | paper  | {:>9.0} | {:>8.2} | {:>8.2} | {:>19} | {} | {}\n",
+            row.name,
+            p.main.0,
+            p.main.1,
+            p.main.2,
+            ovh(p.l1_overheads),
+            module(p.fill.map(|f| (f.0, f.1))),
+            module(p.spill.map(|s| (s.0, s.1))),
+        ));
+        out.push_str(&format!(
+            "{:<13} | model  | {:>9.0} | {:>8.2} | {:>8.2} | {:>19} | {} | {}\n",
+            "",
+            row.main.area_ge,
+            row.main.delay_ns,
+            row.main.power_mw,
+            ovh(row.l1_overheads),
+            module(row.fill.map(|f| (f.area_ge, f.delay_ns))),
+            module(row.spill.map(|s| (s.area_ge, s.delay_ns))),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_two_rows_table7_four() {
+        let t = Tech::tsmc65();
+        assert_eq!(table2(&t).len(), 2);
+        assert_eq!(table7(&t).len(), 4);
+    }
+
+    #[test]
+    fn baseline_row_has_no_overheads_or_modules() {
+        let t = Tech::tsmc65();
+        let rows = table7(&t);
+        assert!(rows[0].l1_overheads.is_none());
+        assert!(rows[0].fill.is_none() && rows[0].spill.is_none());
+        for row in &rows[1..] {
+            assert!(row.l1_overheads.is_some());
+            assert!(row.fill.is_some() && row.spill.is_some());
+        }
+    }
+
+    #[test]
+    fn render_mentions_every_design_and_both_sources() {
+        let t = Tech::tsmc65();
+        let s = render_comparison(&table7(&t));
+        for name in ["Baseline", "Califorms-8B", "Califorms-4B", "Califorms-1B"] {
+            assert!(s.contains(name), "missing {name}");
+        }
+        assert!(s.contains("paper") && s.contains("model"));
+    }
+
+    #[test]
+    fn paper_rows_match_published_values() {
+        let rows = paper_table7();
+        assert_eq!(rows[0].main.0, 347_329.19);
+        assert_eq!(rows[1].l1_overheads.unwrap().0, 18.69);
+        assert_eq!(rows[1].spill.unwrap().1, 5.50);
+        assert_eq!(rows[3].l1_overheads.unwrap().1, 22.22);
+    }
+}

@@ -1,0 +1,32 @@
+//! # califorms-workloads
+//!
+//! Synthetic stand-ins for the 19 SPEC CPU2006 C/C++ benchmarks the paper
+//! evaluates (see DESIGN.md §2 for the substitution argument). Each
+//! benchmark is described by a [`spec::BenchmarkProfile`] — working-set
+//! size, allocation intensity, access-pattern mix, compute intensity and
+//! memory-level parallelism — chosen to match the benchmark's published
+//! memory character, because those characteristics are what drive the
+//! paper's per-benchmark slowdown *shapes*:
+//!
+//! * padding slowdowns (Figures 4, 11, 12) scale with cache pressure →
+//!   `mcf`, `milc`, `omnetpp` suffer, `hmmer`, `namd` don't;
+//! * `CFORM` overheads scale with allocation churn → `perlbench`,
+//!   `gobmk`, `h264ref` suffer;
+//! * +1-cycle L2/L3 latency (Figure 10) scales with beyond-L1 access
+//!   frequency → `xalancbmk` worst, `hmmer` best.
+//!
+//! [`generator`] turns a profile plus an insertion policy into a
+//! deterministic trace of [`califorms_sim::TraceOp`]s: a heap-warmup phase
+//! (allocating the benchmark's object population through
+//! [`califorms_alloc::CaliformsHeap`], which emits the `CFORM`s) followed
+//! by a steady-state phase mixing field accesses, array streaming, pointer
+//! chasing and allocation churn.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod spec;
+
+pub use generator::{generate, layout_for, run_workload, Workload, WorkloadConfig};
+pub use spec::{fig10_benchmarks, software_eval_benchmarks, BenchmarkProfile};

@@ -1,0 +1,301 @@
+//! The 19 SPEC CPU2006 C/C++ benchmark profiles (Figure 10's x-axis).
+//!
+//! Parameter choice per benchmark follows its published memory character
+//! (working-set studies, the paper's own observations — e.g. "perlbench is
+//! notorious for being malloc-intensive", Section 8.2 — and the ZSim/SPEC
+//! literature). The absolute values are calibration constants; what the
+//! reproduction relies on is their *relative* ordering.
+
+use califorms_layout::{CType, Field, Scalar, StructDef};
+
+/// Characteristics of one synthetic benchmark.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchmarkProfile {
+    /// Benchmark name (SPEC CPU2006).
+    pub name: &'static str,
+    /// Live heap-object population in steady state.
+    pub live_objects: usize,
+    /// Scalar fields per object (drives padding-byte count under the full
+    /// policy).
+    pub fields: usize,
+    /// Length of the object's embedded `char` array (0 = none); drives
+    /// object size and streaming behaviour.
+    pub array_len: usize,
+    /// Allocation+free pairs per 1000 steady-state memory operations
+    /// (drives `CFORM` overhead).
+    pub churn_per_kop: u32,
+    /// Percent of accesses that are dependent pointer chases.
+    pub chase_pct: u32,
+    /// Percent of accesses that are sequential array streams.
+    pub stream_pct: u32,
+    /// Non-memory instructions per memory operation (compute intensity).
+    pub exec_per_mem: u32,
+    /// Fraction of beyond-L1 latency the core hides for this workload
+    /// (memory-level parallelism; low = latency-bound pointer chaser).
+    pub overlap: f64,
+    /// Percent of accesses that target non-struct *global* data (large
+    /// arrays, code-adjacent tables) whose layout no insertion policy
+    /// touches. Real SPEC programs keep most of their footprint in such
+    /// data, which dilutes the padding effect — without this the
+    /// reproduction overshoots Figure 4 by ~2.5x.
+    pub global_pct: u32,
+    /// Function-call events per 1000 steady-state memory operations that
+    /// allocate a fresh frame with califormable locals (dirty-before-use
+    /// stack discipline, Section 6.1). Deep-recursion benchmarks pay for
+    /// this even when they rarely call `malloc`.
+    pub calls_per_kop: u32,
+    /// Whether stack frames carry local arrays (game-tree searches keep
+    /// board state in frames) — the intelligent policy instruments only
+    /// these, which is what puts gobmk at the top of Figure 12.
+    pub stack_arrays: bool,
+    /// Appears in Figure 10 (hardware-latency study, 19 benchmarks).
+    pub in_fig10: bool,
+    /// Appears in the software evaluation (Figures 11/12, 16 benchmarks:
+    /// dealII, omnetpp and gcc are excluded per Section 8.2).
+    pub in_software_eval: bool,
+}
+
+impl BenchmarkProfile {
+    /// The benchmark's representative struct type: `fields` scalars cycling
+    /// through a C-like mix, an optional embedded `char` array, and a
+    /// trailing function pointer (so the intelligent policy always has
+    /// something to fence).
+    pub fn struct_def(&self) -> StructDef {
+        const MIX: [Scalar; 6] = [
+            Scalar::Char,
+            Scalar::Int,
+            Scalar::Ptr,
+            Scalar::Short,
+            Scalar::Long,
+            Scalar::Double,
+        ];
+        let mut fields: Vec<Field> = (0..self.fields)
+            .map(|i| Field::new(format!("f{i}"), CType::Scalar(MIX[i % MIX.len()])))
+            .collect();
+        if self.array_len > 0 {
+            fields.push(Field::new("buf", CType::char_array(self.array_len)));
+        }
+        fields.push(Field::new("next", CType::Scalar(Scalar::Ptr)));
+        fields.push(Field::new("fp", CType::Scalar(Scalar::FnPtr)));
+        StructDef::new(format!("{}_node", self.name), fields)
+    }
+
+    /// The benchmark's object-type population with allocation weights (in
+    /// tenths): the pointer-bearing *node* (chase targets), a plain-scalar
+    /// *record* (no arrays or pointers — the intelligent policy inserts
+    /// nothing here, which is what separates Figure 12's overheads from
+    /// Figure 11's), and, when the profile has an array, a *buffer* type.
+    pub fn struct_defs(&self) -> Vec<(StructDef, u32)> {
+        const PLAIN: [Scalar; 6] = [
+            Scalar::Char,
+            Scalar::Int,
+            Scalar::Short,
+            Scalar::Long,
+            Scalar::Float,
+            Scalar::Double,
+        ];
+        let record = StructDef::new(
+            format!("{}_record", self.name),
+            (0..self.fields.max(2))
+                .map(|i| Field::new(format!("r{i}"), CType::Scalar(PLAIN[i % PLAIN.len()])))
+                .collect(),
+        );
+        let node = self.struct_def();
+        if self.array_len > 0 {
+            let buffer = StructDef::new(
+                format!("{}_buffer", self.name),
+                vec![
+                    Field::new("len", CType::Scalar(Scalar::Int)),
+                    Field::new("buf", CType::char_array(self.array_len)),
+                    Field::new("owner", CType::Scalar(Scalar::Ptr)),
+                ],
+            );
+            vec![(node, 4), (record, 4), (buffer, 2)]
+        } else {
+            vec![(node, 5), (record, 5)]
+        }
+    }
+
+    /// The locals of this benchmark's hot stack frames: plain scalars
+    /// (with alignment holes the opportunistic policy harvests), plus a
+    /// local buffer and a saved pointer when [`Self::stack_arrays`] is set
+    /// (which is what the intelligent policy fences).
+    pub fn frame_def(&self) -> StructDef {
+        let mut fields = vec![
+            Field::new("a", CType::Scalar(Scalar::Int)),
+            Field::new("c", CType::Scalar(Scalar::Char)),
+            Field::new("d", CType::Scalar(Scalar::Double)),
+            Field::new("b", CType::Scalar(Scalar::Long)),
+        ];
+        if self.stack_arrays {
+            fields.insert(2, Field::new("board", CType::char_array(48)));
+            fields.push(Field::new("saved", CType::Scalar(Scalar::Ptr)));
+        }
+        StructDef::new(format!("{}_frame", self.name), fields)
+    }
+
+    /// Natural object size in bytes (weighted over the type population).
+    pub fn natural_object_size(&self) -> usize {
+        let defs = self.struct_defs();
+        let total_w: u32 = defs.iter().map(|(_, w)| w).sum();
+        let weighted: usize = defs
+            .iter()
+            .map(|(d, w)| d.layout_size() * *w as usize)
+            .sum();
+        weighted / total_w as usize
+    }
+
+    /// Natural working-set size in bytes.
+    pub fn natural_wss(&self) -> usize {
+        self.natural_object_size() * self.live_objects
+    }
+}
+
+/// All 19 profiles, in Figure 10's alphabetical order.
+pub fn all_benchmarks() -> Vec<BenchmarkProfile> {
+    // name, live, fields, array, churn, chase%, stream%, exec/mem, overlap, global%, calls, stack_arrays, fig10, sw
+    let rows: [(&'static str, usize, usize, usize, u32, u32, u32, u32, f64, u32, u32, bool, bool, bool); 19] = [
+        // A* path search: pointer-heavy graph walk, moderate churn.
+        ("astar", 3_000, 6, 24, 8, 60, 10, 24, 0.62, 30, 25, false, true, true),
+        // Burrows-Wheeler: big buffers, streaming, nearly no malloc.
+        ("bzip2", 800, 4, 192, 1, 5, 70, 20, 0.78, 75, 10, false, true, true),
+        // FEM library: allocation-rich C++, medium sets (excluded from sw eval).
+        ("dealII", 2_500, 10, 48, 20, 30, 20, 23, 0.67, 35, 35, false, true, false),
+        // Compiler: allocation-heavy, large irregular working set (excluded).
+        ("gcc", 4_000, 12, 32, 35, 35, 15, 17, 0.62, 30, 40, false, true, false),
+        // Go engine: tree search with heavy small-object churn.
+        ("gobmk", 250, 8, 40, 28, 25, 10, 26, 0.72, 40, 70, true, true, true),
+        // Video encoder: streaming macroblocks + frequent buffer allocs.
+        ("h264ref", 1_500, 6, 160, 18, 10, 60, 34, 0.70, 65, 18, true, true, true),
+        // Profile HMM search: tiny working set, compute-bound.
+        ("hmmer", 100, 6, 32, 1, 5, 30, 36, 0.85, 60, 12, false, true, true),
+        // Lattice Boltzmann: huge streaming arrays, no churn.
+        ("lbm", 8_000, 4, 96, 0, 0, 90, 10, 0.82, 85, 2, false, true, true),
+        // Quantum simulation: large sequential sweeps.
+        ("libquantum", 4_000, 4, 64, 1, 0, 85, 6, 0.80, 80, 3, false, true, true),
+        // Min-cost flow: the classic latency-bound pointer chaser, WSS ≫ L3.
+        ("mcf", 80_000, 8, 0, 3, 70, 5, 2, 0.15, 25, 8, false, true, true),
+        // Lattice QCD: big arrays, cache-hungry random sweeps.
+        ("milc", 6_000, 6, 160, 2, 20, 50, 5, 0.45, 70, 6, false, true, true),
+        // Molecular dynamics: compute-bound, small set.
+        ("namd", 80, 8, 48, 0, 5, 35, 30, 0.82, 65, 10, false, true, true),
+        // Discrete-event sim: pointer-chasing event lists, high churn (excluded).
+        ("omnetpp", 8_000, 10, 24, 30, 50, 5, 12, 0.45, 20, 30, false, true, false),
+        // Perl interpreter: "notorious for being malloc-intensive".
+        ("perlbench", 2_000, 10, 24, 45, 30, 10, 24, 0.68, 25, 25, true, true, true),
+        // Ray tracer: compute-bound with some allocation.
+        ("povray", 100, 8, 32, 4, 15, 20, 23, 0.82, 55, 12, true, true, true),
+        // Chess engine: tree search, modest memory.
+        ("sjeng", 200, 8, 48, 3, 25, 10, 34, 0.74, 50, 18, true, true, true),
+        // Sparse LP solver: large matrices, mixed access.
+        ("soplex", 5_000, 6, 96, 2, 20, 50, 8, 0.55, 65, 15, false, true, true),
+        // Speech recognition: streaming acoustic scores.
+        ("sphinx3", 3_000, 5, 80, 3, 10, 65, 9, 0.63, 70, 20, true, true, true),
+        // XML/XSLT: DOM pointer chasing with constant node churn.
+        ("xalancbmk", 7_000, 9, 24, 8, 55, 5, 3, 0.35, 20, 10, false, true, true),
+    ];
+    rows.iter()
+        .map(
+            |&(name, live, fields, array, churn, chase, stream, exec, overlap, global_pct, calls, stack_arrays, fig10, sw)| {
+                BenchmarkProfile {
+                    name,
+                    live_objects: live,
+                    fields,
+                    array_len: array,
+                    churn_per_kop: churn,
+                    chase_pct: chase,
+                    stream_pct: stream,
+                    exec_per_mem: exec,
+                    overlap,
+                    global_pct,
+                    calls_per_kop: calls,
+                    stack_arrays,
+                    in_fig10: fig10,
+                    in_software_eval: sw,
+                }
+            },
+        )
+        .collect()
+}
+
+/// The 19 benchmarks of the Figure 10 latency study.
+pub fn fig10_benchmarks() -> Vec<BenchmarkProfile> {
+    all_benchmarks().into_iter().filter(|b| b.in_fig10).collect()
+}
+
+/// The 16 benchmarks of the Figures 11/12 software evaluation.
+pub fn software_eval_benchmarks() -> Vec<BenchmarkProfile> {
+    all_benchmarks()
+        .into_iter()
+        .filter(|b| b.in_software_eval)
+        .collect()
+}
+
+/// Looks up a profile by SPEC name.
+pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
+    all_benchmarks().into_iter().find(|b| b.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nineteen_benchmarks_sixteen_in_software_eval() {
+        assert_eq!(all_benchmarks().len(), 19);
+        assert_eq!(fig10_benchmarks().len(), 19);
+        let sw = software_eval_benchmarks();
+        assert_eq!(sw.len(), 16);
+        for excluded in ["dealII", "gcc", "omnetpp"] {
+            assert!(
+                sw.iter().all(|b| b.name != excluded),
+                "{excluded} is excluded from the software evaluation"
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_sorted() {
+        let names: Vec<&str> = all_benchmarks().iter().map(|b| b.name).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(names, sorted, "alphabetical unique order (Figure 10)");
+    }
+
+    #[test]
+    fn struct_defs_have_attack_prone_fields() {
+        for b in all_benchmarks() {
+            let def = b.struct_def();
+            assert!(
+                def.fields.iter().any(|f| f.ty.is_attack_prone()),
+                "{}: intelligent policy needs something to fence",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn working_sets_span_the_hierarchy() {
+        let wss = |n: &str| by_name(n).unwrap().natural_wss();
+        assert!(wss("hmmer") < 32 * 1024, "hmmer lives in the L1");
+        assert!(wss("sjeng") < 256 * 1024, "sjeng lives in the L2");
+        assert!(wss("mcf") > 2 * 1024 * 1024, "mcf spills the L3");
+    }
+
+    #[test]
+    fn memory_bound_benchmarks_have_low_overlap() {
+        assert!(by_name("mcf").unwrap().overlap < by_name("hmmer").unwrap().overlap);
+        assert!(by_name("xalancbmk").unwrap().overlap < by_name("lbm").unwrap().overlap);
+    }
+
+    #[test]
+    fn perlbench_is_the_churn_champion() {
+        let max_churn = all_benchmarks()
+            .iter()
+            .max_by_key(|b| b.churn_per_kop)
+            .unwrap()
+            .name;
+        assert_eq!(max_churn, "perlbench");
+    }
+}

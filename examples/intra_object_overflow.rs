@@ -1,0 +1,58 @@
+//! The paper's motivating attack: an intra-object overflow from
+//! `buf[64]` into the function pointer behind it (Listing 1), and how
+//! each insertion policy fares against it — plus the use-after-free that
+//! the quarantining heap catches regardless of policy.
+//!
+//! ```sh
+//! cargo run --example intra_object_overflow
+//! ```
+
+use califorms::layout::{InsertionPolicy, StructDef};
+use califorms::security::attacks::{
+    intra_object_overflow, intra_object_overread, use_after_free, AttackOutcome,
+};
+
+fn main() {
+    let def = StructDef::paper_example();
+    println!("victim type (paper Listing 1a): struct {} {{ char c; int i; char buf[64]; void (*fp)(); double d; }}", def.name);
+    println!();
+
+    let policies = [
+        ("none (baseline)", InsertionPolicy::None),
+        ("opportunistic", InsertionPolicy::Opportunistic),
+        ("full 1-7B", InsertionPolicy::full_1_to(7)),
+        ("intelligent 1-7B", InsertionPolicy::intelligent_1_to(7)),
+    ];
+
+    println!(
+        "{:<18} | {:<30} | {:<30} | {:<16}",
+        "policy", "overflow buf -> fp (write)", "overread buf -> fp (read)", "use-after-free"
+    );
+    println!("{:-<18}-+-{:-<30}-+-{:-<30}-+-{:-<16}", "", "", "", "");
+    for (name, policy) in policies {
+        let describe = |o: AttackOutcome| match o {
+            AttackOutcome::Detected {
+                fault_addr,
+                after_accesses,
+            } => format!("DETECTED @{fault_addr:#x} (access {after_accesses})"),
+            AttackOutcome::Undetected { .. } => "missed".to_string(),
+        };
+        println!(
+            "{:<18} | {:<30} | {:<30} | {:<16}",
+            name,
+            describe(intra_object_overflow(policy, 1).outcome),
+            describe(intra_object_overread(policy, 1).outcome),
+            describe(use_after_free(policy, 1).outcome),
+        );
+    }
+
+    println!();
+    println!("notes:");
+    println!(" * the opportunistic policy misses this one: the compiler leaves no");
+    println!("   padding between buf and fp, so there is nothing to harvest there");
+    println!("   (the paper's motivation for the full/intelligent policies);");
+    println!(" * a canary would catch only the write, never the read;");
+    println!(" * use-after-free is caught by the clean-before-use heap even with");
+    println!("   no insertion policy at all — temporal safety comes from the");
+    println!("   allocator keeping freed memory califormed.");
+}

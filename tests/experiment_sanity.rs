@@ -1,0 +1,146 @@
+//! Scaled-down sanity runs of the headline experiments: these assert the
+//! *shape* claims the reproduction stands on, at a size quick enough for
+//! CI (the bench binaries run the full-scale versions).
+
+use califorms::layout::census::{Corpus, CorpusProfile};
+use califorms::layout::InsertionPolicy;
+use califorms::sim::HierarchyConfig;
+use califorms::workloads::{generate, run_workload, spec, WorkloadConfig};
+
+const OPS: usize = 15_000;
+
+fn slowdown(bench: &str, variant: WorkloadConfig, hier: HierarchyConfig) -> f64 {
+    let profile = spec::by_name(bench).unwrap();
+    let base = generate(&profile, &WorkloadConfig::baseline(variant.steady_ops, variant.seed));
+    let with = generate(&profile, &variant);
+    let sb = run_workload(&base, HierarchyConfig::westmere());
+    let sv = run_workload(&with, hier);
+    sv.slowdown_vs(&sb)
+}
+
+#[test]
+fn fig3_shape_padding_fractions() {
+    let spec_corpus = Corpus::generate(CorpusProfile::SpecCpu2006, 10_000, 1);
+    let v8_corpus = Corpus::generate(CorpusProfile::V8, 10_000, 1);
+    let s = spec_corpus.fraction_with_padding();
+    let v = v8_corpus.fraction_with_padding();
+    assert!((s - 0.457).abs() < 0.06, "SPEC fraction {s:.3}");
+    assert!((v - 0.410).abs() < 0.06, "V8 fraction {v:.3}");
+    assert!(s > v, "SPEC mix has more holes than V8's, as in Figure 3");
+}
+
+#[test]
+fn fig4_shape_monotone_padding_cost() {
+    // On a cache-hungry benchmark, more padding always costs more.
+    let one = slowdown(
+        "mcf",
+        WorkloadConfig::without_cforms(InsertionPolicy::FixedPad(1), OPS, 3),
+        HierarchyConfig::westmere(),
+    );
+    let seven = slowdown(
+        "mcf",
+        WorkloadConfig::without_cforms(InsertionPolicy::FixedPad(7), OPS, 3),
+        HierarchyConfig::westmere(),
+    );
+    assert!(seven > one, "7B ({seven:.3}) > 1B ({one:.3})");
+    assert!(one > 0.0);
+}
+
+#[test]
+fn fig10_shape_memory_bound_suffers_most() {
+    let hmmer = slowdown(
+        "hmmer",
+        WorkloadConfig::baseline(OPS, 1),
+        HierarchyConfig::westmere_plus_one_cycle(),
+    );
+    let xalanc = slowdown(
+        "xalancbmk",
+        WorkloadConfig::baseline(OPS, 1),
+        HierarchyConfig::westmere_plus_one_cycle(),
+    );
+    assert!(hmmer < xalanc, "hmmer {hmmer:.4} < xalancbmk {xalanc:.4}");
+    assert!(hmmer < 0.01, "compute-bound: sub-1% ({hmmer:.4})");
+    assert!(xalanc < 0.05, "even the worst case stays small ({xalanc:.4})");
+}
+
+#[test]
+fn fig11_12_shape_policy_ordering() {
+    // On the malloc-intensive benchmark: intelligent+CFORM is cheaper than
+    // full+CFORM, and the full policy's padding alone costs something.
+    let full_cform = slowdown(
+        "perlbench",
+        WorkloadConfig::with_policy(InsertionPolicy::full_1_to(7), OPS, 2),
+        HierarchyConfig::westmere(),
+    );
+    let intel_cform = slowdown(
+        "perlbench",
+        WorkloadConfig::with_policy(InsertionPolicy::intelligent_1_to(7), OPS, 2),
+        HierarchyConfig::westmere(),
+    );
+    let full_padding_only = slowdown(
+        "perlbench",
+        WorkloadConfig::without_cforms(InsertionPolicy::full_1_to(7), OPS, 2),
+        HierarchyConfig::westmere(),
+    );
+    assert!(
+        intel_cform < full_cform,
+        "intelligent ({intel_cform:.3}) < full ({full_cform:.3})"
+    );
+    assert!(
+        full_padding_only < full_cform,
+        "CFORM work adds on top of padding ({full_padding_only:.3} < {full_cform:.3})"
+    );
+}
+
+#[test]
+fn gobmk_is_the_intelligent_policy_outlier() {
+    // Figure 12's anomaly: gobmk's deep recursion with array-bearing
+    // frames makes it the worst case for intelligent+CFORM (paper 16.1%).
+    let gobmk = slowdown(
+        "gobmk",
+        WorkloadConfig::with_policy(InsertionPolicy::intelligent_1_to(7), OPS, 4),
+        HierarchyConfig::westmere(),
+    );
+    let milc = slowdown(
+        "milc",
+        WorkloadConfig::with_policy(InsertionPolicy::intelligent_1_to(7), OPS, 4),
+        HierarchyConfig::westmere(),
+    );
+    assert!(gobmk > milc, "gobmk {gobmk:.3} > milc {milc:.3}");
+    assert!(gobmk > 0.05, "gobmk is a double-digit-ish outlier");
+}
+
+#[test]
+fn opportunistic_is_memory_free() {
+    for bench in ["astar", "perlbench", "lbm"] {
+        let profile = spec::by_name(bench).unwrap();
+        let w = generate(
+            &profile,
+            &WorkloadConfig::with_policy(InsertionPolicy::Opportunistic, 2_000, 5),
+        );
+        assert_eq!(
+            w.object_size, w.natural_object_size,
+            "{bench}: opportunistic never grows objects"
+        );
+    }
+}
+
+#[test]
+fn legitimate_runs_never_fault_under_any_policy() {
+    for policy in [
+        InsertionPolicy::Opportunistic,
+        InsertionPolicy::full_1_to(7),
+        InsertionPolicy::intelligent_1_to(3),
+        InsertionPolicy::FixedPad(5),
+    ] {
+        for bench in ["perlbench", "mcf", "gobmk"] {
+            let profile = spec::by_name(bench).unwrap();
+            let w = generate(&profile, &WorkloadConfig::with_policy(policy, 4_000, 6));
+            let stats = run_workload(&w, HierarchyConfig::westmere());
+            assert_eq!(
+                stats.exceptions_delivered, 0,
+                "{bench} under {policy:?} must run clean"
+            );
+        }
+    }
+}

@@ -74,8 +74,8 @@ pub struct Fig3Result {
 
 /// Runs the Figure 3 census on both corpora.
 pub fn fig3(structs_per_corpus: usize) -> Vec<Fig3Result> {
-    let spec = Corpus::generate(CorpusProfile::SpecCpu2006, structs_per_corpus, 0xF16_3);
-    let v8 = Corpus::generate(CorpusProfile::V8, structs_per_corpus, 0xF16_3);
+    let spec = Corpus::generate(CorpusProfile::SpecCpu2006, structs_per_corpus, 0xF163);
+    let v8 = Corpus::generate(CorpusProfile::V8, structs_per_corpus, 0xF163);
     vec![
         Fig3Result {
             corpus: "SPEC CPU2006 C/C++".into(),

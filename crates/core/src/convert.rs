@@ -11,7 +11,7 @@
 use crate::bitvector::L1Line;
 use crate::error::{CoreError, Result};
 use crate::hwlogic;
-use crate::line::{CaliformedLine, LINE_BYTES};
+use crate::line::CaliformedLine;
 use crate::sentinel::{displacement_map, L2Line, SentinelHeader};
 
 /// Converts an L1 (bitvector) line to the L2 (sentinel) format —
@@ -62,9 +62,9 @@ pub fn spill(l1: &L1Line) -> Result<L2Line> {
         for &a in &listed {
             rest &= !(1u64 << a);
         }
-        for i in 0..LINE_BYTES {
+        for (i, b) in bytes.iter_mut().enumerate() {
             if rest >> i & 1 == 1 {
-                bytes[i] = s;
+                *b = s;
             }
         }
     }
@@ -114,9 +114,9 @@ pub fn fill(l2: &L2Line) -> Result<L1Line> {
     }
 
     // Alg. 2 line 10: ...and zero every security-byte slot.
-    for i in 0..LINE_BYTES {
+    for (i, b) in data.iter_mut().enumerate() {
         if mask >> i & 1 == 1 {
-            data[i] = 0;
+            *b = 0;
         }
     }
 
@@ -131,6 +131,7 @@ pub fn fill(l2: &L2Line) -> Result<L1Line> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::line::LINE_BYTES;
 
     fn caliform(data: [u8; LINE_BYTES], at: &[usize]) -> L1Line {
         let mut line = CaliformedLine::from_data(data);

@@ -145,7 +145,7 @@ mod tests {
         let l = layout();
         // Base at 8 bytes below a line boundary puts offsets 1..4 in the
         // same line; shift so the span crosses: base = line end - 2.
-        let base = 0x1000 + 62 & !7u64; // 0x1038: offsets 1..4 → 0x1039..0x103C, same line
+        let base = (0x1000 + 62) & !7u64; // 0x1038: offsets 1..4 → 0x1039..0x103C, same line
         let ops = l.cform_ops(base);
         assert_eq!(ops.len(), 1);
         // Now force a cross: security span at offsets 1,2,3 from base 0x103E

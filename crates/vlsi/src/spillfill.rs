@@ -13,8 +13,8 @@ use crate::l1_model::L1Variant;
 ///    used-values vector, then a Find-index-of-first-0 picks the sentinel;
 /// 8. four chained Find-index-of-first-1 blocks locate the first four
 ///    security bytes;
-/// 9-11. a crossbar displaces the header bytes' data and writes the
-///    header/sentinel.
+/// 9. a crossbar displaces the header bytes' data and writes the
+///    header/sentinel (steps 9–11).
 pub fn spill_module(tech: &Tech) -> Cost {
     let metadata_or = tech.or_tree(64);
     // Step 7: decoders are parallel; the per-pattern OR across 64 decoder

@@ -151,10 +151,15 @@ impl BenchmarkProfile {
     }
 }
 
+/// One row of the benchmark table: name, live, fields, array, churn,
+/// chase%, stream%, exec/mem, overlap, global%, calls, stack_arrays,
+/// fig10, sw.
+type ProfileRow =
+    (&'static str, usize, usize, usize, u32, u32, u32, u32, f64, u32, u32, bool, bool, bool);
+
 /// All 19 profiles, in Figure 10's alphabetical order.
 pub fn all_benchmarks() -> Vec<BenchmarkProfile> {
-    // name, live, fields, array, churn, chase%, stream%, exec/mem, overlap, global%, calls, stack_arrays, fig10, sw
-    let rows: [(&'static str, usize, usize, usize, u32, u32, u32, u32, f64, u32, u32, bool, bool, bool); 19] = [
+    let rows: [ProfileRow; 19] = [
         // A* path search: pointer-heavy graph walk, moderate churn.
         ("astar", 3_000, 6, 24, 8, 60, 10, 24, 0.62, 30, 25, false, true, true),
         // Burrows-Wheeler: big buffers, streaming, nearly no malloc.

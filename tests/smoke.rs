@@ -1,0 +1,83 @@
+//! Workspace smoke test: the quickstart flow, end to end.
+//!
+//! Exercises the whole stack in one pass — store, `CFORM` blacklist,
+//! benign load passing, and an overflowing load trapping at the exact
+//! byte — first against the raw simulator, then through the layout
+//! engine and heap allocator the way an instrumented program would.
+
+use califorms::alloc::{AllocatorConfig, CaliformsHeap};
+use califorms::layout::{InsertionPolicy, StructDef};
+use califorms::sim::{Engine, TraceOp};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+#[test]
+fn store_cform_benign_load_then_trap_at_exact_byte() {
+    let mut engine = Engine::westmere();
+
+    // Store into a fresh line, then blacklist bytes 12..=13.
+    engine.step(TraceOp::Store { addr: 0x1000, size: 8 });
+    engine.step(TraceOp::Cform {
+        line_addr: 0x1000,
+        attrs: 0b11 << 12,
+        mask: 0b11 << 12,
+    });
+
+    // A correct program never notices the security bytes.
+    engine.step(TraceOp::Load { addr: 0x1000, size: 8 });
+    assert!(
+        engine.delivered_exceptions().is_empty(),
+        "benign load must not trap"
+    );
+
+    // An overflowing load is caught at the exact byte.
+    engine.step(TraceOp::Load { addr: 0x100C, size: 1 });
+    let delivered = engine.delivered_exceptions();
+    assert_eq!(delivered.len(), 1, "rogue load must trap");
+    assert_eq!(
+        delivered[0].fault_addr, 0x100C,
+        "trap reports the exact overflowing byte"
+    );
+}
+
+#[test]
+fn heap_allocated_object_overflow_traps_on_its_security_span() {
+    // Lay out the paper's example struct under the full insertion policy,
+    // allocate it through the califorms heap (which emits the CFORMs)…
+    let mut rng = SmallRng::seed_from_u64(1);
+    let layout = InsertionPolicy::full_1_to(7).apply(&StructDef::paper_example(), &mut rng);
+    assert!(
+        !layout.security_spans.is_empty(),
+        "full policy must insert security spans"
+    );
+
+    let mut heap = CaliformsHeap::new(0x4000_0000, AllocatorConfig::default());
+    let mut trace = Vec::new();
+    let base = heap.malloc(&layout, &mut trace);
+
+    // …touch every field the way the program would…
+    for f in &layout.fields {
+        trace.push(TraceOp::Load {
+            addr: base + f.offset as u64,
+            size: f.size.min(8) as u8,
+        });
+    }
+    let mut engine = Engine::westmere();
+    for op in &trace {
+        engine.step(*op);
+    }
+    assert!(
+        engine.delivered_exceptions().is_empty(),
+        "allocation + field accesses must not trap"
+    );
+
+    // …then overflow into the object's first security span.
+    let rogue = base + layout.security_spans[0].offset as u64;
+    engine.step(TraceOp::Load { addr: rogue, size: 1 });
+    let delivered = engine.delivered_exceptions();
+    assert_eq!(delivered.len(), 1, "overflow into a span must trap");
+    assert_eq!(
+        delivered[0].fault_addr, rogue,
+        "trap reports the exact span byte"
+    );
+}

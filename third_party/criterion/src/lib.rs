@@ -1,0 +1,188 @@
+//! Offline stand-in for [`criterion`](https://crates.io/crates/criterion)
+//! (see `third_party/README.md`).
+//!
+//! Implements the API the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `black_box`, `criterion_group!`, `criterion_main!` —
+//! as a straightforward warmup-then-measure loop printing a mean
+//! time per iteration. No statistics, plots or baselines; the point is
+//! that `cargo bench` builds, runs and produces comparable numbers.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock spent measuring each benchmark.
+const MEASURE_TIME: Duration = Duration::from_millis(200);
+/// Target wall-clock spent warming each benchmark up.
+const WARMUP_TIME: Duration = Duration::from_millis(50);
+
+/// The benchmark driver handed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), _criterion: self }
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks (`spill/0`, `spill/1`, …).
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark of the group against a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_benchmark(&label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_benchmark(&label, &mut f);
+        self
+    }
+
+    /// Declares the group's throughput basis (accepted, ignored).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Overrides the sample count (accepted, ignored).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// A compound id: `function_name/parameter`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Throughput basis (accepted for API compatibility, not reported).
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] does the timing.
+pub struct Bencher {
+    result: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Times `f`, running it enough times to fill the measurement window.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup: estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP_TIME && warm_iters < 1_000_000 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().checked_div(warm_iters as u32).unwrap_or_default();
+
+        // Measurement: a batch sized to the target window.
+        let batch = if per_iter.is_zero() {
+            1_000_000
+        } else {
+            (MEASURE_TIME.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 10_000_000) as u64
+        };
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.result = Some((batch, elapsed));
+    }
+}
+
+fn run_benchmark(label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { result: None };
+    f(&mut b);
+    match b.result {
+        Some((iters, elapsed)) if iters > 0 => {
+            let ns = elapsed.as_nanos() as f64 / iters as f64;
+            println!("{label:<40} {:>12} iters   {:>12.1} ns/iter", iters, ns);
+        }
+        _ => println!("{label:<40} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// Bundles benchmark functions into a runnable group, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_measurement() {
+        let mut c = Criterion::default();
+        c.bench_function("noop_add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+        let mut group = c.benchmark_group("grp");
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &n| {
+            b.iter(|| black_box(n) * 2)
+        });
+        group.finish();
+    }
+}

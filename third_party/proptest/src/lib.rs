@@ -1,0 +1,523 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate (see `third_party/README.md` for why these shims exist).
+//!
+//! Implements the subset this workspace's property tests use:
+//!
+//! * the [`proptest!`] test harness macro (`arg in strategy` syntax,
+//!   attributes/doc comments, multiple tests per block);
+//! * [`strategy::Strategy`] with `prop_map`, [`strategy::Just`], weighted
+//!   and unweighted [`prop_oneof!`], tuple strategies, and integer range
+//!   strategies;
+//! * [`arbitrary::any`] for the primitive types;
+//! * [`collection::vec`] and [`array::uniform32`];
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`] and
+//!   [`prop_assume!`].
+//!
+//! Differences from real proptest: no shrinking (a failing case reports
+//! its inputs but is not minimised), and the RNG stream is seeded
+//! deterministically from the test name so runs are reproducible. The
+//! number of cases per test defaults to 64 and honours the
+//! `PROPTEST_CASES` environment variable.
+
+#![forbid(unsafe_code)]
+
+/// Test-case bookkeeping: the RNG, the error type the assertion macros
+/// produce, and the case-count policy.
+pub mod test_runner {
+    use rand::rngs::SmallRng;
+    use rand::{RngCore, SeedableRng};
+
+    /// The deterministic RNG a strategy draws from.
+    pub struct TestRng(pub SmallRng);
+
+    impl TestRng {
+        /// An RNG seeded from the test's name, so every run of a given
+        /// test sees the same case sequence by default. Set
+        /// `PROPTEST_SEED` to mix a different seed in and explore new
+        /// cases (real proptest draws fresh seeds every run; a stable
+        /// default keeps CI deterministic).
+        pub fn deterministic(name: &str) -> Self {
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+            }
+            if let Some(seed) = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+            {
+                h ^= seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            }
+            TestRng(SmallRng::seed_from_u64(h))
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+
+    /// Why a single test case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is re-drawn.
+        Reject,
+        /// A `prop_assert*!` failed; the test fails.
+        Fail(String),
+    }
+
+    /// Number of accepted cases each property must pass
+    /// (`PROPTEST_CASES` env var, default 64).
+    pub fn cases() -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+}
+
+/// The [`Strategy`](strategy::Strategy) trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of one type.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { strat: self, f }
+        }
+
+        /// Erases the strategy's concrete type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Boxes a strategy (used by the `prop_oneof!` expansion, where the
+    /// arms have distinct concrete types).
+    pub fn boxed<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+        Box::new(s)
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        strat: S,
+        f: F,
+    }
+
+    impl<S, T, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.f)(self.strat.generate(rng))
+        }
+    }
+
+    /// A weighted choice among boxed strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; every weight must be ≥ 1.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            assert!(arms.iter().all(|(w, _)| *w > 0), "weights must be >= 1");
+            Self { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let total: u64 = self.arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            let mut roll = rng.next_u64() % total;
+            for (w, s) in &self.arms {
+                if roll < u64::from(*w) {
+                    return s.generate(rng);
+                }
+                roll -= u64::from(*w);
+            }
+            unreachable!("roll < sum of weights")
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    use rand::Rng;
+                    rng.0.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    use rand::Rng;
+                    rng.0.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! tuple_strategy {
+        ($($S:ident . $idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A.0);
+    tuple_strategy!(A.0, B.1);
+    tuple_strategy!(A.0, B.1, C.2);
+    tuple_strategy!(A.0, B.1, C.2, D.3);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9);
+}
+
+/// `any::<T>()` for the primitive types.
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws an unconstrained value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<T>(PhantomData<T>);
+
+    /// The canonical strategy for `T`: uniform over the whole type.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),* $(,)?) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite, uniform in [0, 1): ample for property inputs and
+            // avoids NaN/inf poisoning comparisons.
+            (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Arbitrary for f32 {
+        fn arbitrary(rng: &mut TestRng) -> f32 {
+            f64::arbitrary(rng) as f32
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    /// A `Vec` whose length is drawn from `len` and whose elements come
+    /// from `elem`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty length range");
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            use rand::Rng;
+            let n = rng.0.gen_range(self.len.clone());
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Fixed-size array strategies.
+pub mod array {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// The strategy returned by [`uniform32`].
+    pub struct UniformArray32<S>(S);
+
+    /// A `[T; 32]` with every element drawn from `elem`.
+    pub fn uniform32<S: Strategy>(elem: S) -> UniformArray32<S> {
+        UniformArray32(elem)
+    }
+
+    impl<S: Strategy> Strategy for UniformArray32<S> {
+        type Value = [S::Value; 32];
+        fn generate(&self, rng: &mut TestRng) -> [S::Value; 32] {
+            std::array::from_fn(|_| self.0.generate(rng))
+        }
+    }
+}
+
+/// The usual glob-import surface.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Each test body runs until [`test_runner::cases`] accepted cases pass;
+/// a failed `prop_assert*!` panics with the failing inputs attached.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                use $crate::strategy::Strategy as _;
+                let strat = ($($strat,)+);
+                let wanted = $crate::test_runner::cases();
+                let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                let mut accepted = 0u32;
+                let mut attempts = 0u32;
+                while accepted < wanted {
+                    attempts += 1;
+                    assert!(
+                        attempts <= wanted.saturating_mul(20).max(1000),
+                        "proptest: too many inputs rejected by prop_assume! \
+                         ({} accepted of {} wanted)",
+                        accepted,
+                        wanted,
+                    );
+                    let ($($arg,)+) = strat.generate(&mut rng);
+                    let inputs = format!(
+                        concat!($(stringify!($arg), " = {:?}; "),+),
+                        $(&$arg),+
+                    );
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest case failed: {}\n  inputs: {}",
+                                msg, inputs
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        $crate::prop_assert_eq!($left, $right, "")
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left_val, right_val) = (&$left, &$right);
+        if !(*left_val == *right_val) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `left == right` {}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                left_val,
+                right_val,
+            )));
+        }
+    }};
+}
+
+/// Fails the current case if the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        $crate::prop_assert_ne!($left, $right, "")
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left_val, right_val) = (&$left, &$right);
+        if *left_val == *right_val {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: `left != right` {}\n  both: {:?}",
+                format!($($fmt)+),
+                left_val,
+            )));
+        }
+    }};
+}
+
+/// A weighted (`w => strategy`) or uniform choice among strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::boxed($strat))),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(a in 0usize..10, b in 1u8..=3, c in any::<u64>()) {
+            prop_assert!(a < 10);
+            prop_assert!((1..=3).contains(&b));
+            prop_assert_eq!(c, c);
+        }
+
+        #[test]
+        fn assume_rejects(v in 0u32..100) {
+            prop_assume!(v % 2 == 0);
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_collections(
+            xs in crate::collection::vec(prop_oneof![2 => Just(1u8), 1 => Just(2u8)], 1..50),
+            arr in crate::array::uniform32(any::<u8>()),
+        ) {
+            prop_assert!(!xs.is_empty() && xs.len() < 50);
+            prop_assert!(xs.iter().all(|&x| x == 1 || x == 2));
+            prop_assert_eq!(arr.len(), 32);
+        }
+
+        #[test]
+        fn mapped(v in (0u8..4).prop_map(|x| x * 2)) {
+            prop_assert!(v % 2 == 0 && v < 8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failures_panic_with_inputs() {
+        proptest! {
+            fn inner(v in 0u8..10) {
+                prop_assert!(v > 100, "v is small: {}", v);
+            }
+        }
+        inner();
+    }
+}

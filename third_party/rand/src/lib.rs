@@ -1,0 +1,186 @@
+//! Offline stand-in for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment for this workspace has no access to a crates.io
+//! mirror, so the handful of external crates the seed code depends on are
+//! provided as local shims implementing exactly the API subset the
+//! workspace uses (see `third_party/README.md`).
+//!
+//! This shim covers the rand 0.8 surface used here:
+//!
+//! * [`Rng::gen_range`] over integer `Range`/`RangeInclusive` and
+//!   `Range<f64>`;
+//! * [`SeedableRng::seed_from_u64`];
+//! * [`rngs::SmallRng`] — a deterministic xoroshiro128++ generator with
+//!   SplitMix64 seeding, matching the statistical family (though not the
+//!   exact stream) of the real `SmallRng`.
+//!
+//! All generators are deterministic for a given seed, which is what the
+//! workloads, property tests and experiments rely on.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core source of randomness: a 64-bit generator.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits (upper half of [`Self::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Generators that can be constructed from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every generator.
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range`. Panics on empty ranges.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Ranges a uniform value can be drawn from.
+///
+/// Mirrors rand's blanket structure (`Range<T> where T: SampleUniform`)
+/// rather than per-type impls, so the range's literal type is inferred
+/// from the use site exactly as with the real crate.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types `gen_range` can sample uniformly.
+pub trait SampleUniform: Sized {
+    /// Uniform sample from `[lo, hi)` (or `[lo, hi]` when `inclusive`).
+    fn sample_range<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(*self.start(), *self.end(), true, rng)
+    }
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(lo: $t, hi: $t, inclusive: bool, rng: &mut R) -> $t {
+                let (lo, hi) = (lo as i128, hi as i128);
+                let span = hi - lo + i128::from(inclusive);
+                assert!(span > 0, "cannot sample empty range");
+                (lo + (rng.next_u64() as u128 % span as u128) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(lo: f64, hi: f64, _inclusive: bool, rng: &mut R) -> f64 {
+        assert!(lo < hi, "cannot sample empty range");
+        // 53 uniform mantissa bits in [0, 1).
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + (hi - lo) * unit
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, deterministic generator (xoroshiro128++).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s0: u64,
+        s1: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(state: u64) -> Self {
+            // SplitMix64 expansion of the 64-bit seed into 128 bits of
+            // state, as the reference xoroshiro implementation recommends.
+            let mut sm = state;
+            let mut next = move || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s0 = next();
+            let mut s1 = next();
+            if s0 == 0 && s1 == 0 {
+                s1 = 1; // xoroshiro must not start from the all-zero state
+            }
+            Self { s0, s1 }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let (s0, mut s1) = (self.s0, self.s1);
+            let result = s0.wrapping_add(s1).rotate_left(17).wrapping_add(s0);
+            s1 ^= s0;
+            self.s0 = s0.rotate_left(49) ^ s1 ^ (s1 << 21);
+            self.s1 = s1.rotate_left(28);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1 << 40), b.gen_range(0u64..1 << 40));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(1u8..=7);
+            assert!((1..=7).contains(&w));
+            let f = rng.gen_range(0.0..1.0);
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..64)
+            .filter(|_| a.gen_range(0u64..u64::MAX) == b.gen_range(0u64..u64::MAX))
+            .count();
+        assert!(same < 4);
+    }
+}

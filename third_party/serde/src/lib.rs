@@ -1,0 +1,173 @@
+//! Offline stand-in for the [`serde`](https://crates.io/crates/serde)
+//! crate (see `third_party/README.md`).
+//!
+//! Real serde serialises through a visitor (`Serializer`); this workspace
+//! only ever derives `Serialize` and feeds the result to
+//! `serde_json::to_string_pretty`, so the shim collapses the pipeline to
+//! one step: [`Serialize`] renders a value into the JSON-like [`Value`]
+//! tree, which the `serde_json` shim pretty-prints. The derive macro
+//! (re-exported from the local `serde_derive` shim) supports structs with
+//! named fields — the only shape the workspace derives.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::Serialize;
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A JSON-like tree, the intermediate form every [`Serialize`] produces.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Integer (covers every Rust integer type in range).
+    Int(i128),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+/// Types that can render themselves into a [`Value`].
+pub trait Serialize {
+    /// Renders `self` as a JSON-like tree.
+    fn to_value(&self) -> Value;
+}
+
+macro_rules! int_serialize {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i128)
+            }
+        }
+    )*};
+}
+
+int_serialize!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! tuple_serialize {
+    ($($T:ident . $idx:tt),+) => {
+        impl<$($T: Serialize),+> Serialize for ($($T,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+    };
+}
+
+tuple_serialize!(A.0);
+tuple_serialize!(A.0, B.1);
+tuple_serialize!(A.0, B.1, C.2);
+tuple_serialize!(A.0, B.1, C.2, D.3);
+
+impl<K: ToString, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect())
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0)); // deterministic output
+        Value::Object(entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_and_containers() {
+        assert_eq!(3u8.to_value(), Value::Int(3));
+        assert_eq!((-7i64).to_value(), Value::Int(-7));
+        assert_eq!(None::<f64>.to_value(), Value::Null);
+        assert_eq!(
+            vec![("a".to_string(), 1u32)].to_value(),
+            Value::Array(vec![Value::Array(vec![
+                Value::Str("a".into()),
+                Value::Int(1)
+            ])])
+        );
+    }
+}

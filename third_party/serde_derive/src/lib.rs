@@ -1,0 +1,106 @@
+//! Offline stand-in for `serde_derive` (see `third_party/README.md`).
+//!
+//! Implements `#[derive(Serialize)]` for **structs with named fields**
+//! — the only shape this workspace derives — by hand-parsing the token
+//! stream (the real implementation's `syn`/`quote` dependencies are not
+//! available offline). The expansion implements the shim `serde`
+//! crate's `Serialize::to_value`, emitting an object with one entry per
+//! field in declaration order.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the shim `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+    let mut name = None;
+    let mut fields_group = None;
+    let mut iter = tokens.iter().peekable();
+    while let Some(t) = iter.next() {
+        if let TokenTree::Ident(id) = t {
+            if id.to_string() == "struct" {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    _ => panic!("derive(Serialize) shim: expected struct name"),
+                }
+                if let Some(TokenTree::Punct(p)) = iter.peek() {
+                    if p.as_char() == '<' {
+                        panic!(
+                            "derive(Serialize) shim does not support generic structs \
+                             (struct {}): write the impl by hand or extend the shim",
+                            name.as_deref().unwrap_or("?"),
+                        );
+                    }
+                }
+                for rest in iter.by_ref() {
+                    if let TokenTree::Group(g) = rest {
+                        if g.delimiter() == Delimiter::Brace {
+                            fields_group = Some(g.clone());
+                            break;
+                        }
+                    }
+                }
+                break;
+            }
+        }
+    }
+
+    let name = name.expect("derive(Serialize) shim supports only structs");
+    let group = fields_group
+        .expect("derive(Serialize) shim supports only structs with named fields");
+    let fields = field_names(group.stream());
+
+    let entries: String = fields
+        .iter()
+        .map(|f| {
+            format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})),")
+        })
+        .collect();
+    format!(
+        "impl serde::Serialize for {name} {{ \
+             fn to_value(&self) -> serde::Value {{ \
+                 serde::Value::Object(vec![{entries}]) \
+             }} \
+         }}"
+    )
+    .parse()
+    .expect("derive(Serialize) shim: generated impl parses")
+}
+
+/// Extracts field names from the body of a named-field struct: the first
+/// ident of each comma-separated entry (commas inside `<...>` generic
+/// arguments don't split entries), skipping attributes and visibility.
+fn field_names(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut at_entry_start = true;
+    let mut iter = body.into_iter().peekable();
+    while let Some(t) = iter.next() {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth = (angle_depth - 1).max(0),
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                at_entry_start = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '#' && at_entry_start => {
+                iter.next(); // the [...] group of the attribute
+            }
+            TokenTree::Ident(id) if at_entry_start => {
+                let s = id.to_string();
+                if s == "pub" {
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next(); // pub(crate) / pub(super) scope
+                        }
+                    }
+                } else {
+                    fields.push(s);
+                    at_entry_start = false;
+                }
+            }
+            _ => {}
+        }
+    }
+    fields
+}

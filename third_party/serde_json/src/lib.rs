@@ -1,0 +1,146 @@
+//! Offline stand-in for [`serde_json`](https://crates.io/crates/serde_json)
+//! (see `third_party/README.md`): renders the shim `serde`'s
+//! [`serde::Value`] tree as JSON text. Serialisation only — nothing in
+//! this workspace parses JSON back.
+
+#![forbid(unsafe_code)]
+
+use serde::{Serialize, Value};
+
+/// Serialisation error. The shim's rendering is total, so this is never
+/// actually produced; it exists so call sites can keep serde_json's
+/// `Result` signatures.
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("JSON serialisation error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), None, 0, &mut out);
+    Ok(out)
+}
+
+/// Renders `value` as two-space-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    render(&value.to_value(), Some(2), 0, &mut out);
+    Ok(out)
+}
+
+fn render(v: &Value, indent: Option<usize>, level: usize, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(x) => {
+            if x.is_finite() {
+                // Keep a decimal point so the output reads as a float.
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    out.push_str(&format!("{x:.1}"));
+                } else {
+                    out.push_str(&x.to_string());
+                }
+            } else {
+                out.push_str("null"); // serde_json's behaviour for NaN/inf
+            }
+        }
+        Value::Str(s) => escape_into(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                break_line(indent, level + 1, out);
+                render(item, indent, level + 1, out);
+            }
+            if !items.is_empty() {
+                break_line(indent, level, out);
+            }
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                break_line(indent, level + 1, out);
+                escape_into(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                render(val, indent, level + 1, out);
+            }
+            if !entries.is_empty() {
+                break_line(indent, level, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// In pretty mode, starts a new line indented to `level`.
+fn break_line(indent: Option<usize>, level: usize, out: &mut String) {
+    if let Some(w) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(w * level));
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Value;
+
+    struct Wrapper(Value);
+    impl Serialize for Wrapper {
+        fn to_value(&self) -> Value {
+            self.0.clone()
+        }
+    }
+
+    #[test]
+    fn pretty_object() {
+        let v = Wrapper(Value::Object(vec![
+            ("name".into(), Value::Str("a\"b".into())),
+            ("xs".into(), Value::Array(vec![Value::Int(1), Value::Null])),
+            ("f".into(), Value::Float(0.5)),
+        ]));
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"name\": \"a\\\"b\""));
+        assert!(s.contains("\"xs\": [\n    1,\n    null\n  ]"));
+        assert!(s.contains("\"f\": 0.5"));
+        assert_eq!(to_string(&v).unwrap(), "{\"name\":\"a\\\"b\",\"xs\":[1,null],\"f\":0.5}");
+    }
+
+    #[test]
+    fn whole_floats_keep_a_decimal_point() {
+        assert_eq!(to_string(&Wrapper(Value::Float(2.0))).unwrap(), "2.0");
+    }
+}

@@ -149,8 +149,7 @@ impl CaliformsHeap {
 
         let block = self.take_block(block_size);
         let spans = layout.cform_ops(block.addr);
-        let span_masks: Vec<(u64, u64)> =
-            spans.iter().map(|op| (op.line_addr, op.mask)).collect();
+        let span_masks: Vec<(u64, u64)> = spans.iter().map(|op| (op.line_addr, op.mask)).collect();
 
         if self.cfg.emit_cforms && !span_masks.is_empty() {
             ops.push(TraceOp::Exec(self.cfg.instrumented_call_insns));
@@ -410,7 +409,10 @@ mod tests {
         let l = layout(InsertionPolicy::Opportunistic);
         let base = heap.malloc(&l, &mut ops);
         heap.free(base, &mut ops);
-        ops.push(TraceOp::Load { addr: base, size: 8 });
+        ops.push(TraceOp::Load {
+            addr: base,
+            size: 8,
+        });
         let engine = run(ops);
         assert_eq!(engine.delivered_exceptions().len(), 1);
         assert_eq!(engine.delivered_exceptions()[0].fault_addr, base);

@@ -47,18 +47,78 @@ pub struct SecurityRow {
 pub fn table4() -> Vec<SecurityRow> {
     use Support::*;
     let rows = [
-        ("Hardbound", "Byte", Qualified("yes, with bounds narrowing"), No, No),
-        ("Watchdog", "Byte", Qualified("yes, with bounds narrowing"), No, Yes),
-        ("WatchdogLite", "Byte", Qualified("yes, with bounds narrowing"), No, Yes),
-        ("Intel MPX", "Byte", Qualified("yes, with bounds narrowing"), Qualified("execution compatible; protection dropped on external writes"), No),
-        ("BOGO", "Byte", Qualified("yes, with bounds narrowing"), Qualified("execution compatible; protection dropped on external writes"), Yes),
+        (
+            "Hardbound",
+            "Byte",
+            Qualified("yes, with bounds narrowing"),
+            No,
+            No,
+        ),
+        (
+            "Watchdog",
+            "Byte",
+            Qualified("yes, with bounds narrowing"),
+            No,
+            Yes,
+        ),
+        (
+            "WatchdogLite",
+            "Byte",
+            Qualified("yes, with bounds narrowing"),
+            No,
+            Yes,
+        ),
+        (
+            "Intel MPX",
+            "Byte",
+            Qualified("yes, with bounds narrowing"),
+            Qualified("execution compatible; protection dropped on external writes"),
+            No,
+        ),
+        (
+            "BOGO",
+            "Byte",
+            Qualified("yes, with bounds narrowing"),
+            Qualified("execution compatible; protection dropped on external writes"),
+            Yes,
+        ),
         ("PUMP", "Word", No, Yes, Yes),
-        ("CHERI", "Byte", Qualified("hardware supports narrowing; foregone (capability logic)"), No, No),
-        ("CHERI concentrate", "Byte", Qualified("hardware supports narrowing; foregone (capability logic)"), No, No),
-        ("SPARC ADI", "Cache line", No, Yes, Qualified("yes, limited to 13 tags")),
+        (
+            "CHERI",
+            "Byte",
+            Qualified("hardware supports narrowing; foregone (capability logic)"),
+            No,
+            No,
+        ),
+        (
+            "CHERI concentrate",
+            "Byte",
+            Qualified("hardware supports narrowing; foregone (capability logic)"),
+            No,
+            No,
+        ),
+        (
+            "SPARC ADI",
+            "Cache line",
+            No,
+            Yes,
+            Qualified("yes, limited to 13 tags"),
+        ),
         ("SafeMem", "Cache line", No, Yes, No),
-        ("REST", "8-64B", No, Yes, Qualified("yes, with allocator randomisation")),
-        ("Califorms", "Byte", Yes, Yes, Qualified("yes, with allocator randomisation")),
+        (
+            "REST",
+            "8-64B",
+            No,
+            Yes,
+            Qualified("yes, with allocator randomisation"),
+        ),
+        (
+            "Califorms",
+            "Byte",
+            Yes,
+            Yes,
+            Qualified("yes, with allocator randomisation"),
+        ),
     ];
     rows.into_iter()
         .map(
@@ -91,18 +151,90 @@ pub struct PerformanceRow {
 /// Table 5 verbatim.
 pub fn table5() -> Vec<PerformanceRow> {
     let rows = [
-        ("Hardbound", "0-2 words per ptr, 4b per word", "# of ptrs and prog memory footprint", "# of ptr derefs", "1-2 mem ref for bounds (may be cached), check uops"),
-        ("Watchdog", "4 words per ptr", "# of ptrs and allocations", "# of ptr derefs", "1-3 mem ref for bounds (may be cached), check uops"),
-        ("WatchdogLite", "4 words per ptr", "# of ptrs and allocations", "# of ptr ops", "1-3 mem ref for bounds (may be cached), check & propagate insns"),
-        ("Intel MPX", "2 words per ptr", "# of ptrs", "# of ptr derefs", "2+ mem ref for bounds (may be cached), check & propagate insns"),
-        ("BOGO", "2 words per ptr", "# of ptrs", "# of ptr derefs", "MPX ops + ptr miss exception handling, page permission mods"),
-        ("PUMP", "64b per cache line", "prog memory footprint", "# of ptr ops", "1 mem ref for tags (may be cached), fetch and check rules; propagate tags"),
-        ("CHERI", "256b per ptr", "# of ptrs and physical mem", "# of ptr ops", "1+ mem ref for capability (may be cached), capability management insns"),
-        ("CHERI concentrate", "ptr size is 2x", "# of ptrs", "# of ptr ops", "wide ptr load (may be cached), capability management insns"),
-        ("SPARC ADI", "4b per cache line", "prog memory footprint", "# of tag (un)set ops", "(un)set tag"),
-        ("SafeMem", "2x blacklisted memory", "blacklisted memory", "# of ECC (un)set ops", "syscall to scramble ECC, copy data content"),
-        ("REST", "8-64B token", "blacklisted memory", "# of arm/disarm insns", "execute arm/disarm insns"),
-        ("Califorms", "byte-granular security byte", "blacklisted memory", "# of CFORM insns", "execute CFORM insns"),
+        (
+            "Hardbound",
+            "0-2 words per ptr, 4b per word",
+            "# of ptrs and prog memory footprint",
+            "# of ptr derefs",
+            "1-2 mem ref for bounds (may be cached), check uops",
+        ),
+        (
+            "Watchdog",
+            "4 words per ptr",
+            "# of ptrs and allocations",
+            "# of ptr derefs",
+            "1-3 mem ref for bounds (may be cached), check uops",
+        ),
+        (
+            "WatchdogLite",
+            "4 words per ptr",
+            "# of ptrs and allocations",
+            "# of ptr ops",
+            "1-3 mem ref for bounds (may be cached), check & propagate insns",
+        ),
+        (
+            "Intel MPX",
+            "2 words per ptr",
+            "# of ptrs",
+            "# of ptr derefs",
+            "2+ mem ref for bounds (may be cached), check & propagate insns",
+        ),
+        (
+            "BOGO",
+            "2 words per ptr",
+            "# of ptrs",
+            "# of ptr derefs",
+            "MPX ops + ptr miss exception handling, page permission mods",
+        ),
+        (
+            "PUMP",
+            "64b per cache line",
+            "prog memory footprint",
+            "# of ptr ops",
+            "1 mem ref for tags (may be cached), fetch and check rules; propagate tags",
+        ),
+        (
+            "CHERI",
+            "256b per ptr",
+            "# of ptrs and physical mem",
+            "# of ptr ops",
+            "1+ mem ref for capability (may be cached), capability management insns",
+        ),
+        (
+            "CHERI concentrate",
+            "ptr size is 2x",
+            "# of ptrs",
+            "# of ptr ops",
+            "wide ptr load (may be cached), capability management insns",
+        ),
+        (
+            "SPARC ADI",
+            "4b per cache line",
+            "prog memory footprint",
+            "# of tag (un)set ops",
+            "(un)set tag",
+        ),
+        (
+            "SafeMem",
+            "2x blacklisted memory",
+            "blacklisted memory",
+            "# of ECC (un)set ops",
+            "syscall to scramble ECC, copy data content",
+        ),
+        (
+            "REST",
+            "8-64B token",
+            "blacklisted memory",
+            "# of arm/disarm insns",
+            "execute arm/disarm insns",
+        ),
+        (
+            "Califorms",
+            "byte-granular security byte",
+            "blacklisted memory",
+            "# of CFORM insns",
+            "execute CFORM insns",
+        ),
     ];
     rows.into_iter()
         .map(|(p, m, mem, perf, ops)| PerformanceRow {
@@ -133,18 +265,84 @@ pub struct ComplexityRow {
 /// Table 6 verbatim (abridged to the structural content).
 pub fn table6() -> Vec<ComplexityRow> {
     let rows = [
-        ("Hardbound", "uop injection & logic for ptr meta; extended reg file/data path", "tag cache and its TLB", "none", "compiler & allocator annotate ptr metadata"),
-        ("Watchdog", "uop injection & logic for ptr meta; extended reg file/data path", "ptr lock cache", "none", "compiler & allocator annotate ptr metadata"),
-        ("WatchdogLite", "none", "none", "none", "compiler & allocator annotate ptrs; compiler inserts meta propagation and check insns"),
-        ("Intel MPX", "closed platform (likely similar to Hardbound)", "closed platform", "closed platform", "compiler & allocator annotate ptrs; compiler inserts meta propagation and check insns"),
-        ("BOGO", "closed platform (likely similar to Hardbound)", "closed platform", "closed platform", "MPX mods + kernel mods for bounds page right management"),
-        ("PUMP", "extend all data units by tag width; modified pipeline stages; new miss handler", "rule cache", "none", "compiler & allocator (un)set memory, tag ptrs"),
-        ("CHERI", "capability reg file, coprocessor integrated with pipeline", "capability caches", "none", "compiler & allocator annotate ptrs; compiler inserts meta propagation and check insns"),
-        ("CHERI concentrate", "modify pipeline to integrate ptr checks", "none", "none", "compiler & allocator annotate ptrs; compiler inserts meta propagation and check insns"),
-        ("SPARC ADI", "closed platform", "closed platform", "closed platform", "compiler & allocator (un)set memory, tag ptrs"),
+        (
+            "Hardbound",
+            "uop injection & logic for ptr meta; extended reg file/data path",
+            "tag cache and its TLB",
+            "none",
+            "compiler & allocator annotate ptr metadata",
+        ),
+        (
+            "Watchdog",
+            "uop injection & logic for ptr meta; extended reg file/data path",
+            "ptr lock cache",
+            "none",
+            "compiler & allocator annotate ptr metadata",
+        ),
+        (
+            "WatchdogLite",
+            "none",
+            "none",
+            "none",
+            "compiler & allocator annotate ptrs; compiler inserts meta propagation and check insns",
+        ),
+        (
+            "Intel MPX",
+            "closed platform (likely similar to Hardbound)",
+            "closed platform",
+            "closed platform",
+            "compiler & allocator annotate ptrs; compiler inserts meta propagation and check insns",
+        ),
+        (
+            "BOGO",
+            "closed platform (likely similar to Hardbound)",
+            "closed platform",
+            "closed platform",
+            "MPX mods + kernel mods for bounds page right management",
+        ),
+        (
+            "PUMP",
+            "extend all data units by tag width; modified pipeline stages; new miss handler",
+            "rule cache",
+            "none",
+            "compiler & allocator (un)set memory, tag ptrs",
+        ),
+        (
+            "CHERI",
+            "capability reg file, coprocessor integrated with pipeline",
+            "capability caches",
+            "none",
+            "compiler & allocator annotate ptrs; compiler inserts meta propagation and check insns",
+        ),
+        (
+            "CHERI concentrate",
+            "modify pipeline to integrate ptr checks",
+            "none",
+            "none",
+            "compiler & allocator annotate ptrs; compiler inserts meta propagation and check insns",
+        ),
+        (
+            "SPARC ADI",
+            "closed platform",
+            "closed platform",
+            "closed platform",
+            "compiler & allocator (un)set memory, tag ptrs",
+        ),
         ("SafeMem", "none", "none", "repurposes ECC bits", "none"),
-        ("REST", "none", "1-8b per L1D line, 1 comparator", "none", "compiler & allocator (un)set tags; allocator randomises allocation order/placement"),
-        ("Califorms", "none", "8b per L1D line, 1b per L2/L3 line", "uses unused ECC bits", "compiler & allocator mods to (un)set tags; compiler inserts intra-object spacing"),
+        (
+            "REST",
+            "none",
+            "1-8b per L1D line, 1 comparator",
+            "none",
+            "compiler & allocator (un)set tags; allocator randomises allocation order/placement",
+        ),
+        (
+            "Califorms",
+            "none",
+            "8b per L1D line, 1b per L2/L3 line",
+            "uses unused ECC bits",
+            "compiler & allocator mods to (un)set tags; compiler inserts intra-object spacing",
+        ),
     ];
     rows.into_iter()
         .map(|(p, core, caches, memory, software)| ComplexityRow {
@@ -266,14 +464,8 @@ fn adi_detections() -> Vec<(AttackKind, Detection)> {
     let mut m = AdiMachine::new();
     let a = m.allocate(0x1000, 64);
     let _b = m.allocate(0x1040, 64);
-    let intra = matches!(
-        m.access(a, 32, 1),
-        crate::adi::AdiAccess::Mismatch { .. }
-    );
-    let inter = matches!(
-        m.access(a, 64, 1),
-        crate::adi::AdiAccess::Mismatch { .. }
-    );
+    let intra = matches!(m.access(a, 32, 1), crate::adi::AdiAccess::Mismatch { .. });
+    let inter = matches!(m.access(a, 64, 1), crate::adi::AdiAccess::Mismatch { .. });
     let c = m.allocate(0x2000, 64);
     m.free(c, 64);
     let uaf = matches!(m.access(c, 0, 8), crate::adi::AdiAccess::Mismatch { .. });

@@ -83,7 +83,10 @@ fn bench_hierarchy(c: &mut Criterion) {
     });
     c.bench_function("hierarchy_l1_hit_load", |b| {
         let mut engine = Engine::westmere();
-        engine.step(TraceOp::Store { addr: 0x1000, size: 8 });
+        engine.step(TraceOp::Store {
+            addr: 0x1000,
+            size: 8,
+        });
         b.iter(|| engine.hierarchy.load(black_box(0x1000), 8, 0).latency)
     });
 }
@@ -98,7 +101,11 @@ fn bench_layout(c: &mut Criterion) {
     });
     c.bench_function("layout_full_policy", |b| {
         let mut rng = SmallRng::seed_from_u64(1);
-        b.iter(|| InsertionPolicy::full_1_to(7).apply(black_box(&def), &mut rng).size)
+        b.iter(|| {
+            InsertionPolicy::full_1_to(7)
+                .apply(black_box(&def), &mut rng)
+                .size
+        })
     });
     c.bench_function("census_1000_structs", |b| {
         use califorms_layout::census::{Corpus, CorpusProfile};
@@ -131,11 +138,8 @@ fn bench_alloc(c: &mut Criterion) {
 fn bench_workload_generation(c: &mut Criterion) {
     c.bench_function("generate_10k_trace", |b| {
         let profile = spec::by_name("perlbench").unwrap();
-        let cfg = WorkloadConfig::with_policy(
-            califorms_layout::InsertionPolicy::full_1_to(7),
-            10_000,
-            3,
-        );
+        let cfg =
+            WorkloadConfig::with_policy(califorms_layout::InsertionPolicy::full_1_to(7), 10_000, 3);
         b.iter(|| generate(black_box(&profile), &cfg).ops.len())
     });
 }

@@ -108,7 +108,10 @@ fn quarantine() {
     println!();
     let mut rng = SmallRng::seed_from_u64(2);
     let layout = InsertionPolicy::Opportunistic.apply(&StructDef::paper_example(), &mut rng);
-    println!("{:>12} | {:>12} | {:>14} | reuse delay (allocs until a freed block returns)", "quarantine", "cform ops", "heap consumed");
+    println!(
+        "{:>12} | {:>12} | {:>14} | reuse delay (allocs until a freed block returns)",
+        "quarantine", "cform ops", "heap consumed"
+    );
     for q in [0usize, 4 << 10, 64 << 10, 1 << 20] {
         let cfg = AllocatorConfig {
             quarantine_bytes: q,
@@ -156,8 +159,15 @@ fn vector_modes() {
         );
         h
     };
-    println!("{:<12} | faults on load | usable w/ lane mask | false positive?", "mode");
-    for mode in [VectorMode::Precise, VectorMode::TrapOnAny, VectorMode::Propagate] {
+    println!(
+        "{:<12} | faults on load | usable w/ lane mask | false positive?",
+        "mode"
+    );
+    for mode in [
+        VectorMode::Precise,
+        VectorMode::TrapOnAny,
+        VectorMode::Propagate,
+    ] {
         let mut h = build();
         let (r, v) = vector_load(&mut h, 0x9000, 64, mode, 0);
         let faults = r.exception.is_some();

@@ -38,7 +38,10 @@ fn main() {
             &rows
         )
     );
-    println!("paper AVG: 0.83%  measured AVG: {:.2}%", mean(&rows) * 100.0);
+    println!(
+        "paper AVG: 0.83%  measured AVG: {:.2}%",
+        mean(&rows) * 100.0
+    );
     write_json(results_dir().join("fig10.json"), &rows).expect("write results");
     println!("JSON written to target/experiment-results/fig10.json");
 }

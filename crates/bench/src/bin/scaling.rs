@@ -1,0 +1,91 @@
+//! Multi-core scaling study: simulated IPC and **host replay
+//! throughput** of the MESI-coherent multicore engine at 1/2/4/8 cores,
+//! across the four sharing patterns of `califorms-workloads::multicore`.
+//!
+//! Two things to read off the table:
+//!
+//! * *simulated* aggregate IPC grows with cores for low-contention
+//!   patterns (shared-table) and stalls for pathological ones
+//!   (false-sharing ping-pong);
+//! * *host* throughput (trace ops replayed per wall-clock second) shows
+//!   the bound-phase parallelism of the engine itself.
+//!
+//! Usage: `cargo run --release --bin scaling [ops_per_core]`
+
+use califorms_bench::{results_dir, write_json};
+use califorms_sim::HierarchyConfig;
+use califorms_workloads::{generate_mt, run_mt, MtPattern, MtWorkloadConfig};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One (pattern, core-count) measurement.
+#[derive(Debug, Clone, Serialize)]
+struct ScalingRow {
+    pattern: String,
+    cores: u64,
+    sim_ipc: f64,
+    sim_cycles: f64,
+    host_mops_per_s: f64,
+    invalidations: u64,
+    upgrades_s_to_m: u64,
+    cache_to_cache: u64,
+    califormed_transfers: u64,
+}
+
+fn main() {
+    let ops_per_core = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50_000);
+
+    let mut rows: Vec<ScalingRow> = Vec::new();
+    println!("Multi-core scaling ({ops_per_core} trace ops per core, califormed lines)");
+    println!();
+    println!(
+        "{:<18} | {:>5} | {:>8} | {:>12} | {:>10} | {:>8} | {:>10} | {:>10}",
+        "pattern", "cores", "sim IPC", "host Mops/s", "invals", "S→M", "c2c xfers", "calif xfer"
+    );
+    println!("{}", "-".repeat(100));
+    for pattern in MtPattern::all() {
+        for &cores in &[1usize, 2, 4, 8] {
+            let w = generate_mt(&MtWorkloadConfig {
+                pattern,
+                cores,
+                ops_per_core,
+                seed: 7,
+                califormed: true,
+            });
+            let total_ops: usize = w.shards.iter().map(Vec::len).sum();
+            let start = Instant::now();
+            let stats = run_mt(&w, HierarchyConfig::westmere());
+            let elapsed = start.elapsed().as_secs_f64();
+            let row = ScalingRow {
+                pattern: w.name.to_string(),
+                cores: cores as u64,
+                sim_ipc: stats.aggregate_ipc(),
+                sim_cycles: stats.combined.cycles,
+                host_mops_per_s: total_ops as f64 / elapsed / 1e6,
+                invalidations: stats.combined.coherence.invalidations,
+                upgrades_s_to_m: stats.combined.coherence.upgrades_s_to_m,
+                cache_to_cache: stats.combined.coherence.cache_to_cache_transfers,
+                califormed_transfers: stats.combined.coherence.califormed_transfers,
+            };
+            println!(
+                "{:<18} | {:>5} | {:>8.3} | {:>12.2} | {:>10} | {:>8} | {:>10} | {:>10}",
+                row.pattern,
+                row.cores,
+                row.sim_ipc,
+                row.host_mops_per_s,
+                row.invalidations,
+                row.upgrades_s_to_m,
+                row.cache_to_cache,
+                row.califormed_transfers
+            );
+            rows.push(row);
+        }
+        println!("{}", "-".repeat(100));
+    }
+
+    write_json(results_dir().join("scaling.json"), &rows).expect("write results");
+    println!("JSON written to target/experiment-results/scaling.json");
+}

@@ -11,10 +11,12 @@ use califorms_security::ThreatModel;
 
 fn main() {
     let threat = ThreatModel::paper();
-    println!("threat model: arbitrary R/W={}, source known={}, binary known={}",
+    println!(
+        "threat model: arbitrary R/W={}, source known={}, binary known={}",
         threat.arbitrary_read && threat.arbitrary_write,
         threat.knows_source,
-        threat.knows_binary);
+        threat.knows_binary
+    );
     println!();
 
     println!("=== Derandomisation analysis (Section 7.3) ===");
@@ -45,7 +47,10 @@ fn main() {
         ("full 1-7B", InsertionPolicy::full_1_to(7)),
         ("intelligent 1-7B", InsertionPolicy::intelligent_1_to(7)),
     ];
-    println!("{:<18} | {:<26} | {:<26} | {:<20}", "policy", "intra-object overflow", "intra-object overread", "use-after-free");
+    println!(
+        "{:<18} | {:<26} | {:<26} | {:<20}",
+        "policy", "intra-object overflow", "intra-object overread", "use-after-free"
+    );
     for (name, policy) in policies {
         let ov = attacks::intra_object_overflow(policy, 42);
         let or = attacks::intra_object_overread(policy, 42);

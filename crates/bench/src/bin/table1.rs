@@ -24,7 +24,10 @@ fn cell(initially_security: bool, set: bool, allow: bool) -> &'static str {
 fn main() {
     println!("Table 1 — K-map for the CFORM instruction (verified against the implementation)");
     println!();
-    println!("{:<16} | {:<14} | {:<14} | {:<14}", "initial \\ R2,R3", "X, Disallow", "Unset, Allow", "Set, Allow");
+    println!(
+        "{:<16} | {:<14} | {:<14} | {:<14}",
+        "initial \\ R2,R3", "X, Disallow", "Unset, Allow", "Set, Allow"
+    );
     println!("{:-<16}-+-{:-<14}-+-{:-<14}-+-{:-<14}", "", "", "", "");
     for (label, sec) in [("Regular Byte", false), ("Security Byte", true)] {
         println!(

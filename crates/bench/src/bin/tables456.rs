@@ -41,12 +41,14 @@ fn main() {
         "scheme", "intra-object overflow", "inter-object overflow", "use-after-free"
     );
     for (scheme, results) in detection_matrix() {
-        let get = |attack: AttackKind| {
-            match results.iter().find(|(a, _)| *a == attack).map(|(_, d)| *d) {
-                Some(Detection::Detected) => "DETECTED",
-                Some(Detection::Missed) => "missed",
-                None => "?",
-            }
+        let get = |attack: AttackKind| match results
+            .iter()
+            .find(|(a, _)| *a == attack)
+            .map(|(_, d)| *d)
+        {
+            Some(Detection::Detected) => "DETECTED",
+            Some(Detection::Missed) => "missed",
+            None => "?",
         };
         println!(
             "{:<12} | {:<22} | {:<22} | {:<22}",

@@ -4,7 +4,9 @@ use califorms_layout::census::{Corpus, CorpusProfile};
 use califorms_layout::InsertionPolicy;
 use califorms_sim::HierarchyConfig;
 use califorms_workloads::spec::BenchmarkProfile;
-use califorms_workloads::{fig10_benchmarks, generate, run_workload, software_eval_benchmarks, WorkloadConfig};
+use califorms_workloads::{
+    fig10_benchmarks, generate, run_workload, software_eval_benchmarks, WorkloadConfig,
+};
 use serde::Serialize;
 
 /// Steady-state memory operations per simulation run. The bench binaries
@@ -46,8 +48,22 @@ fn mean_slowdown_over_seeds(
     let mut total = 0.0;
     for &seed in &SEEDS {
         let base_cfg = baseline_of(seed);
-        let base = generate(profile, &WorkloadConfig { steady_ops, seed, ..base_cfg });
-        let with = generate(profile, &WorkloadConfig { steady_ops, seed, ..variant });
+        let base = generate(
+            profile,
+            &WorkloadConfig {
+                steady_ops,
+                seed,
+                ..base_cfg
+            },
+        );
+        let with = generate(
+            profile,
+            &WorkloadConfig {
+                steady_ops,
+                seed,
+                ..variant
+            },
+        );
         let sb = run_workload(&base, hier_base);
         let sv = run_workload(&with, hier_variant);
         total += sv.slowdown_vs(&sb);
@@ -251,12 +267,7 @@ pub fn policy_figure(
 pub fn series_average(rows: &[PolicyRow], label: &str) -> f64 {
     let vals: Vec<f64> = rows
         .iter()
-        .filter_map(|r| {
-            r.series
-                .iter()
-                .find(|(l, _)| l == label)
-                .map(|(_, v)| *v)
-        })
+        .filter_map(|r| r.series.iter().find(|(l, _)| l == label).map(|(_, v)| *v))
         .collect();
     vals.iter().sum::<f64>() / vals.len().max(1) as f64
 }
@@ -313,9 +324,6 @@ mod tests {
             get("hmmer") < get("xalancbmk"),
             "compute-bound hmmer must be less sensitive than xalancbmk"
         );
-        assert!(
-            get("hmmer") < avg,
-            "hmmer sits at the bottom of Figure 10"
-        );
+        assert!(get("hmmer") < avg, "hmmer sits at the bottom of Figure 10");
     }
 }

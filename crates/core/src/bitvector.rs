@@ -128,9 +128,7 @@ impl L1Line {
             offset + bytes.len() <= LINE_BYTES,
             "access crosses the line boundary"
         );
-        if let Some(bad) =
-            (offset..offset + bytes.len()).find(|&i| self.line.is_security_byte(i))
-        {
+        if let Some(bad) = (offset..offset + bytes.len()).find(|&i| self.line.is_security_byte(i)) {
             return Err(CoreError::StoreToSecurityByte { index: bad });
         }
         for (i, &b) in bytes.iter().enumerate() {

@@ -142,7 +142,7 @@ mod tests {
         let enc = L1Line4::encode(&l);
         assert!(enc.meta[1].califormed);
         assert_eq!(enc.meta[1].holder, 2); // 10 % 8
-        // The holder byte stores the chunk bit vector.
+                                           // The holder byte stores the chunk bit vector.
         let bv = enc.bytes[8 + 2];
         assert_eq!(bv, 1 << 2 | 1 << 4 | 1 << 7);
     }

@@ -145,7 +145,9 @@ mod tests {
     fn unset_turns_security_into_regular() {
         let mut line = CaliformedLine::zeroed();
         line.set_security_byte(5);
-        let outcome = CformInstruction::unset(64, 1 << 5).execute(&mut line).unwrap();
+        let outcome = CformInstruction::unset(64, 1 << 5)
+            .execute(&mut line)
+            .unwrap();
         assert_eq!(outcome.bytes_unset, 1);
         assert!(!line.is_security_byte(5));
     }
@@ -154,14 +156,18 @@ mod tests {
     fn kmap_set_on_security_is_exception() {
         let mut line = CaliformedLine::zeroed();
         line.set_security_byte(2);
-        let err = CformInstruction::set(0, 1 << 2).execute(&mut line).unwrap_err();
+        let err = CformInstruction::set(0, 1 << 2)
+            .execute(&mut line)
+            .unwrap_err();
         assert_eq!(err, CoreError::CformSetOnSecurityByte { index: 2 });
     }
 
     #[test]
     fn kmap_unset_on_normal_is_exception() {
         let mut line = CaliformedLine::zeroed();
-        let err = CformInstruction::unset(0, 1 << 9).execute(&mut line).unwrap_err();
+        let err = CformInstruction::unset(0, 1 << 9)
+            .execute(&mut line)
+            .unwrap_err();
         assert_eq!(err, CoreError::CformUnsetOnNormalByte { index: 9 });
     }
 
@@ -171,7 +177,9 @@ mod tests {
         let mut line = CaliformedLine::from_data([3; LINE_BYTES]);
         line.set_security_byte(0);
         let before = line;
-        let outcome = CformInstruction::new(0, u64::MAX, 0).execute(&mut line).unwrap();
+        let outcome = CformInstruction::new(0, u64::MAX, 0)
+            .execute(&mut line)
+            .unwrap();
         assert_eq!(line, before);
         assert_eq!((outcome.bytes_set, outcome.bytes_unset), (0, 0));
     }

@@ -120,11 +120,10 @@ pub fn fill(l2: &L2Line) -> Result<L1Line> {
         }
     }
 
-    let line = CaliformedLine::try_new(data, mask).map_err(|_| {
-        CoreError::CorruptSentinelHeader {
+    let line =
+        CaliformedLine::try_new(data, mask).map_err(|_| CoreError::CorruptSentinelHeader {
             what: "decoded line not canonical",
-        }
-    })?;
+        })?;
     Ok(L1Line::new(line))
 }
 
@@ -173,7 +172,11 @@ mod tests {
         let l1 = caliform(data, &[40]);
         let l2 = spill(&l1).unwrap();
         assert!(l2.califormed);
-        assert_eq!(l2.bytes[0] & 0b11, 0b00, "count code 00 = one security byte");
+        assert_eq!(
+            l2.bytes[0] & 0b11,
+            0b00,
+            "count code 00 = one security byte"
+        );
         assert_eq!(l2.bytes[0] >> 2, 40, "Addr0 in the high six bits");
         assert_eq!(l2.bytes[40], 0x12, "byte 0's data displaced into the slot");
     }
@@ -184,7 +187,12 @@ mod tests {
         for (i, b) in data.iter_mut().enumerate() {
             *b = 0xC0u8.wrapping_add(i as u8);
         }
-        for sec in [&[5usize, 6][..], &[0, 1][..], &[1, 2, 3][..], &[10, 40, 63][..]] {
+        for sec in [
+            &[5usize, 6][..],
+            &[0, 1][..],
+            &[1, 2, 3][..],
+            &[10, 40, 63][..],
+        ] {
             let l1 = caliform(data, sec);
             assert_eq!(round_trip(&l1), l1, "security bytes at {sec:?}");
         }

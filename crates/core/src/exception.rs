@@ -90,7 +90,9 @@ impl ExceptionMask {
 
     /// Whether a fault at `addr` would currently be suppressed.
     pub fn is_suppressed(&self, addr: u64) -> bool {
-        self.windows.iter().any(|&(lo, hi)| (lo..hi).contains(&addr))
+        self.windows
+            .iter()
+            .any(|&(lo, hi)| (lo..hi).contains(&addr))
     }
 
     /// Filters an exception through the mask: returns it for delivery, or
@@ -158,7 +160,11 @@ mod tests {
         let mut mask = ExceptionMask::new();
         mask.push_window(0x1000, 0x2000);
         assert_eq!(mask.filter(exc(0x1800)), None);
-        assert_eq!(mask.filter(exc(0x2000)), Some(exc(0x2000)), "hi is exclusive");
+        assert_eq!(
+            mask.filter(exc(0x2000)),
+            Some(exc(0x2000)),
+            "hi is exclusive"
+        );
         assert_eq!(mask.filter(exc(0x0FFF)), Some(exc(0x0FFF)));
         assert_eq!(mask.suppressed_count(), 1);
         assert_eq!(mask.delivered_count(), 2);

@@ -103,7 +103,10 @@ impl CaliformedLayout {
 
     /// Byte offset of a named field, if present.
     pub fn field_offset(&self, name: &str) -> Option<usize> {
-        self.fields.iter().find(|f| f.name == name).map(|f| f.offset)
+        self.fields
+            .iter()
+            .find(|f| f.name == name)
+            .map(|f| f.offset)
     }
 }
 

@@ -180,11 +180,7 @@ impl Corpus {
     }
 }
 
-fn pick_scalar<R: Rng + ?Sized>(
-    rng: &mut R,
-    weights: &[(Scalar, u32)],
-    total: u32,
-) -> Scalar {
+fn pick_scalar<R: Rng + ?Sized>(rng: &mut R, weights: &[(Scalar, u32)], total: u32) -> Scalar {
     let mut roll = rng.gen_range(0..total);
     for &(s, w) in weights {
         if roll < w {

@@ -63,11 +63,7 @@ pub fn boundary_strategy(
 ///
 /// Panics if the image size does not match the califormed layout, or the
 /// layouts' field lists disagree (caller mixed up types).
-pub fn marshal_out(
-    califormed: &CaliformedLayout,
-    natural: &StructLayout,
-    image: &[u8],
-) -> Vec<u8> {
+pub fn marshal_out(califormed: &CaliformedLayout, natural: &StructLayout, image: &[u8]) -> Vec<u8> {
     assert_eq!(image.len(), califormed.size, "image size mismatch");
     assert_eq!(
         califormed.fields.len(),
@@ -78,8 +74,7 @@ pub fn marshal_out(
     for (cf, nf) in califormed.fields.iter().zip(&natural.fields) {
         assert_eq!(cf.name, nf.name, "field order mismatch");
         assert_eq!(cf.size, nf.size, "field size mismatch");
-        out[nf.offset..nf.offset + nf.size]
-            .copy_from_slice(&image[cf.offset..cf.offset + cf.size]);
+        out[nf.offset..nf.offset + nf.size].copy_from_slice(&image[cf.offset..cf.offset + cf.size]);
     }
     out
 }
@@ -87,11 +82,7 @@ pub fn marshal_out(
 /// Re-inserts natural-layout data into a califormed image: the
 /// in-marshalling step after the external call returns. Security-byte
 /// positions are (re)zeroed — the caller re-arms them with `CFORM`s.
-pub fn marshal_in(
-    califormed: &CaliformedLayout,
-    natural: &StructLayout,
-    data: &[u8],
-) -> Vec<u8> {
+pub fn marshal_in(califormed: &CaliformedLayout, natural: &StructLayout, data: &[u8]) -> Vec<u8> {
     assert_eq!(data.len(), natural.size, "data size mismatch");
     assert_eq!(
         califormed.fields.len(),
@@ -192,7 +183,9 @@ mod tests {
             );
         }
         for f in &cf.fields {
-            assert!(image[f.offset..f.offset + f.size].iter().all(|&b| b == 0xFF));
+            assert!(image[f.offset..f.offset + f.size]
+                .iter()
+                .all(|&b| b == 0xFF));
         }
     }
 

@@ -62,10 +62,7 @@ impl InsertionPolicy {
     /// Whether this policy modifies the type layout (breaking binary
     /// interoperability with uninstrumented modules, Section 6.2).
     pub fn changes_layout(&self) -> bool {
-        !matches!(
-            self,
-            InsertionPolicy::None | InsertionPolicy::Opportunistic
-        )
+        !matches!(self, InsertionPolicy::None | InsertionPolicy::Opportunistic)
     }
 
     /// Applies the policy to a struct definition, producing the califormed
@@ -78,9 +75,12 @@ impl InsertionPolicy {
             InsertionPolicy::Full { min, max } => {
                 rebuild(def, rng, SpanRule::Around, SpanSize::Random { min, max })
             }
-            InsertionPolicy::Intelligent { min, max } => {
-                rebuild(def, rng, SpanRule::AttackProne, SpanSize::Random { min, max })
-            }
+            InsertionPolicy::Intelligent { min, max } => rebuild(
+                def,
+                rng,
+                SpanRule::AttackProne,
+                SpanSize::Random { min, max },
+            ),
             InsertionPolicy::FixedPad(n) => {
                 rebuild(def, rng, SpanRule::AfterEach, SpanSize::Fixed(n))
             }

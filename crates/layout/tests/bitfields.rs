@@ -27,7 +27,11 @@ fn bitfields_pack_into_shared_units() {
     // tag at 0; the run is int-aligned at 4.
     assert_eq!(off("tag"), 0);
     assert_eq!(off("a"), 4, "run starts at the next int boundary");
-    assert_eq!(off("b"), 4, "a(3)+b(7)=10 bits share the first unit byte-range");
+    assert_eq!(
+        off("b"),
+        4,
+        "a(3)+b(7)=10 bits share the first unit byte-range"
+    );
     // c:30 cannot fit after bit 10 of a 32-bit unit → next unit at byte 8.
     assert_eq!(off("c"), 8);
     assert_eq!(off("fp"), 16, "run consumes bytes 4..12, fp aligns to 16");
@@ -65,7 +69,11 @@ fn full_policy_fences_around_the_run_not_inside() {
     let run_end = c.offset + c.size;
     for s in &l.security_spans {
         let inside = s.offset >= run_start && s.offset < run_end;
-        assert!(!inside, "span at {} lands inside the bit-field run", s.offset);
+        assert!(
+            !inside,
+            "span at {} lands inside the bit-field run",
+            s.offset
+        );
     }
 }
 
@@ -127,7 +135,9 @@ fn char_bitfields_turned_functional_can_be_fenced() {
     assert_eq!(l.security_spans.len(), 3);
     let (a, b) = (l.field_offset("a").unwrap(), l.field_offset("b").unwrap());
     assert!(
-        l.security_spans.iter().any(|s| s.offset > a && s.offset < b),
+        l.security_spans
+            .iter()
+            .any(|s| s.offset > a && s.offset < b),
         "a span fits between the two char-ified flags"
     );
 }

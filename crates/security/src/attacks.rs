@@ -9,6 +9,7 @@
 use califorms_alloc::{AllocatorConfig, CaliformsHeap};
 use califorms_layout::{CaliformedLayout, InsertionPolicy, StructDef};
 use califorms_sim::lsq::{ForwardResult, LoadStoreQueue};
+use califorms_sim::multicore::{MulticoreConfig, MulticoreEngine};
 use califorms_sim::{Engine, TraceOp};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -137,6 +138,62 @@ pub fn intra_object_overread(policy: InsertionPolicy, seed: u64) -> AttackReport
     }
 }
 
+/// Cross-core probe — the multi-core extension of the Section 7.2
+/// heterogeneous-observer hazard: the victim (core 0) allocates a
+/// califormed object and initialises it, leaving its lines **Modified in
+/// the victim's L1**; the attacker (core 1) then sweeps the object from
+/// another core. Every probed line is recalled through a cache-to-cache
+/// transfer — a real bitvector→sentinel spill in the victim's L1 and a
+/// sentinel→bitvector fill in the attacker's — and the attacker's L1
+/// checker must trap at exactly the byte a same-core sweep would trap at.
+pub fn cross_core_probe(policy: InsertionPolicy, seed: u64) -> AttackReport {
+    let l = layout(policy, seed);
+
+    // Victim shard: the instrumented allocator's CFORMs plus one store
+    // per field, so the object's lines end up dirty and owned (M).
+    let mut heap = CaliformsHeap::new(0x1000_0000, AllocatorConfig::default());
+    let mut victim_ops = Vec::new();
+    let base = heap.malloc(&l, &mut victim_ops);
+    for f in &l.fields {
+        victim_ops.push(TraceOp::Store {
+            addr: base + f.offset as u64,
+            size: f.size.min(8) as u8,
+        });
+    }
+
+    // Attacker shard: sit out the victim's setup (the engine's quantum
+    // barrier makes prior-quantum state visible), then sweep byte by byte
+    // from `buf` towards the function pointer behind it.
+    let buf = l.field_offset("buf").expect("paper example has buf") as u64;
+    let fp = l.field_offset("fp").expect("paper example has fp") as u64;
+    let mut attacker_ops = vec![TraceOp::Exec(1_000_000)];
+    for off in buf..=fp {
+        attacker_ops.push(TraceOp::Load {
+            addr: base + off,
+            size: 1,
+        });
+    }
+
+    let engine = MulticoreEngine::new(MulticoreConfig::westmere(2));
+    let out = engine.run(vec![victim_ops, attacker_ops]);
+    let name = "cross-core probe";
+    match out.exceptions[1].first() {
+        Some(exc) => AttackReport {
+            name,
+            outcome: AttackOutcome::Detected {
+                fault_addr: exc.fault_addr,
+                after_accesses: exc.fault_addr - (base + buf) + 1,
+            },
+        },
+        None => AttackReport {
+            name,
+            outcome: AttackOutcome::Undetected {
+                accesses: fp - buf + 1,
+            },
+        },
+    }
+}
+
 /// Use-after-free: read a freed object through a stale pointer. The
 /// clean-before-use + quarantine heap keeps the region califormed, so the
 /// very first dereference faults.
@@ -149,7 +206,10 @@ pub fn use_after_free(policy: InsertionPolicy, seed: u64) -> AttackReport {
     apply_ops(&mut engine, &mut ops);
 
     let before = engine.delivered_exceptions().len();
-    engine.step(TraceOp::Load { addr: base, size: 8 });
+    engine.step(TraceOp::Load {
+        addr: base,
+        size: 8,
+    });
     if engine.delivered_exceptions().len() > before {
         AttackReport {
             name: "use-after-free",
@@ -264,7 +324,10 @@ pub fn speculative_probe(seed: u64) -> AttackReport {
     apply_ops(&mut engine, &mut ops);
     // Victim writes a secret into its first field, then frees the object —
     // freeing califorms *and zeroes* the memory.
-    engine.step(TraceOp::Store { addr: base, size: 1 });
+    engine.step(TraceOp::Store {
+        addr: base,
+        size: 1,
+    });
     heap.free(base, &mut ops);
     apply_ops(&mut engine, &mut ops);
 
@@ -338,6 +401,28 @@ mod tests {
             }
             _ => panic!("must detect"),
         }
+    }
+
+    #[test]
+    fn cross_core_probe_traps_identically_to_same_core_probe() {
+        for policy in [
+            InsertionPolicy::full_1_to(7),
+            InsertionPolicy::intelligent_1_to(7),
+        ] {
+            let same_core = intra_object_overread(policy, 11);
+            let cross_core = cross_core_probe(policy, 11);
+            assert!(cross_core.outcome.detected(), "{policy:?} must trap");
+            assert_eq!(
+                cross_core.outcome, same_core.outcome,
+                "{policy:?}: the remote observer must fault at the same byte"
+            );
+        }
+    }
+
+    #[test]
+    fn cross_core_probe_missed_without_protection() {
+        let r = cross_core_probe(InsertionPolicy::None, 11);
+        assert!(!r.outcome.detected());
     }
 
     #[test]

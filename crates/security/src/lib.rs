@@ -8,7 +8,9 @@
 //! * [`threat`] — the paper's threat model as a typed description.
 //! * [`attacks`] — intra-object overflow/overread, use-after-free against
 //!   the quarantining heap, memory-scan (de)randomisation, span-width
-//!   guessing, and the speculative zero-return probe.
+//!   guessing, the speculative zero-return probe, and the cross-core
+//!   probe (a remote core sweeping lines the victim core owns in M state
+//!   must trap identically to a local sweep).
 //! * [`probability`] — `(1 − P/N)^O` scan survival and `1/7ⁿ` guessing
 //!   probabilities.
 //! * [`brop`] — blind-ROP derandomisation campaigns against fixed vs

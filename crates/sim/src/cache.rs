@@ -51,7 +51,10 @@ impl<V> SetAssocCache<V> {
         let line = LINE_BYTES as usize;
         assert_eq!(size_bytes % (ways * line), 0, "capacity not divisible");
         let set_count = size_bytes / (ways * line);
-        assert!(set_count.is_power_of_two(), "set count must be a power of two");
+        assert!(
+            set_count.is_power_of_two(),
+            "set count must be a power of two"
+        );
         Self {
             sets: (0..set_count).map(|_| Vec::with_capacity(ways)).collect(),
             ways,
@@ -124,12 +127,43 @@ impl<V> SetAssocCache<V> {
             .map(|e| &e.value)
     }
 
+    /// Looks up a line mutably without affecting LRU order or counters.
+    ///
+    /// The coherence controller uses this to downgrade or probe remote
+    /// copies: a directory-induced state change is not an architectural
+    /// access by the owning core and must not perturb its LRU or counters.
+    pub fn peek_mut(&mut self, line_addr: u64) -> Option<&mut V> {
+        let (set_idx, tag) = self.index(line_addr);
+        self.sets[set_idx]
+            .iter_mut()
+            .find(|e| e.tag == tag)
+            .map(|e| &mut e.value)
+    }
+
     /// Marks a resident line dirty (no-op if absent).
     pub fn mark_dirty(&mut self, line_addr: u64) {
         let (set_idx, tag) = self.index(line_addr);
         if let Some(e) = self.sets[set_idx].iter_mut().find(|e| e.tag == tag) {
             e.dirty = true;
         }
+    }
+
+    /// Clears a resident line's dirty bit (no-op if absent) — used when a
+    /// coherence downgrade writes the line back but keeps it Shared.
+    pub fn clear_dirty(&mut self, line_addr: u64) {
+        let (set_idx, tag) = self.index(line_addr);
+        if let Some(e) = self.sets[set_idx].iter_mut().find(|e| e.tag == tag) {
+            e.dirty = false;
+        }
+    }
+
+    /// Whether a resident line is dirty (`None` if absent).
+    pub fn is_dirty(&self, line_addr: u64) -> Option<bool> {
+        let (set_idx, tag) = self.index(line_addr);
+        self.sets[set_idx]
+            .iter()
+            .find(|e| e.tag == tag)
+            .map(|e| e.dirty)
     }
 
     /// Inserts (or replaces) a line as MRU, returning the victim if the set
@@ -168,12 +202,10 @@ impl<V> SetAssocCache<V> {
     pub fn invalidate(&mut self, line_addr: u64) -> Option<(V, bool)> {
         let (set_idx, tag) = self.index(line_addr);
         let set = &mut self.sets[set_idx];
-        set.iter()
-            .position(|e| e.tag == tag)
-            .map(|pos| {
-                let e = set.remove(pos);
-                (e.value, e.dirty)
-            })
+        set.iter().position(|e| e.tag == tag).map(|pos| {
+            let e = set.remove(pos);
+            (e.value, e.dirty)
+        })
     }
 
     /// Number of lines currently resident.

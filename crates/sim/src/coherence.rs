@@ -1,0 +1,841 @@
+//! MESI directory coherence over per-core califormed L1 data caches.
+//!
+//! Multi-core layout of the Califorms hierarchy (DESIGN.md §7): every core
+//! owns a private L1D holding lines in the *califorms-bitvector* format,
+//! and all cores share the sentinel-format L2/L3/DRAM levels
+//! ([`SharedLevels`]). A full-map directory (conceptually co-located with
+//! the shared L2 tags) tracks, per line, which cores cache it and whether
+//! one of them holds it exclusively.
+//!
+//! The protocol is MESI:
+//!
+//! * **M**odified — sole copy, dirty; the directory records the owner.
+//! * **E**xclusive — sole copy, clean; a silent local E→M upgrade on the
+//!   first store (the directory cannot distinguish E from M and does not
+//!   need to).
+//! * **S**hared — one of possibly many clean copies.
+//! * **I**nvalid — not resident (absence from the L1).
+//!
+//! The Califorms-specific part is what happens on every transfer across an
+//! L1 boundary: a recall from a remote owner runs the **real** Algorithm 1
+//! spill (bitvector → sentinel) in the source L1 and the Algorithm 2 fill
+//! (sentinel → bitvector) in the destination L1, exactly as a hardware
+//! implementation would — the shared levels and the interconnect only ever
+//! carry sentinel-format lines. Because spill/fill are exact inverses and
+//! the canonical line type zeroes data under security bytes, the
+//! security-byte zeroing invariant survives every invalidation, downgrade
+//! and cache-to-cache transfer (property-tested in
+//! `crates/sim/tests/multicore.rs`).
+
+use crate::cache::SetAssocCache;
+use crate::hierarchy::{kmap_exception, HierarchyConfig, MemResult, SharedLevels};
+use crate::stats::{CacheStats, CoherenceStats, SimStats};
+use crate::{line_base, line_offset, LINE_BYTES};
+use califorms_core::{
+    fill, spill, AccessKind, CaliformsException, CformInstruction, CoreError, ExceptionKind, L1Line,
+};
+use std::collections::HashMap;
+
+/// MESI residency state of a line in one core's L1 (absence = Invalid).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mesi {
+    /// Sole copy, dirty.
+    Modified,
+    /// Sole copy, clean (silently upgradable to M).
+    Exclusive,
+    /// Possibly one of many clean copies.
+    Shared,
+}
+
+impl Mesi {
+    /// Whether this state permits a store without a directory transaction.
+    pub fn writable(self) -> bool {
+        matches!(self, Mesi::Modified | Mesi::Exclusive)
+    }
+}
+
+/// One L1 entry: the bitvector-format line plus its MESI state.
+#[derive(Debug, Clone, Copy)]
+pub struct CoherentLine {
+    /// The line in L1 (califorms-bitvector) format.
+    pub line: L1Line,
+    /// Current MESI state.
+    pub state: Mesi,
+}
+
+/// Latency parameters of the coherence fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoherenceConfig {
+    /// Cycles to consult the directory on an L1 miss or upgrade (charged
+    /// on top of whatever services the request).
+    pub directory_latency: u32,
+    /// Cycles for a cache-to-cache transfer: probe the remote L1, spill,
+    /// move the line across the interconnect, fill.
+    pub cache_to_cache_latency: u32,
+    /// Cycles for an S→M upgrade that must invalidate remote sharers.
+    pub upgrade_latency: u32,
+}
+
+impl CoherenceConfig {
+    /// Defaults in line with the Table 3 machine: directory lookup rides
+    /// the L2 pipeline, a remote-L1 recall costs about two L2 trips.
+    pub fn westmere() -> Self {
+        Self {
+            directory_latency: 2,
+            cache_to_cache_latency: 15,
+            upgrade_latency: 11,
+        }
+    }
+}
+
+impl Default for CoherenceConfig {
+    fn default() -> Self {
+        Self::westmere()
+    }
+}
+
+/// Full-map directory entry for one line.
+#[derive(Debug, Clone, Copy, Default)]
+struct DirEntry {
+    /// Bit `c` set ⇒ core `c` has a copy.
+    sharers: u64,
+    /// `Some(c)` ⇒ core `c` holds the line in M or E (then
+    /// `sharers == 1 << c`).
+    owner: Option<usize>,
+}
+
+/// One core's private L1D with its MESI states — the per-core slice of the
+/// L1 boundary.
+///
+/// This type owns everything a core may touch **without** synchronisation:
+/// during the parallel phase of a quantum
+/// ([`crate::multicore::MulticoreEngine`]) each worker thread holds `&mut`
+/// to exactly one `CoreL1`, and the `try_*` methods below complete only
+/// the accesses that need no directory transaction (hits with sufficient
+/// MESI permission). Everything else returns `None` and is replayed
+/// through [`CoherentHierarchy`] in the deterministic serial phase.
+#[derive(Debug)]
+pub struct CoreL1 {
+    cache: SetAssocCache<CoherentLine>,
+}
+
+impl CoreL1 {
+    fn new(cfg: &HierarchyConfig) -> Self {
+        Self {
+            cache: SetAssocCache::new(cfg.l1d_size, cfg.l1d_ways, cfg.l1d_latency),
+        }
+    }
+
+    /// Hit/miss/eviction counters of this L1.
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats
+    }
+
+    /// Whether all lines covered by `[addr, addr + len)` are resident
+    /// (`write` additionally requires M or E on each).
+    fn servable_locally(&self, addr: u64, len: usize, write: bool) -> bool {
+        let mut line_addr = line_base(addr);
+        let end = addr + len as u64;
+        while line_addr < end {
+            match self.cache.peek(line_addr) {
+                Some(e) if !write || e.state.writable() => {}
+                _ => return false,
+            }
+            line_addr += LINE_BYTES;
+        }
+        true
+    }
+
+    /// Completes a load entirely within this L1, or returns `None` if any
+    /// covered line is absent (the coherence path must run).
+    pub fn try_load(&mut self, addr: u64, len: usize, pc: u64) -> Option<MemResult> {
+        if !self.servable_locally(addr, len, false) {
+            return None;
+        }
+        let latency = self.cache.latency;
+        let mut data = Vec::with_capacity(len);
+        let mut exception = None;
+        let mut cur = addr;
+        let end = addr + len as u64;
+        while cur < end {
+            let line_addr = line_base(cur);
+            let offset = line_offset(cur);
+            let chunk = ((LINE_BYTES - offset as u64).min(end - cur)) as usize;
+            let e = self.cache.access(line_addr).expect("checked resident");
+            let r = e.line.load(offset, chunk);
+            data.extend_from_slice(&r.data);
+            if r.violation && exception.is_none() {
+                let first = r.violating_bytes.trailing_zeros() as u64;
+                exception = Some(CaliformsException {
+                    fault_addr: cur + first,
+                    access: AccessKind::Load,
+                    kind: ExceptionKind::SecurityByteAccess,
+                    pc,
+                });
+            }
+            cur += chunk as u64;
+        }
+        Some(MemResult {
+            latency,
+            data,
+            exception,
+        })
+    }
+
+    /// Completes a store entirely within this L1, or returns `None` if any
+    /// covered line is absent or lacks write permission.
+    pub fn try_store(&mut self, addr: u64, bytes: &[u8], pc: u64) -> Option<MemResult> {
+        if !self.servable_locally(addr, bytes.len(), true) {
+            return None;
+        }
+        let latency = self.cache.latency;
+        let mut exception = None;
+        let mut cur = addr;
+        let end = addr + bytes.len() as u64;
+        let mut consumed = 0usize;
+        while cur < end {
+            let line_addr = line_base(cur);
+            let offset = line_offset(cur);
+            let chunk = ((LINE_BYTES - offset as u64).min(end - cur)) as usize;
+            let e = self.cache.access(line_addr).expect("checked resident");
+            match e.line.store(offset, &bytes[consumed..consumed + chunk]) {
+                Ok(()) => {
+                    e.state = Mesi::Modified; // silent E→M
+                    self.cache.mark_dirty(line_addr);
+                }
+                Err(CoreError::StoreToSecurityByte { index }) => {
+                    if exception.is_none() {
+                        exception = Some(CaliformsException {
+                            fault_addr: line_addr + index as u64,
+                            access: AccessKind::Store,
+                            kind: ExceptionKind::SecurityByteAccess,
+                            pc,
+                        });
+                    }
+                }
+                Err(other) => unreachable!("store can only fault on security bytes: {other}"),
+            }
+            cur += chunk as u64;
+            consumed += chunk;
+        }
+        Some(MemResult {
+            latency,
+            data: Vec::new(),
+            exception,
+        })
+    }
+
+    /// Completes a `CFORM` entirely within this L1 (the line must be held
+    /// M or E), or returns `None`.
+    pub fn try_cform(&mut self, insn: &CformInstruction, pc: u64) -> Option<MemResult> {
+        if !self.servable_locally(insn.line_addr, 1, true) {
+            return None;
+        }
+        let latency = self.cache.latency;
+        let e = self.cache.access(insn.line_addr).expect("checked resident");
+        let exception = match insn.execute(e.line.line_mut()) {
+            Ok(_) => {
+                e.state = Mesi::Modified;
+                self.cache.mark_dirty(insn.line_addr);
+                None
+            }
+            Err(err) => Some(kmap_exception(err, insn.line_addr, pc)),
+        };
+        Some(MemResult {
+            latency,
+            data: Vec::new(),
+            exception,
+        })
+    }
+}
+
+/// The multi-core hierarchy: N per-core L1Ds kept coherent by a MESI
+/// directory over the shared sentinel-format L2/L3/DRAM.
+#[derive(Debug)]
+pub struct CoherentHierarchy {
+    cfg: HierarchyConfig,
+    ccfg: CoherenceConfig,
+    l1s: Vec<CoreL1>,
+    shared: SharedLevels,
+    directory: HashMap<u64, DirEntry>,
+    /// Coherence-traffic counters.
+    pub coherence: CoherenceStats,
+    /// L1→L2 spill conversions of califormed lines (all cores).
+    pub spills: u64,
+    /// L2→L1 fill conversions of califormed lines (all cores).
+    pub fills: u64,
+}
+
+impl CoherentHierarchy {
+    /// Builds a coherent hierarchy with `cores` private L1Ds.
+    ///
+    /// `cfg.stream_prefetcher` / `cfg.prefetch_residual` are ignored:
+    /// the multi-core L1s carry no prefetcher (DESIGN.md §7).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 ≤ cores ≤ 64` (the directory's sharer set is one
+    /// machine word, as in real full-map directories of this scale).
+    pub fn new(cfg: HierarchyConfig, ccfg: CoherenceConfig, cores: usize) -> Self {
+        assert!(
+            (1..=64).contains(&cores),
+            "directory supports 1..=64 cores, got {cores}"
+        );
+        Self {
+            l1s: (0..cores).map(|_| CoreL1::new(&cfg)).collect(),
+            shared: SharedLevels::new(cfg),
+            directory: HashMap::new(),
+            cfg,
+            ccfg,
+            coherence: CoherenceStats::default(),
+            spills: 0,
+            fills: 0,
+        }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.l1s.len()
+    }
+
+    /// The hierarchy configuration.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.cfg
+    }
+
+    /// Mutable access to the per-core L1 slices — the multicore engine
+    /// hands each worker thread exactly one during the parallel phase.
+    pub fn l1s_mut(&mut self) -> &mut [CoreL1] {
+        &mut self.l1s
+    }
+
+    /// Read-only view of the per-core L1 slices.
+    pub fn l1s(&self) -> &[CoreL1] {
+        &self.l1s
+    }
+
+    /// Spills `entry`'s line back to the shared L2 (running the real
+    /// bitvector→sentinel conversion) and returns the sentinel-format
+    /// line. `dirty` decides whether the L2 copy is marked dirty.
+    fn writeback(&mut self, line_addr: u64, line: &L1Line, dirty: bool) {
+        let spilled = spill(line).expect("canonical lines always spill");
+        if spilled.califormed {
+            self.spills += 1;
+        }
+        self.shared.insert_l2(line_addr, spilled, dirty);
+    }
+
+    /// Removes core `c` from a line's directory entry (L1 capacity
+    /// eviction), writing a dirty victim back through the spill path.
+    fn evict_victim(&mut self, c: usize, line_addr: u64, victim: CoherentLine, dirty: bool) {
+        let entry = self
+            .directory
+            .get_mut(&line_addr)
+            .expect("resident lines are in the directory");
+        entry.sharers &= !(1u64 << c);
+        if entry.owner == Some(c) {
+            entry.owner = None;
+        }
+        if entry.sharers == 0 {
+            self.directory.remove(&line_addr);
+        }
+        if dirty {
+            self.writeback(line_addr, &victim.line, true);
+        }
+    }
+
+    /// The MESI state machine: makes `line_addr` resident in core `c`'s
+    /// L1 with read (`write == false`) or write permission, returning the
+    /// latency beyond the L1 hit latency.
+    fn ensure_state(&mut self, c: usize, line_addr: u64, write: bool) -> u32 {
+        // Fast path: already resident with sufficient permission.
+        if let Some(e) = self.l1s[c].cache.access(line_addr) {
+            match (e.state, write) {
+                (_, false) | (Mesi::Modified, true) | (Mesi::Exclusive, true) => return 0,
+                (Mesi::Shared, true) => {
+                    // S→M upgrade: invalidate every other sharer.
+                    self.coherence.directory_lookups += 1;
+                    self.coherence.upgrades_s_to_m += 1;
+                    let entry = self
+                        .directory
+                        .get_mut(&line_addr)
+                        .expect("shared lines are in the directory");
+                    let others = entry.sharers & !(1u64 << c);
+                    entry.sharers = 1 << c;
+                    entry.owner = Some(c);
+                    let mut latency = self.ccfg.directory_latency;
+                    if others != 0 {
+                        latency += self.ccfg.upgrade_latency;
+                        for o in 0..self.l1s.len() {
+                            if others >> o & 1 == 1 {
+                                // Shared copies are clean: drop silently.
+                                self.l1s[o].cache.invalidate(line_addr);
+                                self.coherence.invalidations += 1;
+                            }
+                        }
+                    }
+                    let e = self.l1s[c]
+                        .cache
+                        .peek_mut(line_addr)
+                        .expect("still resident");
+                    e.state = Mesi::Modified;
+                    return latency;
+                }
+            }
+        }
+
+        // Miss: consult the directory.
+        self.coherence.directory_lookups += 1;
+        let mut latency = self.ccfg.directory_latency;
+        let entry = self.directory.entry(line_addr).or_default();
+        let remote_owner = entry.owner.filter(|&o| o != c);
+        let remote_sharers = entry.sharers & !(1u64 << c);
+
+        let l2line = if let Some(o) = remote_owner {
+            // Cache-to-cache: recall the line from the remote owner's L1.
+            // The spill conversion runs in the source L1 either way; on a
+            // read the owner keeps a Shared copy, on a write it is
+            // invalidated.
+            latency += self.ccfg.cache_to_cache_latency;
+            self.coherence.cache_to_cache_transfers += 1;
+            let (owner_line, owner_dirty) = if write {
+                let (victim, dirty) = self.l1s[o]
+                    .cache
+                    .invalidate(line_addr)
+                    .expect("directory says owner has the line");
+                self.coherence.invalidations += 1;
+                (victim.line, dirty)
+            } else {
+                let e = self.l1s[o]
+                    .cache
+                    .peek_mut(line_addr)
+                    .expect("directory says owner has the line");
+                e.state = Mesi::Shared;
+                let line = e.line;
+                let dirty = self.l1s[o].cache.is_dirty(line_addr).unwrap_or(false);
+                self.l1s[o].cache.clear_dirty(line_addr);
+                (line, dirty)
+            };
+            let spilled = spill(&owner_line).expect("canonical lines always spill");
+            if spilled.califormed {
+                self.spills += 1;
+                self.coherence.califormed_transfers += 1;
+            }
+            self.shared.insert_l2(line_addr, spilled, owner_dirty);
+            spilled
+        } else {
+            if write && remote_sharers != 0 {
+                // Write to a line shared (clean) by others: invalidate.
+                latency += self.ccfg.upgrade_latency;
+                for o in 0..self.l1s.len() {
+                    if remote_sharers >> o & 1 == 1 {
+                        self.l1s[o].cache.invalidate(line_addr);
+                        self.coherence.invalidations += 1;
+                    }
+                }
+            }
+            let (line, fetch_latency) = self.shared.fetch(line_addr);
+            latency += fetch_latency;
+            line
+        };
+
+        if l2line.califormed {
+            self.fills += 1;
+        }
+        let l1line = fill(&l2line).expect("hierarchy lines are well-formed");
+        let entry = self.directory.entry(line_addr).or_default();
+        let state = if write {
+            entry.sharers = 1 << c;
+            entry.owner = Some(c);
+            Mesi::Modified
+        } else if entry.sharers & !(1u64 << c) == 0 {
+            entry.sharers = 1 << c;
+            entry.owner = Some(c);
+            Mesi::Exclusive
+        } else {
+            entry.sharers |= 1 << c;
+            entry.owner = None;
+            Mesi::Shared
+        };
+        if let Some(victim) = self.l1s[c].cache.insert(
+            line_addr,
+            CoherentLine {
+                line: l1line,
+                state,
+            },
+            false,
+        ) {
+            self.evict_victim(c, victim.line_addr, victim.value, victim.dirty);
+        }
+        latency
+    }
+
+    fn l1_line_mut(&mut self, c: usize, line_addr: u64) -> &mut CoherentLine {
+        // `ensure_state` has run and already counted the access.
+        self.l1s[c]
+            .cache
+            .access_uncounted(line_addr)
+            .expect("line was just ensured resident")
+    }
+
+    /// Performs a load by core `c` (line-crossing loads are split).
+    pub fn load(&mut self, c: usize, addr: u64, len: usize, pc: u64) -> MemResult {
+        let mut latency = 0u32;
+        let mut data = Vec::with_capacity(len);
+        let mut exception = None;
+        let mut cur = addr;
+        let end = addr + len as u64;
+        while cur < end {
+            let line_addr = line_base(cur);
+            let offset = line_offset(cur);
+            let chunk = ((LINE_BYTES - offset as u64).min(end - cur)) as usize;
+            let extra = self.ensure_state(c, line_addr, false);
+            latency = latency.max(self.cfg.l1d_latency + extra);
+            let e = self.l1_line_mut(c, line_addr);
+            let r = e.line.load(offset, chunk);
+            data.extend_from_slice(&r.data);
+            if r.violation && exception.is_none() {
+                let first = r.violating_bytes.trailing_zeros() as u64;
+                exception = Some(CaliformsException {
+                    fault_addr: cur + first,
+                    access: AccessKind::Load,
+                    kind: ExceptionKind::SecurityByteAccess,
+                    pc,
+                });
+            }
+            cur += chunk as u64;
+        }
+        MemResult {
+            latency,
+            data,
+            exception,
+        }
+    }
+
+    /// Performs a store by core `c`; on a security-byte violation the
+    /// store to that line is suppressed and the exception reported.
+    pub fn store(&mut self, c: usize, addr: u64, bytes: &[u8], pc: u64) -> MemResult {
+        let mut latency = 0u32;
+        let mut exception = None;
+        let mut cur = addr;
+        let end = addr + bytes.len() as u64;
+        let mut consumed = 0usize;
+        while cur < end {
+            let line_addr = line_base(cur);
+            let offset = line_offset(cur);
+            let chunk = ((LINE_BYTES - offset as u64).min(end - cur)) as usize;
+            let extra = self.ensure_state(c, line_addr, true);
+            latency = latency.max(self.cfg.l1d_latency + extra);
+            let e = self.l1_line_mut(c, line_addr);
+            match e.line.store(offset, &bytes[consumed..consumed + chunk]) {
+                Ok(()) => {
+                    e.state = Mesi::Modified;
+                    self.l1s[c].cache.mark_dirty(line_addr);
+                }
+                Err(CoreError::StoreToSecurityByte { index }) => {
+                    if exception.is_none() {
+                        exception = Some(CaliformsException {
+                            fault_addr: line_addr + index as u64,
+                            access: AccessKind::Store,
+                            kind: ExceptionKind::SecurityByteAccess,
+                            pc,
+                        });
+                    }
+                }
+                Err(other) => unreachable!("store can only fault on security bytes: {other}"),
+            }
+            cur += chunk as u64;
+            consumed += chunk;
+        }
+        MemResult {
+            latency,
+            data: Vec::new(),
+            exception,
+        }
+    }
+
+    /// Executes a `CFORM` by core `c` (write-allocate: the line is pulled
+    /// into the core's L1 in M state first, like a store).
+    pub fn cform(&mut self, c: usize, insn: &CformInstruction, pc: u64) -> MemResult {
+        let extra = self.ensure_state(c, insn.line_addr, true);
+        let latency = self.cfg.l1d_latency + extra;
+        let e = self.l1_line_mut(c, insn.line_addr);
+        let exception = match insn.execute(e.line.line_mut()) {
+            Ok(_) => {
+                e.state = Mesi::Modified;
+                self.l1s[c].cache.mark_dirty(insn.line_addr);
+                None
+            }
+            Err(err) => Some(kmap_exception(err, insn.line_addr, pc)),
+        };
+        MemResult {
+            latency,
+            data: Vec::new(),
+            exception,
+        }
+    }
+
+    /// Executes a **non-temporal** `CFORM` by core `c`: every L1 copy is
+    /// recalled/invalidated (write-back through the spill conversion where
+    /// dirty) and the line is updated in place at the shared L2 without
+    /// re-entering any L1.
+    /// (`_c` identifies the requesting core for API symmetry; the NT
+    /// variant never allocates into any L1, so it does not use it.)
+    pub fn cform_nt(&mut self, _c: usize, insn: &CformInstruction, pc: u64) -> MemResult {
+        let line_addr = insn.line_addr;
+        self.coherence.directory_lookups += 1;
+        let mut latency = self.ccfg.directory_latency;
+        if let Some(entry) = self.directory.remove(&line_addr) {
+            for o in 0..self.l1s.len() {
+                if entry.sharers >> o & 1 == 1 {
+                    if let Some((victim, dirty)) = self.l1s[o].cache.invalidate(line_addr) {
+                        self.coherence.invalidations += 1;
+                        if dirty {
+                            self.writeback(line_addr, &victim.line, true);
+                            latency += self.ccfg.cache_to_cache_latency;
+                        }
+                    }
+                }
+            }
+        }
+        let (l2line, extra) = self.shared.fetch(line_addr);
+        latency += extra;
+        let mut l1line = fill(&l2line).expect("hierarchy lines are well-formed");
+        let exception = match insn.execute(l1line.line_mut()) {
+            Ok(_) => {
+                let spilled = spill(&l1line).expect("canonical lines always spill");
+                self.shared.insert_l2(line_addr, spilled, true);
+                None
+            }
+            Err(err) => Some(kmap_exception(err, line_addr, pc)),
+        };
+        MemResult {
+            latency: self.cfg.l1d_latency + latency,
+            data: Vec::new(),
+            exception,
+        }
+    }
+
+    /// Functional view of the line holding `addr`: the authoritative copy
+    /// is the owning core's L1 if any, then any Shared L1 copy, then the
+    /// shared levels. No timing, LRU or counter effects.
+    fn peek_line(&self, addr: u64) -> L1Line {
+        let line_addr = line_base(addr);
+        if let Some(entry) = self.directory.get(&line_addr) {
+            for o in 0..self.l1s.len() {
+                if entry.sharers >> o & 1 == 1 {
+                    if let Some(e) = self.l1s[o].cache.peek(line_addr) {
+                        return e.line;
+                    }
+                }
+            }
+        }
+        fill(&self.shared.peek_line(line_addr)).expect("hierarchy lines are well-formed")
+    }
+
+    /// Functional read of one byte (security bytes read as zero).
+    pub fn peek_byte(&self, addr: u64) -> u8 {
+        self.peek_line(addr).line().data()[line_offset(addr)]
+    }
+
+    /// Whether `addr` currently marks a security byte.
+    pub fn peek_is_security_byte(&self, addr: u64) -> bool {
+        self.peek_line(addr)
+            .line()
+            .is_security_byte(line_offset(addr))
+    }
+
+    /// The current security mask of the line holding `addr`.
+    pub fn peek_mask(&self, addr: u64) -> u64 {
+        self.peek_line(addr).line().security_mask()
+    }
+
+    /// MESI state of a line in core `c`'s L1 (`None` = Invalid/absent).
+    pub fn l1_state(&self, c: usize, line_addr: u64) -> Option<Mesi> {
+        self.l1s[c].cache.peek(line_addr).map(|e| e.state)
+    }
+
+    /// Copies the shared-level and coherence counters into `stats` (the
+    /// whole-machine "combined" block of
+    /// [`crate::stats::MulticoreStats`]).
+    pub fn export_stats(&self, stats: &mut SimStats) {
+        self.shared.export_stats(stats);
+        let mut l1d = CacheStats::default();
+        for l1 in &self.l1s {
+            let s = l1.stats();
+            l1d.hits += s.hits;
+            l1d.misses += s.misses;
+            l1d.evictions += s.evictions;
+            l1d.writebacks += s.writebacks;
+        }
+        stats.l1d = l1d;
+        stats.spills = self.spills;
+        stats.fills = self.fills;
+        stats.coherence = self.coherence;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coh(cores: usize) -> CoherentHierarchy {
+        CoherentHierarchy::new(
+            HierarchyConfig::westmere(),
+            CoherenceConfig::westmere(),
+            cores,
+        )
+    }
+
+    #[test]
+    fn first_reader_gets_exclusive_second_demotes_to_shared() {
+        let mut h = coh(2);
+        h.store(0, 0x1000, &[1, 2, 3, 4], 0);
+        assert_eq!(h.l1_state(0, 0x1000), Some(Mesi::Modified));
+        let r = h.load(1, 0x1000, 4, 1);
+        assert_eq!(r.data, vec![1, 2, 3, 4], "dirty data travels core-to-core");
+        assert_eq!(h.l1_state(0, 0x1000), Some(Mesi::Shared));
+        assert_eq!(h.l1_state(1, 0x1000), Some(Mesi::Shared));
+        assert_eq!(h.coherence.cache_to_cache_transfers, 1);
+    }
+
+    #[test]
+    fn cold_read_is_exclusive_and_silently_upgrades() {
+        let mut h = coh(2);
+        h.load(0, 0x2000, 8, 0);
+        assert_eq!(h.l1_state(0, 0x2000), Some(Mesi::Exclusive));
+        // The silent E→M store needs no directory transaction.
+        let lookups = h.coherence.directory_lookups;
+        h.store(0, 0x2000, &[9], 1);
+        assert_eq!(h.l1_state(0, 0x2000), Some(Mesi::Modified));
+        assert_eq!(h.coherence.directory_lookups, lookups);
+    }
+
+    #[test]
+    fn store_to_shared_line_upgrades_and_invalidates() {
+        let mut h = coh(4);
+        for c in 0..4 {
+            h.load(c, 0x3000, 8, 0);
+        }
+        assert_eq!(h.l1_state(3, 0x3000), Some(Mesi::Shared));
+        h.store(1, 0x3000, &[7], 1);
+        assert_eq!(h.l1_state(1, 0x3000), Some(Mesi::Modified));
+        for c in [0usize, 2, 3] {
+            assert_eq!(h.l1_state(c, 0x3000), None, "core {c} invalidated");
+        }
+        assert_eq!(h.coherence.upgrades_s_to_m, 1);
+        assert_eq!(h.coherence.invalidations, 3);
+    }
+
+    #[test]
+    fn write_request_recalls_and_invalidates_remote_owner() {
+        let mut h = coh(2);
+        h.store(0, 0x4000, &[1; 8], 0);
+        h.store(1, 0x4000, &[2; 8], 1);
+        assert_eq!(h.l1_state(0, 0x4000), None);
+        assert_eq!(h.l1_state(1, 0x4000), Some(Mesi::Modified));
+        assert_eq!(h.load(1, 0x4000, 8, 2).data, vec![2; 8]);
+        assert_eq!(h.coherence.invalidations, 1);
+    }
+
+    #[test]
+    fn califormed_line_transfer_runs_conversions_and_preserves_mask() {
+        let mut h = coh(2);
+        h.store(0, 0x5000, &[5; 16], 0);
+        let insn = CformInstruction::set(0x5000, 0b1111 << 20);
+        assert!(h.cform(0, &insn, 1).exception.is_none());
+        let (spills0, fills0) = (h.spills, h.fills);
+        // Core 1 reads a normal part of the line: recall runs spill+fill.
+        let r = h.load(1, 0x5000, 8, 2);
+        assert!(r.exception.is_none());
+        assert_eq!(r.data, vec![5; 8]);
+        assert_eq!(h.spills, spills0 + 1, "recall spilled in the source L1");
+        assert_eq!(h.fills, fills0 + 1, "fill converted in the destination L1");
+        assert_eq!(h.coherence.califormed_transfers, 1);
+        assert_eq!(h.peek_mask(0x5000), 0b1111 << 20, "mask survived transfer");
+    }
+
+    #[test]
+    fn cross_core_probe_traps_at_exact_byte() {
+        let mut h = coh(2);
+        h.cform(0, &CformInstruction::set(0x6000, 1 << 21), 0);
+        assert_eq!(h.l1_state(0, 0x6000), Some(Mesi::Modified));
+        let r = h.load(1, 0x6000 + 21, 1, 7);
+        let exc = r.exception.expect("probe must trap");
+        assert_eq!(exc.fault_addr, 0x6015);
+        assert_eq!(exc.access, AccessKind::Load);
+        assert_eq!(r.data, vec![0], "security byte reads zero on the far core");
+    }
+
+    #[test]
+    fn invalidation_preserves_zeroing_invariant() {
+        let mut h = coh(2);
+        h.store(0, 0x7000, &[0xAB; 32], 0);
+        h.cform(0, &CformInstruction::set(0x7000, 0xFF << 8), 1);
+        // Remote write forces recall+invalidate of the dirty califormed
+        // line; the surviving copy must still zero bytes 8..16.
+        h.store(1, 0x7000, &[0xCD; 4], 2);
+        for off in 8..16 {
+            assert!(h.peek_is_security_byte(0x7000 + off));
+            assert_eq!(h.peek_byte(0x7000 + off), 0);
+        }
+        assert_eq!(h.peek_byte(0x7000), 0xCD);
+        assert_eq!(h.peek_byte(0x7000 + 16), 0xAB);
+    }
+
+    #[test]
+    fn try_local_ops_complete_only_with_permission() {
+        let mut h = coh(2);
+        h.load(0, 0x8000, 8, 0); // E in core 0
+        let l1 = &mut h.l1s_mut()[0];
+        assert!(l1.try_load(0x8000, 8, 1).is_some());
+        assert!(l1.try_store(0x8000, &[1], 2).is_some(), "E is writable");
+        assert!(l1.try_load(0x9000, 8, 3).is_none(), "miss defers");
+        // Demote to Shared via a second reader; local store must defer.
+        h.load(1, 0x8000, 8, 4);
+        let l1 = &mut h.l1s_mut()[0];
+        assert!(l1.try_load(0x8000, 8, 5).is_some());
+        assert!(l1.try_store(0x8000, &[2], 6).is_none(), "S is not writable");
+    }
+
+    #[test]
+    fn nt_cform_invalidates_every_copy_and_hits_below() {
+        let mut h = coh(3);
+        h.store(0, 0xA000, &[3; 8], 0);
+        h.load(1, 0xA000, 8, 1);
+        h.load(2, 0xA000, 8, 2);
+        let r = h.cform_nt(0, &CformInstruction::set(0xA000, 1 << 40), 3);
+        assert!(r.exception.is_none());
+        for c in 0..3 {
+            assert_eq!(h.l1_state(c, 0xA000), None, "core {c} dropped its copy");
+        }
+        assert!(h.peek_is_security_byte(0xA000 + 40));
+        assert_eq!(h.peek_byte(0xA000), 3, "data survived");
+    }
+
+    #[test]
+    fn capacity_eviction_updates_directory() {
+        let mut h = coh(2);
+        let target = 0xB000u64;
+        h.store(0, target, &[9; 8], 0);
+        // Thrash core 0's set (64 sets × 64 B × 64 sets-stride = 4096).
+        for i in 1..=16u64 {
+            h.load(0, target + i * 4096, 8, 0);
+        }
+        assert_eq!(h.l1_state(0, target), None, "victim evicted");
+        // A fresh read by core 1 must come from the shared levels (no
+        // stale directory entry pointing at core 0).
+        let r = h.load(1, target, 8, 1);
+        assert_eq!(r.data, vec![9; 8]);
+        assert_eq!(h.l1_state(1, target), Some(Mesi::Exclusive));
+    }
+
+    #[test]
+    fn single_core_behaves_like_flat_hierarchy() {
+        let mut h = coh(1);
+        let r = h.load(0, 0x4000, 1, 0);
+        assert_eq!(r.latency, 4 + 2 + 7 + 27 + 300, "directory adds 2 cycles");
+        let r = h.load(0, 0x4000, 1, 0);
+        assert_eq!(r.latency, 4);
+    }
+}

@@ -79,7 +79,7 @@ impl Engine {
             }
             TraceOp::Store { addr, size } => {
                 self.stores += 1;
-                let data = Self::store_pattern(addr, size as usize);
+                let data = store_pattern(addr, size as usize);
                 let r = self.hierarchy.store(addr, &data, self.pc);
                 self.account_memory(r.latency);
                 if r.exception.is_some() {
@@ -135,15 +135,6 @@ impl Engine {
         }
     }
 
-    /// Deterministic store payload: traces carry no data, but the
-    /// califormed format conversions need real byte values flowing through
-    /// the hierarchy, so stores write a pattern derived from the address.
-    fn store_pattern(addr: u64, len: usize) -> Vec<u8> {
-        (0..len)
-            .map(|i| ((addr + i as u64).wrapping_mul(0x9E37_79B9) >> 16) as u8)
-            .collect()
-    }
-
     /// Runs a whole trace to completion and returns the outcome.
     pub fn run<I>(mut self, trace: I) -> SimOutcome
     where
@@ -187,6 +178,17 @@ impl Engine {
     }
 }
 
+/// Deterministic store payload: traces carry no data, but the califormed
+/// format conversions need real byte values flowing through the
+/// hierarchy, so stores write a pattern derived from the address. Shared
+/// by [`Engine`] and [`crate::multicore::MulticoreEngine`] so single- and
+/// multi-core replays of the same shard write identical bytes.
+pub(crate) fn store_pattern(addr: u64, len: usize) -> Vec<u8> {
+    (0..len)
+        .map(|i| ((addr + i as u64).wrapping_mul(0x9E37_79B9) >> 16) as u8)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,8 +204,14 @@ mod tests {
     #[test]
     fn store_load_cform_counts() {
         let trace = [
-            TraceOp::Store { addr: 0x100, size: 8 },
-            TraceOp::Load { addr: 0x100, size: 8 },
+            TraceOp::Store {
+                addr: 0x100,
+                size: 8,
+            },
+            TraceOp::Load {
+                addr: 0x100,
+                size: 8,
+            },
             TraceOp::Cform {
                 line_addr: 0x100,
                 attrs: 1 << 20,
@@ -225,7 +233,10 @@ mod tests {
                 attrs: 1 << 5,
                 mask: 1 << 5,
             },
-            TraceOp::Load { addr: 0x205, size: 1 },
+            TraceOp::Load {
+                addr: 0x205,
+                size: 1,
+            },
         ];
         let out = Engine::westmere().run(trace);
         assert_eq!(out.stats.exceptions_delivered, 1);
@@ -243,9 +254,15 @@ mod tests {
                 mask: 1 << 5,
             },
             TraceOp::MaskPush,
-            TraceOp::Load { addr: 0x205, size: 1 }, // memcpy-style sweep
+            TraceOp::Load {
+                addr: 0x205,
+                size: 1,
+            }, // memcpy-style sweep
             TraceOp::MaskPop,
-            TraceOp::Load { addr: 0x205, size: 1 }, // rogue again
+            TraceOp::Load {
+                addr: 0x205,
+                size: 1,
+            }, // rogue again
         ];
         let out = Engine::westmere().run(trace);
         assert_eq!(out.stats.exceptions_suppressed, 1);
@@ -260,7 +277,10 @@ mod tests {
                 attrs: 0xF,
                 mask: 0xF,
             },
-            TraceOp::Store { addr: 0x40, size: 4 },
+            TraceOp::Store {
+                addr: 0x40,
+                size: 4,
+            },
         ];
         let out = Engine::westmere().run(trace);
         assert_eq!(out.stats.stores_suppressed, 1);

@@ -117,6 +117,23 @@ pub struct MemResult {
     pub exception: Option<CaliformsException>,
 }
 
+/// Maps a `CFORM` K-map fault onto the privileged exception (Table 1
+/// semantics), shared by the single-core [`Hierarchy`] and the
+/// [`crate::coherence::CoherentHierarchy`] paths.
+pub(crate) fn kmap_exception(e: CoreError, line_addr: u64, pc: u64) -> CaliformsException {
+    let (kind, index) = match e {
+        CoreError::CformSetOnSecurityByte { index } => (ExceptionKind::CformDoubleSet, index),
+        CoreError::CformUnsetOnNormalByte { index } => (ExceptionKind::CformUnsetNormal, index),
+        other => unreachable!("CFORM faults are K-map faults: {other}"),
+    };
+    CaliformsException {
+        fault_addr: line_addr + index as u64,
+        access: AccessKind::Cform,
+        kind,
+        pc,
+    }
+}
+
 /// Main memory: sentinel-format lines; the *califormed?* bit conceptually
 /// lives in spare ECC bits (Section 3), so no extra address space is used.
 #[derive(Debug, Default)]
@@ -137,48 +154,35 @@ impl Dram {
     }
 }
 
-/// The simulated L1D/L2/L3/DRAM hierarchy with Califorms support.
+/// The shared, sentinel-format levels below the L1 boundary: L2 → L3 →
+/// DRAM.
+///
+/// Extracted from [`Hierarchy`] so the single-core hierarchy and the
+/// multi-core [`crate::coherence::CoherentHierarchy`] (where *several*
+/// per-core L1Ds sit on top of one shared L2/L3) drive one implementation.
+/// Everything at or below this boundary stores califormed lines in the
+/// sentinel format; crossing the boundary upward is where the fill
+/// conversion runs, crossing downward the spill.
 #[derive(Debug)]
-pub struct Hierarchy {
+pub struct SharedLevels {
     cfg: HierarchyConfig,
-    l1d: SetAssocCache<L1Line>,
     l2: SetAssocCache<L2Line>,
     l3: SetAssocCache<L2Line>,
     dram: Dram,
-    /// Conversion and traffic counters, merged into the engine's stats.
-    pub spills: u64,
-    /// L2→L1 fill conversions of califormed lines.
-    pub fills: u64,
     /// DRAM line fetches.
     pub dram_accesses: u64,
-    /// Misses whose latency the stream prefetcher hid.
-    pub prefetch_hits: u64,
-    /// Last-missed-line trackers (4 independent streams).
-    streams: [u64; 4],
-    stream_cursor: usize,
 }
 
-impl Hierarchy {
-    /// Builds a hierarchy from a configuration.
+impl SharedLevels {
+    /// Builds the shared levels from a configuration.
     pub fn new(cfg: HierarchyConfig) -> Self {
         Self {
-            l1d: SetAssocCache::new(cfg.l1d_size, cfg.l1d_ways, cfg.l1d_latency),
             l2: SetAssocCache::new(cfg.l2_size, cfg.l2_ways, cfg.l2_latency),
             l3: SetAssocCache::new(cfg.l3_size, cfg.l3_ways, cfg.l3_latency),
             dram: Dram::default(),
-            cfg,
-            spills: 0,
-            fills: 0,
             dram_accesses: 0,
-            prefetch_hits: 0,
-            streams: [u64::MAX; 4],
-            stream_cursor: 0,
+            cfg,
         }
-    }
-
-    /// The active configuration.
-    pub fn config(&self) -> &HierarchyConfig {
-        &self.cfg
     }
 
     fn insert_l3(&mut self, line_addr: u64, line: L2Line, dirty: bool) {
@@ -189,7 +193,9 @@ impl Hierarchy {
         }
     }
 
-    fn insert_l2(&mut self, line_addr: u64, line: L2Line, dirty: bool) {
+    /// Inserts (or refreshes) a line in the L2, rippling dirty evictions
+    /// down to L3 and DRAM — the write-back path for L1 spills.
+    pub fn insert_l2(&mut self, line_addr: u64, line: L2Line, dirty: bool) {
         if let Some(ev) = self.l2.insert(line_addr, line, dirty) {
             if ev.dirty {
                 self.insert_l3(ev.line_addr, ev.value, true);
@@ -199,7 +205,7 @@ impl Hierarchy {
 
     /// Fetches a line in sentinel format from L2/L3/DRAM, returning the
     /// added latency (beyond L1).
-    fn fetch_below_l1(&mut self, line_addr: u64) -> (L2Line, u32) {
+    pub fn fetch(&mut self, line_addr: u64) -> (L2Line, u32) {
         if let Some(line) = self.l2.access(line_addr) {
             return (*line, self.cfg.l2_latency + self.cfg.extra_l2_latency);
         }
@@ -216,6 +222,109 @@ impl Hierarchy {
         self.insert_l3(line_addr, line, false);
         self.insert_l2(line_addr, line, false);
         (line, l2_part + l3_part + self.cfg.dram_latency)
+    }
+
+    /// Functional (stat-free, LRU-free) read of a line from whichever
+    /// shared level holds it, falling through to DRAM.
+    pub fn peek_line(&self, line_addr: u64) -> L2Line {
+        self.l2
+            .peek(line_addr)
+            .or_else(|| self.l3.peek(line_addr))
+            .copied()
+            .unwrap_or_else(|| self.dram.load(line_addr))
+    }
+
+    /// Drops every cached copy of a line, writing the freshest one back to
+    /// DRAM (page-eviction building block). The L1 levels above must have
+    /// been handled by the caller first.
+    pub fn evict_to_dram(&mut self, line_addr: u64) {
+        if let Some((line, _)) = self.l2.invalidate(line_addr) {
+            self.l3.invalidate(line_addr);
+            self.dram.store(line_addr, line);
+            return;
+        }
+        if let Some((line, _)) = self.l3.invalidate(line_addr) {
+            self.dram.store(line_addr, line);
+        }
+    }
+
+    /// Overwrites a line's DRAM copy and drops stale cached copies.
+    pub fn set_dram_line(&mut self, line_addr: u64, line: L2Line) {
+        self.dram.store(line_addr, line);
+    }
+
+    /// Reads a line's DRAM copy.
+    pub fn dram_line(&self, line_addr: u64) -> L2Line {
+        self.dram.load(line_addr)
+    }
+
+    /// Removes a line from DRAM entirely (its page was swapped out).
+    pub fn remove_dram_line(&mut self, line_addr: u64) {
+        self.dram.lines.remove(&line_addr);
+    }
+
+    /// Flushes the L2 and L3 to DRAM.
+    pub fn flush(&mut self) {
+        for (addr, line, dirty) in self.l2.drain() {
+            if dirty {
+                self.insert_l3(addr, line, true);
+            }
+        }
+        for (addr, line, dirty) in self.l3.drain() {
+            if dirty {
+                self.dram.store(addr, line);
+            }
+        }
+    }
+
+    /// Copies the shared-level counters into a stats block.
+    pub fn export_stats(&self, stats: &mut SimStats) {
+        stats.l2 = self.l2.stats;
+        stats.l3 = self.l3.stats;
+        stats.dram_accesses = self.dram_accesses;
+    }
+}
+
+/// The simulated L1D/L2/L3/DRAM hierarchy with Califorms support.
+#[derive(Debug)]
+pub struct Hierarchy {
+    cfg: HierarchyConfig,
+    l1d: SetAssocCache<L1Line>,
+    shared: SharedLevels,
+    /// Conversion and traffic counters, merged into the engine's stats.
+    pub spills: u64,
+    /// L2→L1 fill conversions of califormed lines.
+    pub fills: u64,
+    /// Misses whose latency the stream prefetcher hid.
+    pub prefetch_hits: u64,
+    /// Last-missed-line trackers (4 independent streams).
+    streams: [u64; 4],
+    stream_cursor: usize,
+}
+
+impl Hierarchy {
+    /// Builds a hierarchy from a configuration.
+    pub fn new(cfg: HierarchyConfig) -> Self {
+        Self {
+            l1d: SetAssocCache::new(cfg.l1d_size, cfg.l1d_ways, cfg.l1d_latency),
+            shared: SharedLevels::new(cfg),
+            cfg,
+            spills: 0,
+            fills: 0,
+            prefetch_hits: 0,
+            streams: [u64::MAX; 4],
+            stream_cursor: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.cfg
+    }
+
+    /// DRAM line fetches performed so far.
+    pub fn dram_accesses(&self) -> u64 {
+        self.shared.dram_accesses
     }
 
     /// Detects sequential miss streams: returns true when `line_addr`
@@ -240,7 +349,7 @@ impl Hierarchy {
             return 0;
         }
         let prefetched = self.cfg.stream_prefetcher && self.stream_hit(line_addr);
-        let (l2line, extra) = self.fetch_below_l1(line_addr);
+        let (l2line, extra) = self.shared.fetch(line_addr);
         let extra = if prefetched {
             self.prefetch_hits += 1;
             extra.min(self.cfg.prefetch_residual)
@@ -257,7 +366,7 @@ impl Hierarchy {
                 if spilled.califormed {
                     self.spills += 1;
                 }
-                self.insert_l2(ev.line_addr, spilled, true);
+                self.shared.insert_l2(ev.line_addr, spilled, true);
             }
         }
         extra
@@ -355,23 +464,7 @@ impl Hierarchy {
                 self.l1d.mark_dirty(insn.line_addr);
                 None
             }
-            Err(e) => {
-                let (kind, index) = match e {
-                    CoreError::CformSetOnSecurityByte { index } => {
-                        (ExceptionKind::CformDoubleSet, index)
-                    }
-                    CoreError::CformUnsetOnNormalByte { index } => {
-                        (ExceptionKind::CformUnsetNormal, index)
-                    }
-                    other => unreachable!("CFORM faults are K-map faults: {other}"),
-                };
-                Some(CaliformsException {
-                    fault_addr: insn.line_addr + index as u64,
-                    access: AccessKind::Cform,
-                    kind,
-                    pc,
-                })
-            }
+            Err(e) => Some(kmap_exception(e, insn.line_addr, pc)),
         };
         MemResult {
             latency,
@@ -389,12 +482,7 @@ impl Hierarchy {
         if let Some(l1) = self.l1d.peek(line_addr) {
             return l1.line().data()[offset];
         }
-        let l2line = self
-            .l2
-            .peek(line_addr)
-            .or_else(|| self.l3.peek(line_addr))
-            .copied()
-            .unwrap_or_else(|| self.dram.load(line_addr));
+        let l2line = self.shared.peek_line(line_addr);
         let l1 = fill(&l2line).expect("hierarchy lines are well-formed");
         l1.line().data()[offset]
     }
@@ -407,12 +495,7 @@ impl Hierarchy {
         if let Some(l1) = self.l1d.peek(line_addr) {
             return l1.line().is_security_byte(offset);
         }
-        let l2line = self
-            .l2
-            .peek(line_addr)
-            .or_else(|| self.l3.peek(line_addr))
-            .copied()
-            .unwrap_or_else(|| self.dram.load(line_addr));
+        let l2line = self.shared.peek_line(line_addr);
         let l1 = fill(&l2line).expect("hierarchy lines are well-formed");
         l1.line().is_security_byte(offset)
     }
@@ -430,35 +513,19 @@ impl Hierarchy {
                 if spilled.califormed {
                     self.spills += 1;
                 }
-                self.insert_l2(insn.line_addr, spilled, true);
+                self.shared.insert_l2(insn.line_addr, spilled, true);
             }
         }
-        let (l2line, extra) = self.fetch_below_l1(insn.line_addr);
+        let (l2line, extra) = self.shared.fetch(insn.line_addr);
         let latency = self.cfg.l1d_latency + extra;
         let mut l1line = fill(&l2line).expect("hierarchy lines are well-formed");
         let exception = match insn.execute(l1line.line_mut()) {
             Ok(_) => {
                 let spilled = spill(&l1line).expect("canonical lines always spill");
-                self.insert_l2(insn.line_addr, spilled, true);
+                self.shared.insert_l2(insn.line_addr, spilled, true);
                 None
             }
-            Err(e) => {
-                let (kind, index) = match e {
-                    CoreError::CformSetOnSecurityByte { index } => {
-                        (ExceptionKind::CformDoubleSet, index)
-                    }
-                    CoreError::CformUnsetOnNormalByte { index } => {
-                        (ExceptionKind::CformUnsetNormal, index)
-                    }
-                    other => unreachable!("CFORM faults are K-map faults: {other}"),
-                };
-                Some(CaliformsException {
-                    fault_addr: insn.line_addr + index as u64,
-                    access: AccessKind::Cform,
-                    kind,
-                    pc,
-                })
-            }
+            Err(e) => Some(kmap_exception(e, insn.line_addr, pc)),
         };
         MemResult {
             latency,
@@ -482,35 +549,27 @@ impl Hierarchy {
             if spilled.califormed {
                 self.spills += 1;
             }
-            self.l2.invalidate(line_addr);
-            self.l3.invalidate(line_addr);
-            self.dram.store(line_addr, spilled);
+            self.shared.evict_to_dram(line_addr); // drop stale copies
+            self.shared.set_dram_line(line_addr, spilled);
             return;
         }
-        if let Some((line, _)) = self.l2.invalidate(line_addr) {
-            self.l3.invalidate(line_addr);
-            self.dram.store(line_addr, line);
-            return;
-        }
-        if let Some((line, _)) = self.l3.invalidate(line_addr) {
-            self.dram.store(line_addr, line);
-        }
+        self.shared.evict_to_dram(line_addr);
     }
 
     /// Reads a line's DRAM copy (sentinel format; the *califormed?* bit
     /// conceptually lives in the spare ECC bits).
     pub fn dram_line(&self, line_addr: u64) -> L2Line {
-        self.dram.load(line_addr)
+        self.shared.dram_line(line_addr)
     }
 
     /// Overwrites a line's DRAM copy (page swap-in path).
     pub fn set_dram_line(&mut self, line_addr: u64, line: L2Line) {
-        self.dram.store(line_addr, line);
+        self.shared.set_dram_line(line_addr, line);
     }
 
     /// Removes a line from DRAM entirely (its page was swapped out).
     pub fn remove_dram_line(&mut self, line_addr: u64) {
-        self.dram.lines.remove(&line_addr);
+        self.shared.remove_dram_line(line_addr);
     }
 
     /// Flushes every cache level to DRAM (end-of-run or I/O boundary).
@@ -521,27 +580,16 @@ impl Hierarchy {
                 if spilled.califormed {
                     self.spills += 1;
                 }
-                self.insert_l2(addr, spilled, true);
+                self.shared.insert_l2(addr, spilled, true);
             }
         }
-        for (addr, line, dirty) in self.l2.drain() {
-            if dirty {
-                self.insert_l3(addr, line, true);
-            }
-        }
-        for (addr, line, dirty) in self.l3.drain() {
-            if dirty {
-                self.dram.store(addr, line);
-            }
-        }
+        self.shared.flush();
     }
 
     /// Copies the cache counters into a stats block.
     pub fn export_stats(&self, stats: &mut SimStats) {
         stats.l1d = self.l1d.stats;
-        stats.l2 = self.l2.stats;
-        stats.l3 = self.l3.stats;
-        stats.dram_accesses = self.dram_accesses;
+        self.shared.export_stats(stats);
         stats.spills = self.spills;
         stats.fills = self.fills;
     }

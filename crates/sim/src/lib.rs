@@ -15,6 +15,11 @@
 //! * [`cache`] — generic set-associative, write-back, LRU cache.
 //! * [`hierarchy`] — L1D/L2/L3/DRAM with the Table 3 configuration and the
 //!   califorms conversion hooks at the L1 boundary.
+//! * [`coherence`] — the multi-core extension: a MESI directory over
+//!   per-core bitvector-format L1Ds sharing the sentinel-format L2/L3,
+//!   with the real spill/fill conversions on every cross-core transfer.
+//! * [`multicore`] — parallel sharded trace replay on `std::thread`
+//!   workers with a deterministic cycle-quantum barrier.
 //! * [`lsq`] — load/store-queue semantics for in-flight `CFORM`s
 //!   (Section 5.3): no store-to-load forwarding, zero on match.
 //! * [`cpu`] — a simple width/overlap core timing model.
@@ -31,20 +36,24 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod coherence;
 pub mod cpu;
 pub mod dma;
 pub mod engine;
 pub mod hierarchy;
 pub mod lsq;
+pub mod multicore;
 pub mod os;
-pub mod vector;
 pub mod stats;
 pub mod trace;
+pub mod vector;
 
+pub use coherence::{CoherenceConfig, CoherentHierarchy, Mesi};
 pub use cpu::CoreConfig;
 pub use engine::{Engine, SimOutcome};
 pub use hierarchy::{Hierarchy, HierarchyConfig};
-pub use stats::SimStats;
+pub use multicore::{MulticoreConfig, MulticoreEngine, MulticoreOutcome};
+pub use stats::{CoherenceStats, MulticoreStats, SimStats};
 pub use trace::TraceOp;
 
 /// Cache-line size used throughout (matches `califorms_core::LINE_BYTES`).

@@ -85,7 +85,10 @@ impl LoadStoreQueue {
     /// bit in hardware; here it is the enum discriminant.
     pub fn push_cform(&mut self, line_addr: u64, affected: u64) {
         assert_eq!(line_addr % LINE_BYTES, 0, "CFORM targets a full line");
-        self.entries.push(LsqEntry::Cform { line_addr, affected });
+        self.entries.push(LsqEntry::Cform {
+            line_addr,
+            affected,
+        });
     }
 
     /// Resolves a younger load against the queue: scans from the youngest
@@ -107,7 +110,10 @@ impl LoadStoreQueue {
                     }
                     return ForwardResult::PartialOverlap;
                 }
-                LsqEntry::Cform { line_addr, affected } => {
+                LsqEntry::Cform {
+                    line_addr,
+                    affected,
+                } => {
                     // First a (cheap) line-address match, then the mask
                     // confirms the byte overlap — the two-step match of
                     // Section 5.3.
@@ -125,9 +131,7 @@ impl LoadStoreQueue {
                         }
                     }
                     if overlap {
-                        return ForwardResult::CformMatch {
-                            data: vec![0; len],
-                        };
+                        return ForwardResult::CformMatch { data: vec![0; len] };
                     }
                 }
             }

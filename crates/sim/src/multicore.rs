@@ -1,0 +1,518 @@
+//! The multi-core engine: parallel sharded trace replay over the
+//! MESI-coherent hierarchy.
+//!
+//! Each core replays its own trace shard. Simulated time advances in
+//! fixed **cycle quanta** with a barrier between them, and every quantum
+//! runs in two phases (the bound/weave idea of ZSim, adapted — see
+//! DESIGN.md §7):
+//!
+//! 1. **Parallel phase** — one `std::thread` worker per core replays ops
+//!    that its private L1 can complete without a directory transaction
+//!    (hits with sufficient MESI permission, plain `Exec`, mask ops).
+//!    Workers touch disjoint state — their own [`CoreReplay`] and their
+//!    own [`CoreL1`] slice — so this phase is data-race-free by
+//!    construction and its outcome is independent of thread scheduling.
+//!    A core stops at its first op needing coherence, or at quantum end.
+//! 2. **Serial phase** — cores are resumed on the calling thread in a
+//!    deterministic round-robin (0, 1, …, 0, 1, …), each turn executing
+//!    at most one transaction through the full [`CoherentHierarchy`]
+//!    (miss, recall, upgrade, invalidation) plus any local-completable
+//!    ops around it, until every core reaches the quantum boundary. The
+//!    transaction-granular interleave keeps line ping-pong (false
+//!    sharing, lock bouncing) visible inside a quantum.
+//!
+//! Because phase 1 only ever uses permissions granted by earlier serial
+//! phases and phase 2 is totally ordered, a run's result — every counter,
+//! every cycle count, every delivered exception — is **bit-identical**
+//! across runs and across host thread schedules for the same shards
+//! (tested in `crates/sim/tests/multicore.rs`). The trade-off is
+//! quantum-granular interleaving: a store by core A becomes visible to
+//! core B's parallel phase only at the next barrier, exactly the
+//! approximation bound-weave simulators make.
+
+use crate::coherence::{CoherenceConfig, CoherentHierarchy, CoreL1};
+use crate::cpu::CoreConfig;
+use crate::engine::store_pattern;
+use crate::hierarchy::{HierarchyConfig, MemResult};
+use crate::stats::{MulticoreStats, SimStats};
+use crate::trace::TraceOp;
+use califorms_core::{CaliformsException, CformInstruction, ExceptionMask};
+
+/// Configuration of a [`MulticoreEngine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MulticoreConfig {
+    /// Number of cores (= trace shards).
+    pub cores: usize,
+    /// Quantum length in cycles. Coherence actions of one core become
+    /// visible to the others' local fast paths at quantum boundaries;
+    /// shorter quanta interleave finer but synchronise (and spawn) more.
+    pub quantum: f64,
+    /// Geometry/latency of the shared hierarchy (per-core L1s use the
+    /// L1D parameters; L2/L3/DRAM are shared). The `stream_prefetcher`
+    /// and `prefetch_residual` fields are **ignored** — the multi-core
+    /// L1s have no prefetcher (DESIGN.md §7), so single-core
+    /// `MulticoreEngine` runs of streaming traces report higher memory
+    /// latency than [`crate::engine::Engine`] on the same trace.
+    pub hierarchy: HierarchyConfig,
+    /// Coherence-fabric latencies.
+    pub coherence: CoherenceConfig,
+    /// Core timing model, applied to every core.
+    pub core: CoreConfig,
+}
+
+impl MulticoreConfig {
+    /// The paper's Table 3 machine replicated `cores` times around a
+    /// shared L2/L3, with a 10k-cycle quantum.
+    pub fn westmere(cores: usize) -> Self {
+        Self {
+            cores,
+            quantum: 10_000.0,
+            hierarchy: HierarchyConfig::westmere(),
+            coherence: CoherenceConfig::westmere(),
+            core: CoreConfig::westmere(),
+        }
+    }
+
+    /// Same machine with a workload-specific memory-level parallelism.
+    pub fn with_overlap(mut self, overlap: f64) -> Self {
+        self.core = self.core.with_overlap(overlap);
+        self
+    }
+}
+
+/// Outcome of a multi-core run.
+#[derive(Debug, Clone)]
+pub struct MulticoreOutcome {
+    /// Per-core and combined statistics.
+    pub stats: MulticoreStats,
+    /// Delivered exceptions per core, in program order, capped at
+    /// [`crate::engine::Engine::MAX_RECORDED_EXCEPTIONS`] per core.
+    pub exceptions: Vec<Vec<CaliformsException>>,
+}
+
+/// Per-core replay state: the shard cursor, the core's clock and its
+/// architectural counters. Owned by exactly one worker thread during the
+/// parallel phase.
+#[derive(Debug)]
+struct CoreReplay {
+    shard: Vec<TraceOp>,
+    pos: usize,
+    core: CoreConfig,
+    l1d_latency: u32,
+    mask: ExceptionMask,
+    cycles: f64,
+    instructions: u64,
+    loads: u64,
+    stores: u64,
+    cforms: u64,
+    stores_suppressed: u64,
+    exceptions: Vec<CaliformsException>,
+    pc: u64,
+}
+
+impl CoreReplay {
+    fn new(shard: Vec<TraceOp>, core: CoreConfig, l1d_latency: u32) -> Self {
+        Self {
+            shard,
+            pos: 0,
+            core,
+            l1d_latency,
+            mask: ExceptionMask::new(),
+            cycles: 0.0,
+            instructions: 0,
+            loads: 0,
+            stores: 0,
+            cforms: 0,
+            stores_suppressed: 0,
+            exceptions: Vec::new(),
+            pc: 0,
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pos >= self.shard.len()
+    }
+
+    fn account_memory(&mut self, latency: u32) {
+        self.cycles += self.core.exec_cycles(1) + self.core.memory_stall(latency, self.l1d_latency);
+    }
+
+    fn deliver(&mut self, exception: Option<CaliformsException>) {
+        if let Some(exc) = exception {
+            if let Some(delivered) = self.mask.filter(exc) {
+                if self.exceptions.len() < crate::engine::Engine::MAX_RECORDED_EXCEPTIONS {
+                    self.exceptions.push(delivered);
+                }
+            }
+        }
+    }
+
+    fn commit(&mut self, op: &TraceOp, r: MemResult) {
+        match op {
+            TraceOp::Load { .. } => self.loads += 1,
+            TraceOp::Store { .. } => {
+                self.stores += 1;
+                if r.exception.is_some() {
+                    self.stores_suppressed += 1;
+                }
+            }
+            TraceOp::Cform { .. } | TraceOp::CformNt { .. } => self.cforms += 1,
+            _ => {}
+        }
+        self.pc += 1;
+        self.instructions += op.instruction_count();
+        self.account_memory(r.latency);
+        self.deliver(r.exception);
+        self.pos += 1;
+    }
+
+    fn commit_exec(&mut self, op: &TraceOp, cycles: f64) {
+        self.pc += 1;
+        self.instructions += op.instruction_count();
+        self.cycles += cycles;
+        self.pos += 1;
+    }
+
+    /// Parallel ("bound") phase: replay ops the private L1 can complete
+    /// until the first one needing coherence, or until `quantum_end`.
+    fn run_quantum_local(&mut self, l1: &mut CoreL1, quantum_end: f64) {
+        while self.cycles < quantum_end && !self.done() {
+            let op = self.shard[self.pos];
+            // `pc + 1` mirrors the serial path, which increments before use.
+            let pc = self.pc + 1;
+            match op {
+                TraceOp::Exec(n) => {
+                    let c = self.core.exec_cycles(u64::from(n));
+                    self.commit_exec(&op, c);
+                }
+                TraceOp::MaskPush => {
+                    let c = self.core.exec_cycles(1);
+                    self.commit_exec(&op, c);
+                    self.mask.push_allow_all();
+                }
+                TraceOp::MaskPop => {
+                    let c = self.core.exec_cycles(1);
+                    self.commit_exec(&op, c);
+                    self.mask.pop_window();
+                }
+                TraceOp::Load { addr, size } => match l1.try_load(addr, size as usize, pc) {
+                    Some(r) => self.commit(&op, r),
+                    None => return,
+                },
+                TraceOp::Store { addr, size } => {
+                    let data = store_pattern(addr, size as usize);
+                    match l1.try_store(addr, &data, pc) {
+                        Some(r) => self.commit(&op, r),
+                        None => return,
+                    }
+                }
+                TraceOp::Cform {
+                    line_addr,
+                    attrs,
+                    mask,
+                } => {
+                    let insn = CformInstruction::new(line_addr, attrs, mask);
+                    match l1.try_cform(&insn, pc) {
+                        Some(r) => self.commit(&op, r),
+                        None => return,
+                    }
+                }
+                // Non-temporal CFORMs operate below the L1: always serial.
+                TraceOp::CformNt { .. } => return,
+            }
+        }
+    }
+}
+
+/// Replays per-core trace shards over a [`CoherentHierarchy`] with a
+/// cycle-quantum barrier.
+#[derive(Debug)]
+pub struct MulticoreEngine {
+    /// The coherent hierarchy (public: attack simulations inspect it).
+    pub hierarchy: CoherentHierarchy,
+    cfg: MulticoreConfig,
+    cores: Vec<CoreReplay>,
+}
+
+impl MulticoreEngine {
+    /// Builds an engine; shards are supplied to [`Self::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.cores == 0` or `cfg.quantum` is not a positive,
+    /// finite cycle count.
+    pub fn new(cfg: MulticoreConfig) -> Self {
+        assert!(cfg.cores >= 1, "need at least one core");
+        assert!(
+            cfg.quantum.is_finite() && cfg.quantum > 0.0,
+            "quantum must be a positive cycle count"
+        );
+        Self {
+            hierarchy: CoherentHierarchy::new(cfg.hierarchy, cfg.coherence, cfg.cores),
+            cfg,
+            cores: Vec::new(),
+        }
+    }
+
+    /// Serial ("weave") phase slice for core `c`: replay local-completable
+    /// ops through the same fast path the parallel phase uses, then
+    /// execute **at most one** coherence transaction through the full
+    /// MESI machinery and yield the turn. Returns whether any op ran.
+    ///
+    /// Yielding after each transaction makes the serial phase a
+    /// round-robin at coherence-transaction granularity, so
+    /// intra-quantum line ping-pong (false sharing, lock bouncing) is
+    /// simulated instead of being collapsed to one transfer per quantum.
+    fn run_serial_slice(&mut self, c: usize, quantum_end: f64) -> bool {
+        let (cores, hier) = (&mut self.cores, &mut self.hierarchy);
+        let core = &mut cores[c];
+        if core.cycles >= quantum_end || core.done() {
+            return false;
+        }
+        let before = core.pos;
+        core.run_quantum_local(&mut hier.l1s_mut()[c], quantum_end);
+        let progressed = core.pos != before;
+        if core.cycles >= quantum_end || core.done() {
+            return progressed;
+        }
+        // The op at the cursor needs the coherence machinery.
+        let op = core.shard[core.pos];
+        let pc = core.pc + 1;
+        let r = match op {
+            TraceOp::Load { addr, size } => hier.load(c, addr, size as usize, pc),
+            TraceOp::Store { addr, size } => {
+                let data = store_pattern(addr, size as usize);
+                hier.store(c, addr, &data, pc)
+            }
+            TraceOp::Cform {
+                line_addr,
+                attrs,
+                mask,
+            } => {
+                let insn = CformInstruction::new(line_addr, attrs, mask);
+                hier.cform(c, &insn, pc)
+            }
+            TraceOp::CformNt {
+                line_addr,
+                attrs,
+                mask,
+            } => {
+                let insn = CformInstruction::new(line_addr, attrs, mask);
+                hier.cform_nt(c, &insn, pc)
+            }
+            TraceOp::Exec(..) | TraceOp::MaskPush | TraceOp::MaskPop => {
+                unreachable!("local ops are consumed by the fast path")
+            }
+        };
+        core.commit(&op, r);
+        true
+    }
+
+    /// Runs one trace shard per core to completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `shards.len()` equals the configured core count.
+    pub fn run(mut self, shards: Vec<Vec<TraceOp>>) -> MulticoreOutcome {
+        assert_eq!(
+            shards.len(),
+            self.cfg.cores,
+            "one shard per configured core"
+        );
+        let l1d_latency = self.cfg.hierarchy.l1d_latency;
+        self.cores = shards
+            .into_iter()
+            .map(|s| CoreReplay::new(s, self.cfg.core, l1d_latency))
+            .collect();
+
+        let quantum = self.cfg.quantum;
+        let mut quantum_end = quantum;
+        while self.cores.iter().any(|c| !c.done()) {
+            // Parallel phase: one worker per core, disjoint &mut slices.
+            std::thread::scope(|scope| {
+                for (core, l1) in self.cores.iter_mut().zip(self.hierarchy.l1s_mut()) {
+                    scope.spawn(move || core.run_quantum_local(l1, quantum_end));
+                }
+            });
+            // Serial phase: deterministic round-robin, one coherence
+            // transaction per core per turn.
+            loop {
+                let mut progressed = false;
+                for c in 0..self.cfg.cores {
+                    progressed |= self.run_serial_slice(c, quantum_end);
+                }
+                if !progressed {
+                    break;
+                }
+            }
+            quantum_end += quantum;
+            // Fast-forward over empty quanta: if every unfinished core is
+            // already past the boundary (e.g. one committed a huge `Exec`),
+            // jump to the first quantum in which some core can run instead
+            // of spawning idle workers 10k cycles at a time. Pure f64 math
+            // on deterministic inputs, so determinism is unaffected.
+            let min_cycles = self
+                .cores
+                .iter()
+                .filter(|c| !c.done())
+                .map(|c| c.cycles)
+                .fold(f64::INFINITY, f64::min);
+            if min_cycles.is_finite() && min_cycles >= quantum_end {
+                let skipped = ((min_cycles - quantum_end) / quantum).floor() + 1.0;
+                quantum_end += skipped * quantum;
+            }
+        }
+        self.finish()
+    }
+
+    fn finish(self) -> MulticoreOutcome {
+        let mut per_core = Vec::with_capacity(self.cores.len());
+        let mut exceptions = Vec::with_capacity(self.cores.len());
+        let mut combined = SimStats::default();
+        for (c, core) in self.cores.iter().enumerate() {
+            let stats = SimStats {
+                cycles: core.cycles,
+                instructions: core.instructions,
+                loads: core.loads,
+                stores: core.stores,
+                cforms: core.cforms,
+                stores_suppressed: core.stores_suppressed,
+                exceptions_delivered: core.mask.delivered_count(),
+                exceptions_suppressed: core.mask.suppressed_count(),
+                l1d: self.hierarchy.l1s()[c].stats(),
+                ..SimStats::default()
+            };
+            combined.cycles = combined.cycles.max(stats.cycles);
+            combined.instructions += stats.instructions;
+            combined.loads += stats.loads;
+            combined.stores += stats.stores;
+            combined.cforms += stats.cforms;
+            combined.stores_suppressed += stats.stores_suppressed;
+            combined.exceptions_delivered += stats.exceptions_delivered;
+            combined.exceptions_suppressed += stats.exceptions_suppressed;
+            per_core.push(stats);
+            exceptions.push(core.exceptions.clone());
+        }
+        self.hierarchy.export_stats(&mut combined);
+        MulticoreOutcome {
+            stats: MulticoreStats { per_core, combined },
+            exceptions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine(cores: usize) -> MulticoreEngine {
+        MulticoreEngine::new(MulticoreConfig::westmere(cores))
+    }
+
+    #[test]
+    fn single_core_runs_a_plain_trace() {
+        let out = engine(1).run(vec![vec![
+            TraceOp::Exec(400),
+            TraceOp::Store {
+                addr: 0x100,
+                size: 8,
+            },
+            TraceOp::Load {
+                addr: 0x100,
+                size: 8,
+            },
+        ]]);
+        let s = &out.stats.per_core[0];
+        assert_eq!(s.instructions, 402);
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.stores, 1);
+        assert_eq!(out.stats.combined.instructions, 402);
+    }
+
+    #[test]
+    fn per_core_counters_split_by_shard() {
+        let out = engine(2).run(vec![
+            vec![
+                TraceOp::Load {
+                    addr: 0x1000,
+                    size: 8
+                };
+                10
+            ],
+            vec![
+                TraceOp::Store {
+                    addr: 0x8000,
+                    size: 8
+                };
+                4
+            ],
+        ]);
+        assert_eq!(out.stats.per_core[0].loads, 10);
+        assert_eq!(out.stats.per_core[0].stores, 0);
+        assert_eq!(out.stats.per_core[1].stores, 4);
+        assert_eq!(out.stats.combined.loads, 10);
+        assert_eq!(out.stats.combined.stores, 4);
+    }
+
+    #[test]
+    fn makespan_is_the_slowest_core() {
+        let out = engine(2).run(vec![
+            vec![TraceOp::Exec(4_000)],
+            vec![TraceOp::Exec(400_000)],
+        ]);
+        assert!(out.stats.per_core[1].cycles > out.stats.per_core[0].cycles);
+        assert_eq!(out.stats.combined.cycles, out.stats.per_core[1].cycles);
+        assert!(out.stats.aggregate_ipc() > 0.0);
+    }
+
+    #[test]
+    fn cross_core_sharing_is_counted() {
+        // Both cores hammer the same line with stores: the line must
+        // ping-pong with recalls + invalidations.
+        let shard = |n: u64| -> Vec<TraceOp> {
+            (0..n)
+                .flat_map(|_| {
+                    [TraceOp::Store {
+                        addr: 0x4000,
+                        size: 8,
+                    }]
+                })
+                .collect()
+        };
+        let out = engine(2).run(vec![shard(50), shard(50)]);
+        assert!(
+            out.stats.combined.coherence.invalidations > 0,
+            "write sharing must invalidate"
+        );
+        assert!(out.stats.combined.coherence.cache_to_cache_transfers > 0);
+    }
+
+    #[test]
+    fn mask_windows_are_per_core() {
+        // Core 0 arms a mask and sweeps a security byte (suppressed);
+        // core 1 does the same sweep unmasked (delivered).
+        let cform = TraceOp::Cform {
+            line_addr: 0x2000,
+            attrs: 1 << 5,
+            mask: 1 << 5,
+        };
+        let probe = TraceOp::Load {
+            addr: 0x2005,
+            size: 1,
+        };
+        let out = engine(2).run(vec![
+            vec![cform, TraceOp::MaskPush, probe, TraceOp::MaskPop],
+            vec![TraceOp::Exec(100_000), probe],
+        ]);
+        assert_eq!(out.stats.per_core[0].exceptions_suppressed, 1);
+        assert_eq!(out.stats.per_core[0].exceptions_delivered, 0);
+        assert_eq!(out.stats.per_core[1].exceptions_delivered, 1);
+        assert_eq!(out.exceptions[1][0].fault_addr, 0x2005);
+    }
+
+    #[test]
+    #[should_panic(expected = "one shard per configured core")]
+    fn shard_count_mismatch_panics() {
+        engine(2).run(vec![vec![]]);
+    }
+}

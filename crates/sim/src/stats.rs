@@ -30,8 +30,58 @@ impl CacheStats {
     }
 }
 
+/// Coherence-traffic counters produced by the multi-core subsystem
+/// ([`crate::coherence::CoherentHierarchy`]). All zero on single-core runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoherenceStats {
+    /// L1 copies destroyed by a remote write request (M/E recalls and
+    /// shared-copy invalidations).
+    pub invalidations: u64,
+    /// S→M upgrade requests (a core wrote a line it held Shared).
+    pub upgrades_s_to_m: u64,
+    /// Cache-to-cache transfers: a request serviced by recalling the line
+    /// from a remote owner's L1 instead of the shared levels.
+    pub cache_to_cache_transfers: u64,
+    /// Cache-to-cache transfers whose line was califormed — each one runs
+    /// the real bitvector→sentinel spill in the source L1 and the
+    /// sentinel→bitvector fill in the destination L1.
+    pub califormed_transfers: u64,
+    /// Directory consultations (one per L1 miss or upgrade request).
+    pub directory_lookups: u64,
+}
+
+/// Aggregated statistics of a [`crate::multicore::MulticoreEngine`] run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MulticoreStats {
+    /// Per-core statistics (index = core id). `l1d` counters are the
+    /// core's private L1; shared-level counters are zero here and live in
+    /// [`Self::combined`].
+    pub per_core: Vec<SimStats>,
+    /// Whole-machine view: summed instruction/op counts, `cycles` = the
+    /// slowest core (makespan), shared L2/L3/DRAM counters, conversion
+    /// counts and the coherence counters.
+    pub combined: SimStats,
+}
+
+impl MulticoreStats {
+    /// Number of simulated cores.
+    pub fn cores(&self) -> usize {
+        self.per_core.len()
+    }
+
+    /// Aggregate instructions per cycle: total retired instructions over
+    /// the makespan (the "simulated IPC" the scaling bench reports).
+    pub fn aggregate_ipc(&self) -> f64 {
+        if self.combined.cycles == 0.0 {
+            0.0
+        } else {
+            self.combined.instructions as f64 / self.combined.cycles
+        }
+    }
+}
+
 /// Full-run statistics produced by [`crate::engine::Engine`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SimStats {
     /// Simulated cycles (fractional: the core model issues multiple
     /// instructions per cycle).
@@ -62,6 +112,8 @@ pub struct SimStats {
     pub exceptions_suppressed: u64,
     /// Stores suppressed because they targeted a security byte.
     pub stores_suppressed: u64,
+    /// Coherence counters (all zero for single-core runs).
+    pub coherence: CoherenceStats,
 }
 
 impl SimStats {

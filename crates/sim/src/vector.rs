@@ -73,7 +73,11 @@ pub fn vector_load(
     }
     let value = VectorValue {
         data: r.data.clone(),
-        poison: if mode == VectorMode::Propagate { poison } else { 0 },
+        poison: if mode == VectorMode::Propagate {
+            poison
+        } else {
+            0
+        },
     };
     let result = match mode {
         // Precise: identical to scalar semantics — the exception (if any)
@@ -154,7 +158,11 @@ mod tests {
 
     #[test]
     fn clean_vectors_are_clean_in_every_mode() {
-        for mode in [VectorMode::Precise, VectorMode::TrapOnAny, VectorMode::Propagate] {
+        for mode in [
+            VectorMode::Precise,
+            VectorMode::TrapOnAny,
+            VectorMode::Propagate,
+        ] {
             let mut h = Hierarchy::new(HierarchyConfig::westmere());
             h.store(0x9000, &[3; 64], 0);
             let (r, v) = vector_load(&mut h, 0x9000, 64, mode, 0);

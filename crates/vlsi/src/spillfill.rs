@@ -35,7 +35,8 @@ pub fn spill_module(tech: &Tech) -> Cost {
     let header = tech.logic(1_200, 4);
     let staging = tech.registers(64 * 8 + 64);
 
-    metadata_or.parallel(decoders + used_values + sentinel_find)
+    metadata_or
+        .parallel(decoders + used_values + sentinel_find)
         .parallel(first_four.parallel(Cost::ZERO))
         + crossbar
         + header
@@ -48,10 +49,10 @@ pub fn spill_module(tech: &Tech) -> Cost {
 /// bank run side by side; parallelism is what keeps fill at ~1.4 ns.
 pub fn fill_module(tech: &Tech) -> Cost {
     let code_cmp = tech.logic(4 * 8, 4); // the !=00/==10/==11 blocks
-    // The sentinel must first be extracted from byte 3 (an extraction mux
-    // gated by the ==11 compare) before the comparator bank can run — the
-    // serialisation that puts fill at ~1.4 ns rather than a handful of
-    // gate delays.
+                                         // The sentinel must first be extracted from byte 3 (an extraction mux
+                                         // gated by the ==11 compare) before the comparator bank can run — the
+                                         // serialisation that puts fill at ~1.4 ns rather than a handful of
+                                         // gate delays.
     let sentinel_extract = tech.logic(200, 6);
     let addr_decode = (0..4)
         .map(|_| tech.decoder6x64())
@@ -64,7 +65,10 @@ pub fn fill_module(tech: &Tech) -> Cost {
     let metadata_set = tech.logic(400, 2);
     let staging = tech.registers(64 * 8 + 64);
 
-    code_cmp + sentinel_extract + addr_decode.parallel(sentinel_bank) + restore_mux
+    code_cmp
+        + sentinel_extract
+        + addr_decode.parallel(sentinel_bank)
+        + restore_mux
         + metadata_set
         + staging
 }

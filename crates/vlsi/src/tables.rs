@@ -82,8 +82,7 @@ fn model_rows(variants: &[L1Variant], tech: &Tech) -> Vec<TableRow> {
             TableRow {
                 name: v.name(),
                 main: design.cost,
-                l1_overheads: (v != L1Variant::Baseline)
-                    .then(|| design.overhead_vs(&baseline)),
+                l1_overheads: (v != L1Variant::Baseline).then(|| design.overhead_vs(&baseline)),
                 fill,
                 spill,
             }

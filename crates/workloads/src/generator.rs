@@ -119,8 +119,7 @@ pub fn generate(profile: &BenchmarkProfile, cfg: &WorkloadConfig) -> Workload {
         ..AllocatorConfig::default()
     };
     let mut heap = CaliformsHeap::new(0x1000_0000, heap_cfg);
-    let mut ops: Vec<TraceOp> =
-        Vec::with_capacity(cfg.steady_ops * 2 + profile.live_objects * 2);
+    let mut ops: Vec<TraceOp> = Vec::with_capacity(cfg.steady_ops * 2 + profile.live_objects * 2);
 
     // --- Warmup: build the live population (weighted type mix). ---
     let total_weight: u32 = defs.iter().map(|(_, w)| w).sum();
@@ -184,10 +183,13 @@ pub fn generate(profile: &BenchmarkProfile, cfg: &WorkloadConfig) -> Workload {
     let arrays: Vec<Option<FieldSlot>> = layouts
         .iter()
         .map(|l| {
-            l.fields.iter().find(|f| f.name == "buf").map(|f| FieldSlot {
-                offset: f.offset,
-                size: f.size,
-            })
+            l.fields
+                .iter()
+                .find(|f| f.name == "buf")
+                .map(|f| FieldSlot {
+                    offset: f.offset,
+                    size: f.size,
+                })
         })
         .collect();
     // Chase pointers live in node objects (type 0): their `next` field.
@@ -397,10 +399,9 @@ fn jitter<R: Rng + ?Sized>(rng: &mut R, around: u32) -> u32 {
 }
 
 fn hash_name(name: &str) -> u64 {
-    name.bytes()
-        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-            (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
-        })
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+    })
 }
 
 /// Convenience: a layout for a profile under a policy, with the same

@@ -21,12 +21,19 @@
 //! [`califorms_alloc::CaliformsHeap`], which emits the `CFORM`s) followed
 //! by a steady-state phase mixing field accesses, array streaming, pointer
 //! chasing and allocation churn.
+//!
+//! [`multicore`] generates *per-core shards* instead of one trace: the
+//! sharing patterns (producer/consumer ring, false sharing, lock
+//! contention, read-mostly shared table) that exercise the MESI-coherent
+//! multi-core hierarchy of [`califorms_sim::MulticoreEngine`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod generator;
+pub mod multicore;
 pub mod spec;
 
 pub use generator::{generate, layout_for, run_workload, Workload, WorkloadConfig};
+pub use multicore::{generate_mt, run_mt, MtPattern, MtWorkload, MtWorkloadConfig};
 pub use spec::{fig10_benchmarks, software_eval_benchmarks, BenchmarkProfile};

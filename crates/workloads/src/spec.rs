@@ -154,54 +154,160 @@ impl BenchmarkProfile {
 /// One row of the benchmark table: name, live, fields, array, churn,
 /// chase%, stream%, exec/mem, overlap, global%, calls, stack_arrays,
 /// fig10, sw.
-type ProfileRow =
-    (&'static str, usize, usize, usize, u32, u32, u32, u32, f64, u32, u32, bool, bool, bool);
+type ProfileRow = (
+    &'static str,
+    usize,
+    usize,
+    usize,
+    u32,
+    u32,
+    u32,
+    u32,
+    f64,
+    u32,
+    u32,
+    bool,
+    bool,
+    bool,
+);
 
 /// All 19 profiles, in Figure 10's alphabetical order.
 pub fn all_benchmarks() -> Vec<BenchmarkProfile> {
     let rows: [ProfileRow; 19] = [
         // A* path search: pointer-heavy graph walk, moderate churn.
-        ("astar", 3_000, 6, 24, 8, 60, 10, 24, 0.62, 30, 25, false, true, true),
+        (
+            "astar", 3_000, 6, 24, 8, 60, 10, 24, 0.62, 30, 25, false, true, true,
+        ),
         // Burrows-Wheeler: big buffers, streaming, nearly no malloc.
-        ("bzip2", 800, 4, 192, 1, 5, 70, 20, 0.78, 75, 10, false, true, true),
+        (
+            "bzip2", 800, 4, 192, 1, 5, 70, 20, 0.78, 75, 10, false, true, true,
+        ),
         // FEM library: allocation-rich C++, medium sets (excluded from sw eval).
-        ("dealII", 2_500, 10, 48, 20, 30, 20, 23, 0.67, 35, 35, false, true, false),
+        (
+            "dealII", 2_500, 10, 48, 20, 30, 20, 23, 0.67, 35, 35, false, true, false,
+        ),
         // Compiler: allocation-heavy, large irregular working set (excluded).
-        ("gcc", 4_000, 12, 32, 35, 35, 15, 17, 0.62, 30, 40, false, true, false),
+        (
+            "gcc", 4_000, 12, 32, 35, 35, 15, 17, 0.62, 30, 40, false, true, false,
+        ),
         // Go engine: tree search with heavy small-object churn.
-        ("gobmk", 250, 8, 40, 28, 25, 10, 26, 0.72, 40, 70, true, true, true),
+        (
+            "gobmk", 250, 8, 40, 28, 25, 10, 26, 0.72, 40, 70, true, true, true,
+        ),
         // Video encoder: streaming macroblocks + frequent buffer allocs.
-        ("h264ref", 1_500, 6, 160, 18, 10, 60, 34, 0.70, 65, 18, true, true, true),
+        (
+            "h264ref", 1_500, 6, 160, 18, 10, 60, 34, 0.70, 65, 18, true, true, true,
+        ),
         // Profile HMM search: tiny working set, compute-bound.
-        ("hmmer", 100, 6, 32, 1, 5, 30, 36, 0.85, 60, 12, false, true, true),
+        (
+            "hmmer", 100, 6, 32, 1, 5, 30, 36, 0.85, 60, 12, false, true, true,
+        ),
         // Lattice Boltzmann: huge streaming arrays, no churn.
-        ("lbm", 8_000, 4, 96, 0, 0, 90, 10, 0.82, 85, 2, false, true, true),
+        (
+            "lbm", 8_000, 4, 96, 0, 0, 90, 10, 0.82, 85, 2, false, true, true,
+        ),
         // Quantum simulation: large sequential sweeps.
-        ("libquantum", 4_000, 4, 64, 1, 0, 85, 6, 0.80, 80, 3, false, true, true),
+        (
+            "libquantum",
+            4_000,
+            4,
+            64,
+            1,
+            0,
+            85,
+            6,
+            0.80,
+            80,
+            3,
+            false,
+            true,
+            true,
+        ),
         // Min-cost flow: the classic latency-bound pointer chaser, WSS ≫ L3.
-        ("mcf", 80_000, 8, 0, 3, 70, 5, 2, 0.15, 25, 8, false, true, true),
+        (
+            "mcf", 80_000, 8, 0, 3, 70, 5, 2, 0.15, 25, 8, false, true, true,
+        ),
         // Lattice QCD: big arrays, cache-hungry random sweeps.
-        ("milc", 6_000, 6, 160, 2, 20, 50, 5, 0.45, 70, 6, false, true, true),
+        (
+            "milc", 6_000, 6, 160, 2, 20, 50, 5, 0.45, 70, 6, false, true, true,
+        ),
         // Molecular dynamics: compute-bound, small set.
-        ("namd", 80, 8, 48, 0, 5, 35, 30, 0.82, 65, 10, false, true, true),
+        (
+            "namd", 80, 8, 48, 0, 5, 35, 30, 0.82, 65, 10, false, true, true,
+        ),
         // Discrete-event sim: pointer-chasing event lists, high churn (excluded).
-        ("omnetpp", 8_000, 10, 24, 30, 50, 5, 12, 0.45, 20, 30, false, true, false),
+        (
+            "omnetpp", 8_000, 10, 24, 30, 50, 5, 12, 0.45, 20, 30, false, true, false,
+        ),
         // Perl interpreter: "notorious for being malloc-intensive".
-        ("perlbench", 2_000, 10, 24, 45, 30, 10, 24, 0.68, 25, 25, true, true, true),
+        (
+            "perlbench",
+            2_000,
+            10,
+            24,
+            45,
+            30,
+            10,
+            24,
+            0.68,
+            25,
+            25,
+            true,
+            true,
+            true,
+        ),
         // Ray tracer: compute-bound with some allocation.
-        ("povray", 100, 8, 32, 4, 15, 20, 23, 0.82, 55, 12, true, true, true),
+        (
+            "povray", 100, 8, 32, 4, 15, 20, 23, 0.82, 55, 12, true, true, true,
+        ),
         // Chess engine: tree search, modest memory.
-        ("sjeng", 200, 8, 48, 3, 25, 10, 34, 0.74, 50, 18, true, true, true),
+        (
+            "sjeng", 200, 8, 48, 3, 25, 10, 34, 0.74, 50, 18, true, true, true,
+        ),
         // Sparse LP solver: large matrices, mixed access.
-        ("soplex", 5_000, 6, 96, 2, 20, 50, 8, 0.55, 65, 15, false, true, true),
+        (
+            "soplex", 5_000, 6, 96, 2, 20, 50, 8, 0.55, 65, 15, false, true, true,
+        ),
         // Speech recognition: streaming acoustic scores.
-        ("sphinx3", 3_000, 5, 80, 3, 10, 65, 9, 0.63, 70, 20, true, true, true),
+        (
+            "sphinx3", 3_000, 5, 80, 3, 10, 65, 9, 0.63, 70, 20, true, true, true,
+        ),
         // XML/XSLT: DOM pointer chasing with constant node churn.
-        ("xalancbmk", 7_000, 9, 24, 8, 55, 5, 3, 0.35, 20, 10, false, true, true),
+        (
+            "xalancbmk",
+            7_000,
+            9,
+            24,
+            8,
+            55,
+            5,
+            3,
+            0.35,
+            20,
+            10,
+            false,
+            true,
+            true,
+        ),
     ];
     rows.iter()
         .map(
-            |&(name, live, fields, array, churn, chase, stream, exec, overlap, global_pct, calls, stack_arrays, fig10, sw)| {
+            |&(
+                name,
+                live,
+                fields,
+                array,
+                churn,
+                chase,
+                stream,
+                exec,
+                overlap,
+                global_pct,
+                calls,
+                stack_arrays,
+                fig10,
+                sw,
+            )| {
                 BenchmarkProfile {
                     name,
                     live_objects: live,
@@ -225,7 +331,10 @@ pub fn all_benchmarks() -> Vec<BenchmarkProfile> {
 
 /// The 19 benchmarks of the Figure 10 latency study.
 pub fn fig10_benchmarks() -> Vec<BenchmarkProfile> {
-    all_benchmarks().into_iter().filter(|b| b.in_fig10).collect()
+    all_benchmarks()
+        .into_iter()
+        .filter(|b| b.in_fig10)
+        .collect()
 }
 
 /// The 16 benchmarks of the Figures 11/12 software evaluation.

@@ -14,7 +14,10 @@ fn main() {
     let victim = 0x4_0000u64;
 
     // Write recognisable data and blacklist two interior bytes.
-    engine.step(TraceOp::Store { addr: victim, size: 8 });
+    engine.step(TraceOp::Store {
+        addr: victim,
+        size: 8,
+    });
     engine.step(TraceOp::Cform {
         line_addr: victim,
         attrs: 1 << 20 | 1 << 41,
@@ -41,7 +44,10 @@ fn main() {
     println!("security bytes survive in sentinel format below the L1");
 
     // Touch the line again: it fills back into the L1 (sentinel -> bitvector).
-    engine.step(TraceOp::Load { addr: victim, size: 8 });
+    engine.step(TraceOp::Load {
+        addr: victim,
+        size: 8,
+    });
     let fills = engine.hierarchy.fills;
     println!("line re-filled into L1: {fills} califormed fill(s) so far");
 
@@ -51,7 +57,10 @@ fn main() {
     println!("original data intact after spill+fill: {:02x?}", r.data);
 
     // And the tripwire still fires.
-    engine.step(TraceOp::Load { addr: victim + 20, size: 1 });
+    engine.step(TraceOp::Load {
+        addr: victim + 20,
+        size: 1,
+    });
     let exc = engine
         .delivered_exceptions()
         .first()

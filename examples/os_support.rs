@@ -15,7 +15,10 @@ fn main() {
     let page = 2 * PAGE_BYTES; // a page-aligned victim
 
     // A struct-ish object with a secret and a security span.
-    engine.step(TraceOp::Store { addr: page, size: 8 });
+    engine.step(TraceOp::Store {
+        addr: page,
+        size: 8,
+    });
     engine.step(TraceOp::Cform {
         line_addr: page,
         attrs: 0b11 << 20,
@@ -32,9 +35,15 @@ fn main() {
         swap.metadata_bytes()
     );
     swap.swap_in(&mut engine.hierarchy, page);
-    println!("swapped in: metadata reclaimed ({} B held)", swap.metadata_bytes());
+    println!(
+        "swapped in: metadata reclaimed ({} B held)",
+        swap.metadata_bytes()
+    );
     assert!(engine.hierarchy.peek_is_security_byte(page + 20));
-    engine.step(TraceOp::Load { addr: page + 20, size: 1 });
+    engine.step(TraceOp::Load {
+        addr: page + 20,
+        size: 1,
+    });
     println!(
         "tripwire still armed after the round trip: {}",
         engine.delivered_exceptions()[0]
@@ -55,7 +64,10 @@ fn main() {
     let aware = DmaEngine::respecting().read(&mut engine.hierarchy, page, 8);
     let legacy = DmaEngine::bypassing().read(&mut engine.hierarchy, page, 8);
     println!("califorms-aware DMA sees: {:02x?}", aware.data);
-    println!("legacy DMA sees:          {:02x?}  <- sentinel header, not data!", legacy.data);
+    println!(
+        "legacy DMA sees:          {:02x?}  <- sentinel header, not data!",
+        legacy.data
+    );
     println!();
     println!("the legacy engine silently bypasses the tripwires AND garbles the");
     println!("line — why accelerators must adopt the califorming algorithm (Sec 7.2).");

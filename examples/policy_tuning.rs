@@ -40,7 +40,10 @@ fn main() {
         "{:<18} | {:>9} | {:>12} | {:>11} | {:>8}",
         "policy", "slowdown", "mem overhead", "sec bytes/obj", "CFORMs"
     );
-    println!("{:-<18}-+-{:-<9}-+-{:-<12}-+-{:-<11}-+-{:-<8}", "", "", "", "", "");
+    println!(
+        "{:-<18}-+-{:-<9}-+-{:-<12}-+-{:-<11}-+-{:-<8}",
+        "", "", "", "", ""
+    );
     for (name, policy) in policies {
         let w = generate(&profile, &WorkloadConfig::with_policy(policy, ops, 0));
         let stats = run_workload(&w, HierarchyConfig::westmere());

@@ -10,7 +10,9 @@ use califorms::sim::{Engine, TraceOp};
 
 fn main() {
     // --- 1. The primitive: blacklist bytes inside a cache line. ---------
-    let mut line = CaliformedLine::from_data(*b"Hello, Califorms!...............................................");
+    let mut line = CaliformedLine::from_data(
+        *b"Hello, Califorms!...............................................",
+    );
     // Blacklist bytes 17..20 with a CFORM (Table 1 semantics: set on
     // regular bytes succeeds; set on an existing security byte would trap).
     CformInstruction::set(0, 0b111 << 17)
@@ -33,17 +35,26 @@ fn main() {
     // --- 3. The machine: detection happens in the cache hierarchy. ------
     let mut engine = Engine::westmere();
     // A victim object at 0x1000 with a security byte at offset 12.
-    engine.step(TraceOp::Store { addr: 0x1000, size: 8 });
+    engine.step(TraceOp::Store {
+        addr: 0x1000,
+        size: 8,
+    });
     engine.step(TraceOp::Cform {
         line_addr: 0x1000,
         attrs: 1 << 12,
         mask: 1 << 12,
     });
     // Legitimate access: fine.
-    engine.step(TraceOp::Load { addr: 0x1000, size: 8 });
+    engine.step(TraceOp::Load {
+        addr: 0x1000,
+        size: 8,
+    });
     assert!(engine.delivered_exceptions().is_empty());
     // Rogue access sweeping the security byte: privileged exception.
-    engine.step(TraceOp::Load { addr: 0x1008, size: 8 });
+    engine.step(TraceOp::Load {
+        addr: 0x1008,
+        size: 8,
+    });
     let exc = engine.delivered_exceptions()[0];
     println!("rogue load trapped: {exc}");
     println!("(the load itself architecturally returned zero — no speculative leak)");

@@ -10,11 +10,15 @@
 //! * [`core`] — cache-line formats (bitvector, sentinel), spill/fill
 //!   conversion, the `CFORM` instruction and the privileged exception.
 //! * [`sim`] — the trace-driven memory-hierarchy and core-timing simulator
-//!   that substitutes for the paper's ZSim setup.
+//!   that substitutes for the paper's ZSim setup, including the
+//!   multi-core subsystem: a MESI directory over per-core bitvector L1s
+//!   ([`sim::coherence`]) and the deterministic parallel trace replay of
+//!   [`sim::multicore::MulticoreEngine`].
 //! * [`layout`] — the C-ABI struct-layout engine with the paper's three
 //!   security-byte insertion policies.
 //! * [`alloc`] — the quarantining, clean-before-use heap allocator model.
-//! * [`workloads`] — SPEC CPU2006-like synthetic workload generators.
+//! * [`workloads`] — SPEC CPU2006-like synthetic workload generators, plus
+//!   the multi-threaded sharing patterns of [`workloads::multicore`].
 //! * [`vlsi`] — the analytic area/delay/power model for Tables 2 and 7.
 //! * [`security`] — attack simulations and the derandomisation math.
 //! * [`baselines`] — REST / ADI / MPX comparison models and the

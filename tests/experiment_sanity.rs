@@ -11,7 +11,10 @@ const OPS: usize = 15_000;
 
 fn slowdown(bench: &str, variant: WorkloadConfig, hier: HierarchyConfig) -> f64 {
     let profile = spec::by_name(bench).unwrap();
-    let base = generate(&profile, &WorkloadConfig::baseline(variant.steady_ops, variant.seed));
+    let base = generate(
+        &profile,
+        &WorkloadConfig::baseline(variant.steady_ops, variant.seed),
+    );
     let with = generate(&profile, &variant);
     let sb = run_workload(&base, HierarchyConfig::westmere());
     let sv = run_workload(&with, hier);
@@ -60,7 +63,10 @@ fn fig10_shape_memory_bound_suffers_most() {
     );
     assert!(hmmer < xalanc, "hmmer {hmmer:.4} < xalancbmk {xalanc:.4}");
     assert!(hmmer < 0.01, "compute-bound: sub-1% ({hmmer:.4})");
-    assert!(xalanc < 0.05, "even the worst case stays small ({xalanc:.4})");
+    assert!(
+        xalanc < 0.05,
+        "even the worst case stays small ({xalanc:.4})"
+    );
 }
 
 #[test]

@@ -27,7 +27,10 @@ fn compile_allocate_run_detect() {
 
     // Run: legitimate field writes, then the overflow.
     let buf = layout.field_offset("buf").unwrap() as u64;
-    ops.push(TraceOp::Store { addr: base + buf, size: 8 }); // legit
+    ops.push(TraceOp::Store {
+        addr: base + buf,
+        size: 8,
+    }); // legit
     ops.push(TraceOp::Store {
         addr: base + buf + 64, // first byte past buf: the span
         size: 1,
@@ -50,9 +53,15 @@ fn temporal_safety_through_the_full_stack() {
     let mut ops = Vec::new();
     let a = heap.malloc(&layout, &mut ops);
     // Victim stores a secret, frees, then a stale pointer dereferences.
-    ops.push(TraceOp::Store { addr: a + 8, size: 8 });
+    ops.push(TraceOp::Store {
+        addr: a + 8,
+        size: 8,
+    });
     heap.free(a, &mut ops);
-    ops.push(TraceOp::Load { addr: a + 8, size: 8 });
+    ops.push(TraceOp::Load {
+        addr: a + 8,
+        size: 8,
+    });
     let mut e = engine();
     for op in ops {
         e.step(op);
@@ -88,18 +97,27 @@ fn whitelisted_memcpy_sweeps_without_faulting() {
     // struct-to-struct copy: sweeps every byte, including security bytes.
     ops.push(TraceOp::MaskPush);
     for off in 0..layout.size as u64 {
-        ops.push(TraceOp::Load { addr: base + off, size: 1 });
+        ops.push(TraceOp::Load {
+            addr: base + off,
+            size: 1,
+        });
     }
     ops.push(TraceOp::MaskPop);
     // After the whitelisted region, protection is live again.
     let span = layout.security_spans[0].offset as u64;
-    ops.push(TraceOp::Load { addr: base + span, size: 1 });
+    ops.push(TraceOp::Load {
+        addr: base + span,
+        size: 1,
+    });
     let mut e = engine();
     for op in ops {
         e.step(op);
     }
     let out = e.finish();
-    assert!(out.stats.exceptions_suppressed > 0, "memcpy accesses masked");
+    assert!(
+        out.stats.exceptions_suppressed > 0,
+        "memcpy accesses masked"
+    );
     assert_eq!(out.stats.exceptions_delivered, 1, "rogue access after pop");
 }
 
@@ -137,7 +155,10 @@ fn califormed_data_survives_cache_pressure() {
     let lines = 40_000u64; // 2.5 MB > L3
     for i in 0..lines {
         let base = 0x100_0000 + i * 64;
-        e.step(TraceOp::Store { addr: base, size: 4 });
+        e.step(TraceOp::Store {
+            addr: base,
+            size: 4,
+        });
         e.step(TraceOp::Cform {
             line_addr: base,
             attrs: 1 << 9,
@@ -150,7 +171,10 @@ fn califormed_data_survives_cache_pressure() {
     // confirm the metadata survived the round trip.
     for i in (0..lines).step_by(97) {
         let base = 0x100_0000 + i * 64;
-        e.step(TraceOp::Load { addr: base, size: 4 });
+        e.step(TraceOp::Load {
+            addr: base,
+            size: 4,
+        });
         assert!(e.hierarchy.peek_is_security_byte(base + 9), "line {i}");
         assert!(!e.hierarchy.peek_is_security_byte(base + 10), "line {i}");
     }

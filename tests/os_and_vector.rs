@@ -71,7 +71,9 @@ fn io_export_strips_spans_end_to_end() {
         "every span byte crossed the boundary as zero"
     );
     for s in &layout.security_spans {
-        assert!(export.data[s.offset..s.offset + s.len].iter().all(|&b| b == 0));
+        assert!(export.data[s.offset..s.offset + s.len]
+            .iter()
+            .all(|&b| b == 0));
     }
     // Still armed in memory.
     let span = layout.security_spans[0].offset as u64;

@@ -16,7 +16,10 @@ fn store_cform_benign_load_then_trap_at_exact_byte() {
     let mut engine = Engine::westmere();
 
     // Store into a fresh line, then blacklist bytes 12..=13.
-    engine.step(TraceOp::Store { addr: 0x1000, size: 8 });
+    engine.step(TraceOp::Store {
+        addr: 0x1000,
+        size: 8,
+    });
     engine.step(TraceOp::Cform {
         line_addr: 0x1000,
         attrs: 0b11 << 12,
@@ -24,14 +27,20 @@ fn store_cform_benign_load_then_trap_at_exact_byte() {
     });
 
     // A correct program never notices the security bytes.
-    engine.step(TraceOp::Load { addr: 0x1000, size: 8 });
+    engine.step(TraceOp::Load {
+        addr: 0x1000,
+        size: 8,
+    });
     assert!(
         engine.delivered_exceptions().is_empty(),
         "benign load must not trap"
     );
 
     // An overflowing load is caught at the exact byte.
-    engine.step(TraceOp::Load { addr: 0x100C, size: 1 });
+    engine.step(TraceOp::Load {
+        addr: 0x100C,
+        size: 1,
+    });
     let delivered = engine.delivered_exceptions();
     assert_eq!(delivered.len(), 1, "rogue load must trap");
     assert_eq!(
@@ -73,7 +82,10 @@ fn heap_allocated_object_overflow_traps_on_its_security_span() {
 
     // …then overflow into the object's first security span.
     let rogue = base + layout.security_spans[0].offset as u64;
-    engine.step(TraceOp::Load { addr: rogue, size: 1 });
+    engine.step(TraceOp::Load {
+        addr: rogue,
+        size: 1,
+    });
     let delivered = engine.delivered_exceptions();
     assert_eq!(delivered.len(), 1, "overflow into a span must trap");
     assert_eq!(

@@ -27,7 +27,10 @@ pub struct Criterion {}
 impl Criterion {
     /// Starts a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), _criterion: self }
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
     }
 
     /// Runs a single named benchmark.
@@ -120,7 +123,10 @@ impl Bencher {
             black_box(f());
             warm_iters += 1;
         }
-        let per_iter = warm_start.elapsed().checked_div(warm_iters as u32).unwrap_or_default();
+        let per_iter = warm_start
+            .elapsed()
+            .checked_div(warm_iters as u32)
+            .unwrap_or_default();
 
         // Measurement: a batch sized to the target window.
         let batch = if per_iter.is_zero() {

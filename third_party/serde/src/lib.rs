@@ -138,7 +138,11 @@ tuple_serialize!(A.0, B.1, C.2, D.3);
 
 impl<K: ToString, V: Serialize> Serialize for BTreeMap<K, V> {
     fn to_value(&self) -> Value {
-        Value::Object(self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect())
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
     }
 }
 

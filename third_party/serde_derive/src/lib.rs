@@ -47,15 +47,13 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     }
 
     let name = name.expect("derive(Serialize) shim supports only structs");
-    let group = fields_group
-        .expect("derive(Serialize) shim supports only structs with named fields");
+    let group =
+        fields_group.expect("derive(Serialize) shim supports only structs with named fields");
     let fields = field_names(group.stream());
 
     let entries: String = fields
         .iter()
-        .map(|f| {
-            format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})),")
-        })
+        .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value(&self.{f})),"))
         .collect();
     format!(
         "impl serde::Serialize for {name} {{ \

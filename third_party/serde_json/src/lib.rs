@@ -136,7 +136,10 @@ mod tests {
         assert!(s.contains("\"name\": \"a\\\"b\""));
         assert!(s.contains("\"xs\": [\n    1,\n    null\n  ]"));
         assert!(s.contains("\"f\": 0.5"));
-        assert_eq!(to_string(&v).unwrap(), "{\"name\":\"a\\\"b\",\"xs\":[1,null],\"f\":0.5}");
+        assert_eq!(
+            to_string(&v).unwrap(),
+            "{\"name\":\"a\\\"b\",\"xs\":[1,null],\"f\":0.5}"
+        );
     }
 
     #[test]

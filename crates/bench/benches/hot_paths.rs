@@ -144,6 +144,56 @@ fn bench_workload_generation(c: &mut Criterion) {
     });
 }
 
+fn bench_tracepack(c: &mut Criterion) {
+    use califorms_sim::tracepack::TracePack;
+    let w = generate(
+        &spec::by_name("libquantum").unwrap(),
+        &WorkloadConfig::with_policy(
+            califorms_layout::InsertionPolicy::intelligent_1_to(7),
+            10_000,
+            7,
+        ),
+    );
+    let pack = w.to_pack();
+
+    c.bench_function("pack_encode_10k", |b| {
+        b.iter(|| TracePack::from_ops(black_box(&w.ops).iter().copied()).len_ops())
+    });
+    c.bench_function("pack_batch_decode_10k", |b| {
+        b.iter(|| {
+            let mut dec = black_box(&pack).decoder();
+            let mut ring = [TraceOp::Exec(0); Engine::REPLAY_BATCH];
+            let mut n = 0usize;
+            loop {
+                let k = dec.next_batch(&mut ring).unwrap();
+                if k == 0 {
+                    break;
+                }
+                n += k;
+            }
+            n
+        })
+    });
+    c.bench_function("replay_packed_10k", |b| {
+        b.iter(|| Engine::westmere().run_pack(black_box(&pack)).stats.cycles)
+    });
+    c.bench_function("replay_iter_10k", |b| {
+        b.iter(|| {
+            Engine::westmere()
+                .run(black_box(&w.ops).iter().copied())
+                .stats
+                .cycles
+        })
+    });
+    c.bench_function("replay_legacy_10k", |b| {
+        b.iter(|| {
+            califorms_bench::legacy_replay::run_legacy(Box::new(black_box(&w.ops).iter().copied()))
+                .0
+                .cycles
+        })
+    });
+}
+
 criterion_group!(
     benches,
     bench_spill_fill,
@@ -152,6 +202,7 @@ criterion_group!(
     bench_hierarchy,
     bench_layout,
     bench_alloc,
-    bench_workload_generation
+    bench_workload_generation,
+    bench_tracepack
 );
 criterion_main!(benches);

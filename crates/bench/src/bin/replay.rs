@@ -1,0 +1,188 @@
+//! Host replay-throughput study: how fast the simulator itself chews
+//! through trace ops, before and after the trace-pack overhaul.
+//!
+//! Three single-core replay paths over the same streaming workload:
+//!
+//! * `legacy_iter` — the pre-overhaul path, reproduced faithfully: a
+//!   boxed iterator chain feeding per-op `Hierarchy::load`/`store` calls
+//!   that allocate a `Vec` per load result and a `Vec` per synthesized
+//!   store payload;
+//! * `engine_iter` — the current `Engine::run` over a materialised
+//!   `Vec<TraceOp>` (quiet loads, stack store buffers);
+//! * `packed_batched` — `Engine::run_pack`: ops batch-decoded from the
+//!   compact binary pack into a fixed ring (decode cost included in the
+//!   measurement).
+//!
+//! Plus multi-core rows (2/4 cores): `MulticoreEngine::run` over
+//! pre-sharded `Vec`s vs `run_pack` sharding the single pack on the fly.
+//! Every packed run is asserted bit-identical (stats + exceptions) to its
+//! unpacked twin before its throughput is reported.
+//!
+//! Results go to stdout and `BENCH_replay.json` in the working directory
+//! (the perf-trajectory artifact CI uploads per PR).
+//!
+//! Usage: `cargo run --release --bin replay [--smoke] [steady_ops]`
+
+use califorms_bench::legacy_replay::run_legacy;
+use califorms_bench::write_json;
+use califorms_sim::multicore::shard_ops;
+use califorms_sim::{Engine, MulticoreConfig, MulticoreEngine, TraceOp};
+use califorms_workloads::{generate, spec, WorkloadConfig};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One measured replay mode.
+#[derive(Debug, Clone, Serialize)]
+struct ReplayRow {
+    mode: String,
+    cores: u64,
+    ops: u64,
+    elapsed_s: f64,
+    mops_per_s: f64,
+    speedup_vs_legacy: f64,
+    bit_identical_to_unpacked: bool,
+}
+
+/// The whole report written to `BENCH_replay.json`.
+#[derive(Debug, Clone, Serialize)]
+struct ReplayReport {
+    workload: String,
+    policy: String,
+    steady_ops: u64,
+    trace_ops: u64,
+    pack_bytes_per_op: f64,
+    vec_bytes_per_op: f64,
+    packed_vs_legacy_speedup: f64,
+    rows: Vec<ReplayRow>,
+}
+
+fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let v = f();
+    (v, start.elapsed().as_secs_f64())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let steady_ops = args
+        .iter()
+        .find_map(|a| a.parse::<usize>().ok())
+        .unwrap_or(if smoke { 100_000 } else { 2_000_000 });
+
+    // The streaming workload: libquantum is the paper's most
+    // stream-dominated benchmark, with spans installed so the califormed
+    // checks stay on the measured path.
+    let profile = spec::by_name("libquantum").expect("profile exists");
+    let policy = califorms_layout::InsertionPolicy::intelligent_1_to(7);
+    let w = generate(
+        &profile,
+        &WorkloadConfig::with_policy(policy, steady_ops, 7),
+    );
+    let ops = &w.ops;
+    let pack = w.to_pack();
+    let total_ops = ops.len() as u64;
+    assert_eq!(pack.len_ops(), total_ops);
+
+    println!(
+        "Replay throughput: {} ops ({} steady), pack {:.2} B/op vs {} B/op in Vec<TraceOp>",
+        total_ops,
+        steady_ops,
+        pack.bytes_per_op(),
+        std::mem::size_of::<TraceOp>(),
+    );
+    println!();
+    println!(
+        "{:<16} | {:>5} | {:>10} | {:>12} | {:>10} | {:>13}",
+        "mode", "cores", "elapsed s", "host Mops/s", "vs legacy", "bit-identical"
+    );
+    println!("{}", "-".repeat(82));
+
+    let mut rows: Vec<ReplayRow> = Vec::new();
+    let mut push = |mode: &str, cores: u64, elapsed: f64, legacy_elapsed: f64, identical: bool| {
+        let row = ReplayRow {
+            mode: mode.to_string(),
+            cores,
+            ops: total_ops,
+            elapsed_s: elapsed,
+            mops_per_s: total_ops as f64 / elapsed / 1e6,
+            speedup_vs_legacy: legacy_elapsed / elapsed,
+            bit_identical_to_unpacked: identical,
+        };
+        println!(
+            "{:<16} | {:>5} | {:>10.3} | {:>12.2} | {:>9.2}x | {:>13}",
+            row.mode,
+            row.cores,
+            row.elapsed_s,
+            row.mops_per_s,
+            row.speedup_vs_legacy,
+            row.bit_identical_to_unpacked
+        );
+        rows.push(row);
+    };
+
+    // --- Single core. ---
+    let ((legacy_stats, legacy_exc), legacy_elapsed) =
+        time(|| run_legacy(Box::new(ops.iter().copied())));
+    push("legacy_iter", 1, legacy_elapsed, legacy_elapsed, true);
+
+    let (iter_out, iter_elapsed) = time(|| Engine::westmere().run(ops.iter().copied()));
+    assert_eq!(
+        iter_out.stats, legacy_stats,
+        "hot-path rework must not change simulation results"
+    );
+    assert_eq!(iter_out.exceptions, legacy_exc);
+    push("engine_iter", 1, iter_elapsed, legacy_elapsed, true);
+
+    let (packed_out, packed_elapsed) = time(|| Engine::westmere().run_pack(&pack));
+    let packed_identical =
+        packed_out.stats == iter_out.stats && packed_out.exceptions == iter_out.exceptions;
+    assert!(packed_identical, "packed replay must be bit-identical");
+    push("packed_batched", 1, packed_elapsed, legacy_elapsed, true);
+    let packed_speedup = legacy_elapsed / packed_elapsed;
+
+    // --- Multi core: pre-sharded Vecs vs sharding the pack on the fly.
+    // (Generated workloads carry no mask windows, so round-robin
+    // sharding is mask-safe.)
+    for cores in [2usize, 4] {
+        let shards = shard_ops(ops.iter().copied(), cores);
+        let (mc_vec, mc_vec_elapsed) =
+            time(|| MulticoreEngine::new(MulticoreConfig::westmere(cores)).run(shards));
+        push(
+            "multicore_iter",
+            cores as u64,
+            mc_vec_elapsed,
+            legacy_elapsed,
+            true,
+        );
+        let (mc_pack, mc_pack_elapsed) =
+            time(|| MulticoreEngine::new(MulticoreConfig::westmere(cores)).run_pack(&pack));
+        let identical = mc_pack.stats.combined == mc_vec.stats.combined
+            && mc_pack.stats.per_core == mc_vec.stats.per_core
+            && mc_pack.exceptions == mc_vec.exceptions;
+        assert!(identical, "packed multicore replay must be bit-identical");
+        push(
+            "multicore_packed",
+            cores as u64,
+            mc_pack_elapsed,
+            legacy_elapsed,
+            identical,
+        );
+    }
+
+    let report = ReplayReport {
+        workload: w.name.clone(),
+        policy: "intelligent 1-7B +CFORM".to_string(),
+        steady_ops: steady_ops as u64,
+        trace_ops: total_ops,
+        pack_bytes_per_op: pack.bytes_per_op(),
+        vec_bytes_per_op: std::mem::size_of::<TraceOp>() as f64,
+        packed_vs_legacy_speedup: packed_speedup,
+        rows,
+    };
+    write_json("BENCH_replay.json", &report).expect("write results");
+    println!();
+    println!(
+        "packed_batched vs legacy_iter: {packed_speedup:.2}x — JSON written to BENCH_replay.json"
+    );
+}

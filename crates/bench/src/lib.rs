@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod legacy_replay;
 pub mod report;
 
 pub use experiments::*;

@@ -18,7 +18,7 @@
 //! [`L1Line`] models the line held in the L1 data array together with its
 //! bit vector; [`L1AccessResult`] is what the checker hands the pipeline.
 
-use crate::error::{CoreError, Result};
+use crate::error::Result;
 use crate::line::{CaliformedLine, LINE_BYTES};
 
 /// A cache line in L1 *califorms-bitvector* format: 64 data bytes plus a
@@ -92,19 +92,17 @@ impl L1Line {
             offset + len <= LINE_BYTES,
             "access crosses the line boundary"
         );
-        let mut violating = 0u64;
-        let mut data = Vec::with_capacity(len);
-        for i in 0..len {
-            let idx = offset + i;
-            if self.line.is_security_byte(idx) {
-                violating |= 1 << i;
-                data.push(0);
-            } else {
-                data.push(self.line.read_byte(idx));
-            }
-        }
+        // One shifted AND against the bit vector finds every violating
+        // byte at once (the checker's parallel comparator bank), and the
+        // canonical-line invariant — data under a security byte is zero —
+        // lets the data copy be a straight memcpy.
+        let violating = if len == 0 {
+            0
+        } else {
+            (self.line.security_mask() >> offset) & crate::line::range_mask(0, len)
+        };
         L1AccessResult {
-            data,
+            data: self.line.data()[offset..offset + len].to_vec(),
             violation: violating != 0,
             violating_bytes: violating,
         }
@@ -124,19 +122,7 @@ impl L1Line {
     ///
     /// Panics if the access overruns the line.
     pub fn store(&mut self, offset: usize, bytes: &[u8]) -> Result<()> {
-        assert!(
-            offset + bytes.len() <= LINE_BYTES,
-            "access crosses the line boundary"
-        );
-        if let Some(bad) = (offset..offset + bytes.len()).find(|&i| self.line.is_security_byte(i)) {
-            return Err(CoreError::StoreToSecurityByte { index: bad });
-        }
-        for (i, &b) in bytes.iter().enumerate() {
-            self.line
-                .write_byte(offset + i, b)
-                .expect("checked above: no security bytes in range");
-        }
-        Ok(())
+        self.line.write_bytes(offset, bytes)
     }
 }
 
@@ -155,6 +141,7 @@ impl From<L1Line> for CaliformedLine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::CoreError;
 
     fn line_with_security(at: &[usize]) -> L1Line {
         let mut line = CaliformedLine::from_data([0x5A; LINE_BYTES]);

@@ -53,7 +53,7 @@ pub use cform::{CformInstruction, CformOutcome};
 pub use convert::{fill, spill};
 pub use error::{CoreError, Result};
 pub use exception::{AccessKind, CaliformsException, ExceptionKind, ExceptionMask};
-pub use line::{CaliformedLine, LINE_BYTES};
+pub use line::{range_mask, CaliformedLine, LINE_BYTES};
 pub use sentinel::L2Line;
 
 pub use bitvector::L1Line;

@@ -15,6 +15,24 @@ use crate::error::{CoreError, Result};
 /// Number of data bytes in a cache line (the paper's fixed 64 B geometry).
 pub const LINE_BYTES: usize = 64;
 
+/// Mask with bits `offset..offset + len` set — the line-relative byte range
+/// of an access, as the hardware's comparator bank would form it.
+///
+/// Callers guarantee `offset + len <= 64` (the cache controller splits
+/// line-crossing accesses first); `len == 0` yields the empty mask.
+#[inline]
+pub const fn range_mask(offset: usize, len: usize) -> u64 {
+    if len == 0 {
+        return 0;
+    }
+    let width = if len >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << len) - 1
+    };
+    width << offset
+}
+
 /// A 64-byte cache line in canonical *(data, security-mask)* form.
 ///
 /// Bit `i` of [`security_mask`](Self::security_mask) set means byte `i` is a
@@ -120,6 +138,37 @@ impl CaliformedLine {
             return Err(CoreError::StoreToSecurityByte { index });
         }
         self.data[index] = value;
+        Ok(())
+    }
+
+    /// Writes `bytes` starting at line offset `offset` in one bulk copy.
+    ///
+    /// The security check is a single AND against the range mask (the
+    /// hardware checks all bytes in parallel; Section 5.1) instead of a
+    /// per-byte scan, and the copy is a `memcpy` — the replay hot path
+    /// relies on this being O(1)-check + bulk-copy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::StoreToSecurityByte`] naming the first
+    /// blacklisted byte in range; the line is left unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the write overruns the line (`offset + bytes.len() > 64`).
+    pub fn write_bytes(&mut self, offset: usize, bytes: &[u8]) -> Result<()> {
+        let len = bytes.len();
+        assert!(
+            offset + len <= LINE_BYTES,
+            "access crosses the line boundary"
+        );
+        let violating = self.mask & range_mask(offset, len);
+        if violating != 0 {
+            return Err(CoreError::StoreToSecurityByte {
+                index: violating.trailing_zeros() as usize,
+            });
+        }
+        self.data[offset..offset + len].copy_from_slice(bytes);
         Ok(())
     }
 

@@ -22,20 +22,42 @@ pub struct Eviction<V> {
 #[derive(Debug, Clone)]
 struct Entry<V> {
     tag: u64,
+    /// Recency stamp: strictly increasing across the cache, bumped on
+    /// every (architectural or internal) touch. The eviction victim is
+    /// the set's minimum stamp — exactly the least recently used line.
+    stamp: u64,
     dirty: bool,
     value: V,
 }
 
 /// Set-associative cache keyed by 64 B line address.
+///
+/// True-LRU replacement is tracked with per-entry recency stamps rather
+/// than by keeping each set sorted: a hit bumps one `u64` instead of
+/// rotating the set's entries (`Vec::remove` + `insert` memmoves of
+/// line-sized payloads), which keeps the replay hot path to a single
+/// set scan per access. Victim selection is identical to the sorted
+/// form — stamps are unique and monotonic, so min-stamp = LRU.
 #[derive(Debug, Clone)]
 pub struct SetAssocCache<V> {
-    /// Each set is kept in LRU order: index 0 = most recently used.
     sets: Vec<Vec<Entry<V>>>,
     ways: usize,
+    clock: u64,
     /// Hit latency in cycles, exposed for the hierarchy's accounting.
     pub latency: u32,
     /// Hit/miss/eviction counters.
     pub stats: CacheStats,
+}
+
+/// A line found by [`SetAssocCache::access_entry`]: the payload plus its
+/// dirty bit, so read-modify-write accesses (the store hot path) can set
+/// dirtiness without a second set scan.
+#[derive(Debug)]
+pub struct AccessedLine<'a, V> {
+    /// The line payload.
+    pub value: &'a mut V,
+    /// The line's dirty (must-write-back) bit.
+    pub dirty: &'a mut bool,
 }
 
 impl<V> SetAssocCache<V> {
@@ -58,6 +80,7 @@ impl<V> SetAssocCache<V> {
         Self {
             sets: (0..set_count).map(|_| Vec::with_capacity(ways)).collect(),
             ways,
+            clock: 0,
             latency,
             stats: CacheStats::default(),
         }
@@ -89,14 +112,25 @@ impl<V> SetAssocCache<V> {
     ///
     /// Returns a mutable reference to the payload on a hit.
     pub fn access(&mut self, line_addr: u64) -> Option<&mut V> {
+        Some(self.access_entry(line_addr)?.value)
+    }
+
+    /// Looks up a line, updating LRU and hit/miss counters, exposing the
+    /// dirty bit alongside the payload — the store hot path marks lines
+    /// dirty through this without a second set scan.
+    pub fn access_entry(&mut self, line_addr: u64) -> Option<AccessedLine<'_, V>> {
         let (set_idx, tag) = self.index(line_addr);
+        self.clock += 1;
+        let clock = self.clock;
         let set = &mut self.sets[set_idx];
-        match set.iter().position(|e| e.tag == tag) {
-            Some(pos) => {
+        match set.iter_mut().find(|e| e.tag == tag) {
+            Some(e) => {
                 self.stats.hits += 1;
-                let entry = set.remove(pos);
-                set.insert(0, entry);
-                Some(&mut set[0].value)
+                e.stamp = clock;
+                Some(AccessedLine {
+                    value: &mut e.value,
+                    dirty: &mut e.dirty,
+                })
             }
             None => {
                 self.stats.misses += 1;
@@ -111,11 +145,11 @@ impl<V> SetAssocCache<V> {
     /// are one architectural access but several internal touches.
     pub fn access_uncounted(&mut self, line_addr: u64) -> Option<&mut V> {
         let (set_idx, tag) = self.index(line_addr);
-        let set = &mut self.sets[set_idx];
-        let pos = set.iter().position(|e| e.tag == tag)?;
-        let entry = set.remove(pos);
-        set.insert(0, entry);
-        Some(&mut set[0].value)
+        self.clock += 1;
+        let clock = self.clock;
+        let e = self.sets[set_idx].iter_mut().find(|e| e.tag == tag)?;
+        e.stamp = clock;
+        Some(&mut e.value)
     }
 
     /// Looks up a line without affecting LRU order or counters.
@@ -170,22 +204,30 @@ impl<V> SetAssocCache<V> {
     /// was full.
     pub fn insert(&mut self, line_addr: u64, value: V, dirty: bool) -> Option<Eviction<V>> {
         let (set_idx, tag) = self.index(line_addr);
+        self.clock += 1;
+        let clock = self.clock;
+        let set_count = self.sets.len() as u64;
         let ways = self.ways;
         let set = &mut self.sets[set_idx];
-        if let Some(pos) = set.iter().position(|e| e.tag == tag) {
-            let mut entry = set.remove(pos);
-            entry.value = value;
-            entry.dirty = entry.dirty || dirty;
-            set.insert(0, entry);
+        if let Some(e) = set.iter_mut().find(|e| e.tag == tag) {
+            e.value = value;
+            e.dirty = e.dirty || dirty;
+            e.stamp = clock;
             return None;
         }
         let victim = if set.len() == ways {
-            let victim = set.pop().expect("full set has a tail");
+            let pos = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(i, _)| i)
+                .expect("full set is non-empty");
+            let victim = set.swap_remove(pos);
             self.stats.evictions += 1;
             if victim.dirty {
                 self.stats.writebacks += 1;
             }
-            let line_no = victim.tag * self.sets.len() as u64 + set_idx as u64;
+            let line_no = victim.tag * set_count + set_idx as u64;
             Some(Eviction {
                 line_addr: line_no * LINE_BYTES,
                 value: victim.value,
@@ -194,7 +236,12 @@ impl<V> SetAssocCache<V> {
         } else {
             None
         };
-        self.sets[set_idx].insert(0, Entry { tag, dirty, value });
+        set.push(Entry {
+            tag,
+            stamp: clock,
+            dirty,
+            value,
+        });
         victim
     }
 
@@ -203,7 +250,7 @@ impl<V> SetAssocCache<V> {
         let (set_idx, tag) = self.index(line_addr);
         let set = &mut self.sets[set_idx];
         set.iter().position(|e| e.tag == tag).map(|pos| {
-            let e = set.remove(pos);
+            let e = set.swap_remove(pos);
             (e.value, e.dirty)
         })
     }

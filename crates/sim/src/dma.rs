@@ -16,7 +16,7 @@
 //!   displaced data sits in the security-byte slots.
 
 use crate::hierarchy::Hierarchy;
-use crate::{line_base, LINE_BYTES};
+use crate::{line_base, line_offset, LINE_BYTES};
 use califorms_core::fill;
 
 /// Result of a DMA transfer.
@@ -52,36 +52,61 @@ impl DmaEngine {
     }
 
     /// Reads `[addr, addr+len)` directly from memory (the hierarchy first
-    /// writes the lines back, as a coherent DMA would force).
+    /// writes the lines back, as a coherent DMA would force). A transfer
+    /// may cover up to and including the last byte of the address space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transfer wraps around the 64-bit address space
+    /// (`addr + len - 1` overflows) — a wrapping descriptor is a
+    /// programming error (real DMA engines fault it), and the old
+    /// unchecked arithmetic made it silently read nothing.
     pub fn read(&self, hierarchy: &mut Hierarchy, addr: u64, len: usize) -> DmaTransfer {
         let mut data = Vec::with_capacity(len);
         let mut security = 0usize;
-        let mut cur = addr;
-        let end = addr + len as u64;
-        while cur < end {
-            let line_addr = line_base(cur);
+        if len == 0 {
+            return DmaTransfer {
+                data,
+                security_bytes_seen: security,
+            };
+        }
+        // Inclusive last byte, so a transfer ending flush at the top of
+        // the address space is representable and only true wraps fault.
+        let last = addr.checked_add(len as u64 - 1).unwrap_or_else(|| {
+            panic!(
+                "DMA transfer [{addr:#x}, {addr:#x} + {len:#x}) wraps past the \
+                 top of the address space"
+            )
+        });
+        let mut line_addr = line_base(addr);
+        loop {
             hierarchy.evict_line_to_dram(line_addr);
             let raw = hierarchy.dram_line(line_addr);
-            let chunk_end = (line_addr + LINE_BYTES).min(end);
+            let line_last = (line_addr | (LINE_BYTES - 1)).min(last);
+            let start = if line_addr <= addr {
+                line_offset(addr)
+            } else {
+                0
+            };
+            let end_off = (line_last - line_addr) as usize;
             if self.respects_califorms {
                 let l1 = fill(&raw).expect("well-formed line");
-                while cur < chunk_end {
-                    let off = (cur - line_addr) as usize;
+                for off in start..=end_off {
                     if l1.line().is_security_byte(off) {
                         security += 1;
                         data.push(0); // zero-substitute, like the core would
                     } else {
                         data.push(l1.line().data()[off]);
                     }
-                    cur += 1;
                 }
             } else {
                 // Legacy path: raw bytes, sentinel header and all.
-                while cur < chunk_end {
-                    data.push(raw.bytes[(cur - line_addr) as usize]);
-                    cur += 1;
-                }
+                data.extend_from_slice(&raw.bytes[start..=end_off]);
             }
+            if line_last == last {
+                break;
+            }
+            line_addr += LINE_BYTES;
         }
         DmaTransfer {
             data,
@@ -125,6 +150,37 @@ mod tests {
         assert_ne!(t.data[0], 0xAB, "header where data should be");
         // And the displaced original byte sits in the security slot.
         assert_eq!(t.data[4], 0xAB, "displaced data visible raw");
+    }
+
+    /// A transfer that would wrap past the top of the address space must
+    /// fault loudly instead of silently reading nothing (`addr + len`
+    /// used to wrap, making `cur < end` false immediately).
+    #[test]
+    #[should_panic(expected = "wraps past the top of the address space")]
+    fn wrapping_transfer_panics() {
+        let mut h = Hierarchy::new(HierarchyConfig::westmere());
+        DmaEngine::respecting().read(&mut h, u64::MAX - 7, 16);
+    }
+
+    /// The top of the address space stays addressable: a transfer
+    /// covering the whole final line — including the very last byte —
+    /// is served without tripping the wrap check.
+    #[test]
+    fn transfer_ending_at_address_space_top_is_served() {
+        let mut h = Hierarchy::new(HierarchyConfig::westmere());
+        let base = u64::MAX - 63; // final line's base
+        h.store(base, &[0xEE; 8], 0);
+        let t = DmaEngine::respecting().read(&mut h, base, 64);
+        assert_eq!(t.data.len(), 64);
+        assert_eq!(&t.data[..8], &[0xEE; 8]);
+        let t = DmaEngine::bypassing().read(&mut h, base, 64);
+        assert_eq!(t.data.len(), 64);
+        // An unaligned tail read of just the last bytes also works.
+        let t = DmaEngine::respecting().read(&mut h, u64::MAX - 2, 3);
+        assert_eq!(t.data.len(), 3);
+        // Zero-length transfers are trivially empty.
+        let t = DmaEngine::respecting().read(&mut h, base, 0);
+        assert!(t.data.is_empty());
     }
 
     #[test]

@@ -5,6 +5,7 @@ use crate::cpu::CoreConfig;
 use crate::hierarchy::{Hierarchy, HierarchyConfig};
 use crate::stats::SimStats;
 use crate::trace::TraceOp;
+use crate::tracepack::{self, TracePack, TracePackReader, MAX_ACCESS_BYTES};
 use califorms_core::{CaliformsException, CformInstruction, ExceptionMask};
 
 /// Outcome of a simulation run.
@@ -73,14 +74,15 @@ impl Engine {
             }
             TraceOp::Load { addr, size } => {
                 self.loads += 1;
-                let r = self.hierarchy.load(addr, size as usize, self.pc);
+                let r = self.hierarchy.load_quiet(addr, size as usize, self.pc);
                 self.account_memory(r.latency);
                 self.deliver(r.exception);
             }
             TraceOp::Store { addr, size } => {
                 self.stores += 1;
-                let data = store_pattern(addr, size as usize);
-                let r = self.hierarchy.store(addr, &data, self.pc);
+                let (hierarchy, pc) = (&mut self.hierarchy, self.pc);
+                let r =
+                    with_store_data(addr, size as usize, |data| hierarchy.store(addr, data, pc));
                 self.account_memory(r.latency);
                 if r.exception.is_some() {
                     self.stores_suppressed += 1;
@@ -146,6 +148,60 @@ impl Engine {
         self.finish()
     }
 
+    /// Ops batch-decoded into the replay ring at a time (see
+    /// [`Self::run_pack`]).
+    pub const REPLAY_BATCH: usize = 1024;
+
+    /// Replays a packed trace to completion: ops are batch-decoded into a
+    /// fixed stack ring of [`Self::REPLAY_BATCH`] slots and stepped from
+    /// there, so the pack never materialises as a `Vec<TraceOp>` and the
+    /// per-op decode/dispatch cost is amortised. Bit-identical in stats
+    /// and exceptions to [`Self::run`] over the same ops.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a corrupt pack — packs built by
+    /// [`TracePack::from_ops`] or validated by [`TracePack::from_bytes`]
+    /// are always well-formed.
+    pub fn run_pack(self, pack: &TracePack) -> SimOutcome {
+        let mut dec = pack.decoder();
+        self.run_batches(|ring| dec.next_batch(ring))
+            .expect("validated pack is well-formed")
+    }
+
+    /// Streaming variant of [`Self::run_pack`]: replays a pack from any
+    /// `io::Read` source (e.g. a multi-gigabyte pack file) in constant
+    /// memory through the reader's internal refill buffer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates decode/I/O failures from the reader.
+    pub fn run_reader<R: std::io::Read>(
+        self,
+        reader: &mut TracePackReader<R>,
+    ) -> tracepack::Result<SimOutcome> {
+        self.run_batches(|ring| reader.next_batch(ring))
+    }
+
+    /// The shared batch-replay drain: fills the fixed ring from `next`
+    /// until it runs dry, stepping every decoded op.
+    fn run_batches(
+        mut self,
+        mut next: impl FnMut(&mut [TraceOp]) -> tracepack::Result<usize>,
+    ) -> tracepack::Result<SimOutcome> {
+        let mut ring = [TraceOp::Exec(0); Self::REPLAY_BATCH];
+        loop {
+            let n = next(&mut ring)?;
+            if n == 0 {
+                break;
+            }
+            for &op in &ring[..n] {
+                self.step(op);
+            }
+        }
+        Ok(self.finish())
+    }
+
     /// Finalises the run (no flush: cache state is part of steady-state
     /// measurement, as with the paper's SimPoint regions).
     pub fn finish(self) -> SimOutcome {
@@ -183,10 +239,41 @@ impl Engine {
 /// hierarchy, so stores write a pattern derived from the address. Shared
 /// by [`Engine`] and [`crate::multicore::MulticoreEngine`] so single- and
 /// multi-core replays of the same shard write identical bytes.
-pub(crate) fn store_pattern(addr: u64, len: usize) -> Vec<u8> {
-    (0..len)
-        .map(|i| ((addr + i as u64).wrapping_mul(0x9E37_79B9) >> 16) as u8)
-        .collect()
+///
+/// This is the allocating form (public so external replay drivers can
+/// reproduce the engine's payloads); the replay hot path uses
+/// [`fill_store_pattern`] over a stack buffer instead.
+pub fn store_pattern(addr: u64, len: usize) -> Vec<u8> {
+    let mut buf = vec![0u8; len];
+    fill_store_pattern(addr, &mut buf);
+    buf
+}
+
+/// Fills `buf` with the deterministic store pattern for a store at
+/// `addr` — the allocation-free form of [`store_pattern`] the replay hot
+/// path threads through [`Hierarchy::store`] via a stack `[u8; 64]`.
+#[inline]
+pub fn fill_store_pattern(addr: u64, buf: &mut [u8]) {
+    for (i, b) in buf.iter_mut().enumerate() {
+        *b = ((addr + i as u64).wrapping_mul(0x9E37_79B9) >> 16) as u8;
+    }
+}
+
+/// Synthesises the store payload for `addr`/`len` and hands it to `f`:
+/// on the hot path (`len <= 64`, the trace-pack contract) the payload
+/// lives in a stack buffer; oversized hand-built stores fall back to the
+/// allocating form. Shared by [`Engine`] and
+/// [`crate::multicore::MulticoreEngine`] so every replay path writes
+/// identical bytes.
+#[inline]
+pub(crate) fn with_store_data<R>(addr: u64, len: usize, f: impl FnOnce(&[u8]) -> R) -> R {
+    if len <= MAX_ACCESS_BYTES {
+        let mut buf = [0u8; MAX_ACCESS_BYTES];
+        fill_store_pattern(addr, &mut buf[..len]);
+        f(&buf[..len])
+    } else {
+        f(&store_pattern(addr, len))
+    }
 }
 
 #[cfg(test)]

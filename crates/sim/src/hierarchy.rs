@@ -24,8 +24,8 @@ use crate::cache::SetAssocCache;
 use crate::stats::SimStats;
 use crate::{line_base, line_offset, LINE_BYTES};
 use califorms_core::{
-    fill, spill, AccessKind, CaliformsException, CformInstruction, CoreError, ExceptionKind,
-    L1Line, L2Line,
+    fill, range_mask, spill, AccessKind, CaliformsException, CformInstruction, CoreError,
+    ExceptionKind, L1Line, L2Line,
 };
 use std::collections::HashMap;
 
@@ -131,6 +131,45 @@ pub(crate) fn kmap_exception(e: CoreError, line_addr: u64, pc: u64) -> Califorms
         access: AccessKind::Cform,
         kind,
         pc,
+    }
+}
+
+/// Exclusive end of a memory access, faulting loudly on a wrapping
+/// range instead of letting debug builds panic on overflow and release
+/// builds silently turn the access into a no-op. (An access whose last
+/// byte is the top of the address space is representable only as a
+/// single-line access; the line-crossing split paths never need
+/// `end == 2^64`.)
+#[inline]
+fn access_end(addr: u64, len: usize) -> u64 {
+    addr.checked_add(len as u64).unwrap_or_else(|| {
+        panic!("memory access [{addr:#x}, {addr:#x} + {len:#x}) wraps past the address space")
+    })
+}
+
+/// Builds the load exception for a violating-byte mask (line-relative),
+/// or `None` when no accessed byte was a security byte.
+#[inline]
+fn load_violation(violating: u64, line_addr: u64, pc: u64) -> Option<CaliformsException> {
+    (violating != 0).then(|| CaliformsException {
+        fault_addr: line_addr + u64::from(violating.trailing_zeros()),
+        access: AccessKind::Load,
+        kind: ExceptionKind::SecurityByteAccess,
+        pc,
+    })
+}
+
+/// Maps a line-level store fault onto the store exception.
+#[inline]
+fn store_violation(e: CoreError, line_addr: u64, pc: u64) -> CaliformsException {
+    match e {
+        CoreError::StoreToSecurityByte { index } => CaliformsException {
+            fault_addr: line_addr + index as u64,
+            access: AccessKind::Store,
+            kind: ExceptionKind::SecurityByteAccess,
+            pc,
+        },
+        other => unreachable!("store can only fault on security bytes: {other}"),
     }
 }
 
@@ -348,6 +387,14 @@ impl Hierarchy {
         if self.l1d.access(line_addr).is_some() {
             return 0;
         }
+        self.fill_l1_miss(line_addr)
+    }
+
+    /// The miss half of [`Self::ensure_l1`]: fetches `line_addr` from the
+    /// shared levels into the L1 (spilling the victim) and returns the
+    /// latency beyond the L1 hit latency. The caller has already probed
+    /// the L1 (counting the miss).
+    fn fill_l1_miss(&mut self, line_addr: u64) -> u32 {
         let prefetched = self.cfg.stream_prefetcher && self.stream_hit(line_addr);
         let (l2line, extra) = self.shared.fetch(line_addr);
         let extra = if prefetched {
@@ -381,12 +428,32 @@ impl Hierarchy {
 
     /// Performs a load of `len` bytes at `addr` (line-crossing loads are
     /// split, as the cache controller would).
+    ///
+    /// Single-line accesses take a fast path: the security check is one
+    /// AND against the line's bit vector, so a line with no security
+    /// bytes skips the exception bookkeeping entirely.
     pub fn load(&mut self, addr: u64, len: usize, pc: u64) -> MemResult {
+        let offset = line_offset(addr);
+        if len != 0 && offset + len <= LINE_BYTES as usize {
+            let line_addr = line_base(addr);
+            let (latency, violating) = self.probe_line(line_addr, offset, len);
+            // Canonical-line invariant: security bytes hold zero, so the
+            // returned data is a straight copy either way. (The extra
+            // peek is off the replay hot path — the engine uses
+            // `load_quiet`.)
+            let l1 = self.l1d.peek(line_addr).expect("line was just probed");
+            let data = l1.line().data()[offset..offset + len].to_vec();
+            return MemResult {
+                latency,
+                data,
+                exception: load_violation(violating, line_addr, pc),
+            };
+        }
         let mut latency = 0u32;
         let mut data = Vec::with_capacity(len);
         let mut exception = None;
         let mut cur = addr;
-        let end = addr + len as u64;
+        let end = access_end(addr, len);
         while cur < end {
             let line_addr = line_base(cur);
             let offset = line_offset(cur);
@@ -414,13 +481,113 @@ impl Hierarchy {
         }
     }
 
-    /// Performs a store of `bytes` at `addr`. On a security-byte violation
-    /// the store (to that line) is suppressed and the exception reported.
-    pub fn store(&mut self, addr: u64, bytes: &[u8], pc: u64) -> MemResult {
+    /// Performs a load of `len` bytes at `addr` **without materialising
+    /// the data** — the replay hot path ([`crate::engine::Engine`]) only
+    /// needs latency and exception, so this never touches the heap.
+    /// Timing, LRU, stats and exception behaviour are identical to
+    /// [`Self::load`]; the returned `data` is always empty.
+    pub fn load_quiet(&mut self, addr: u64, len: usize, pc: u64) -> MemResult {
+        let offset = line_offset(addr);
+        if len != 0 && offset + len <= LINE_BYTES as usize {
+            let line_addr = line_base(addr);
+            let (latency, violating) = self.probe_line(line_addr, offset, len);
+            return MemResult {
+                latency,
+                data: Vec::new(),
+                exception: load_violation(violating, line_addr, pc),
+            };
+        }
         let mut latency = 0u32;
         let mut exception = None;
         let mut cur = addr;
-        let end = addr + bytes.len() as u64;
+        let end = access_end(addr, len);
+        while cur < end {
+            let line_addr = line_base(cur);
+            let offset = line_offset(cur);
+            let chunk = ((LINE_BYTES - offset as u64).min(end - cur)) as usize;
+            let extra = self.ensure_l1(line_addr);
+            latency = latency.max(self.cfg.l1d_latency + extra);
+            let bv = self.l1_line_mut(line_addr).bitvector();
+            if exception.is_none() {
+                exception = load_violation(bv & range_mask(offset, chunk), line_addr, pc);
+            }
+            cur += chunk as u64;
+        }
+        MemResult {
+            latency,
+            data: Vec::new(),
+            exception,
+        }
+    }
+
+    /// Single-line access core shared by the [`Self::load`] /
+    /// [`Self::load_quiet`] fast paths: ensures residency (counting the
+    /// hit or miss), and returns the access latency plus the
+    /// line-relative mask of accessed security bytes. On an L1 hit this
+    /// is one set scan and one AND — a line with no security bytes
+    /// incurs no exception bookkeeping at all.
+    #[inline]
+    fn probe_line(&mut self, line_addr: u64, offset: usize, len: usize) -> (u32, u64) {
+        if let Some(hit) = self.l1d.access_entry(line_addr) {
+            let bv = hit.value.bitvector();
+            let violating = if bv == 0 {
+                0
+            } else {
+                bv & range_mask(offset, len)
+            };
+            return (self.cfg.l1d_latency, violating);
+        }
+        let extra = self.fill_l1_miss(line_addr);
+        let violating = self.l1_line_mut(line_addr).bitvector() & range_mask(offset, len);
+        (self.cfg.l1d_latency + extra, violating)
+    }
+
+    /// Performs a store of `bytes` at `addr`. On a security-byte violation
+    /// the store (to that line) is suppressed and the exception reported.
+    ///
+    /// The per-line security check is a single AND against the bit vector
+    /// ([`califorms_core::CaliformedLine::write_bytes`]), so stores to
+    /// lines with no security bytes skip the exception bookkeeping.
+    pub fn store(&mut self, addr: u64, bytes: &[u8], pc: u64) -> MemResult {
+        let offset = line_offset(addr);
+        let len = bytes.len();
+        if len != 0 && offset + len <= LINE_BYTES as usize {
+            let line_addr = line_base(addr);
+            // L1 hit: one set scan; the dirty bit is set through the same
+            // entry handle, not a second scan.
+            if let Some(hit) = self.l1d.access_entry(line_addr) {
+                let exception = match hit.value.store(offset, bytes) {
+                    Ok(()) => {
+                        *hit.dirty = true;
+                        None
+                    }
+                    Err(e) => Some(store_violation(e, line_addr, pc)),
+                };
+                return MemResult {
+                    latency: self.cfg.l1d_latency,
+                    data: Vec::new(),
+                    exception,
+                };
+            }
+            let extra = self.fill_l1_miss(line_addr);
+            let latency = self.cfg.l1d_latency + extra;
+            let exception = match self.l1_line_mut(line_addr).store(offset, bytes) {
+                Ok(()) => {
+                    self.l1d.mark_dirty(line_addr);
+                    None
+                }
+                Err(e) => Some(store_violation(e, line_addr, pc)),
+            };
+            return MemResult {
+                latency,
+                data: Vec::new(),
+                exception,
+            };
+        }
+        let mut latency = 0u32;
+        let mut exception = None;
+        let mut cur = addr;
+        let end = access_end(addr, bytes.len());
         let mut consumed = 0usize;
         while cur < end {
             let line_addr = line_base(cur);

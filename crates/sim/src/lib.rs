@@ -24,6 +24,8 @@
 //!   (Section 5.3): no store-to-load forwarding, zero on match.
 //! * [`cpu`] — a simple width/overlap core timing model.
 //! * [`trace`] — the memory-access trace representation workloads emit.
+//! * [`tracepack`] — the compact varint-delta binary trace format and the
+//!   streaming writer/reader the replay hot path batch-decodes from.
 //! * [`engine`] — runs a trace through core + hierarchy and produces
 //!   [`stats::SimStats`].
 //! * [`os`] — OS support (Section 6.3): page swap with 8 B-per-page
@@ -46,15 +48,17 @@ pub mod multicore;
 pub mod os;
 pub mod stats;
 pub mod trace;
+pub mod tracepack;
 pub mod vector;
 
 pub use coherence::{CoherenceConfig, CoherentHierarchy, Mesi};
 pub use cpu::CoreConfig;
 pub use engine::{Engine, SimOutcome};
 pub use hierarchy::{Hierarchy, HierarchyConfig};
-pub use multicore::{MulticoreConfig, MulticoreEngine, MulticoreOutcome};
+pub use multicore::{shard_ops, MulticoreConfig, MulticoreEngine, MulticoreOutcome};
 pub use stats::{CoherenceStats, MulticoreStats, SimStats};
 pub use trace::TraceOp;
+pub use tracepack::{TracePack, TracePackError, TracePackReader, TracePackWriter};
 
 /// Cache-line size used throughout (matches `califorms_core::LINE_BYTES`).
 pub const LINE_BYTES: u64 = califorms_core::LINE_BYTES as u64;

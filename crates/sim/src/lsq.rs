@@ -14,6 +14,7 @@
 //! tests use it to check the forwarding rules.
 
 use crate::{line_base, LINE_BYTES};
+use std::collections::VecDeque;
 
 /// An entry occupying the LSQ, oldest first.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,10 +55,31 @@ pub enum ForwardResult {
     },
 }
 
+/// Whether an in-flight `CFORM` over `line_addr` with to-be-califormed
+/// byte mask `affected` overlaps the byte range `[lo, hi)` — first a
+/// (cheap) line-address match, then the mask confirms the byte overlap:
+/// the two-step match of Section 5.3.
+fn cform_overlaps(line_addr: u64, affected: u64, lo: u64, hi: u64) -> bool {
+    if line_base(lo) != line_addr && line_base(hi - 1) != line_addr {
+        return false;
+    }
+    for a in lo..hi {
+        if line_base(a) == line_addr && affected >> (a - line_addr) & 1 == 1 {
+            return true;
+        }
+    }
+    false
+}
+
 /// A program-ordered load/store queue.
+///
+/// Entries live in a `VecDeque` so commit-time retirement
+/// ([`Self::retire_oldest`]) pops the front in O(1) — with a `Vec`,
+/// `remove(0)` shifts the whole queue and draining a full LSQ under load
+/// is quadratic.
 #[derive(Debug, Default)]
 pub struct LoadStoreQueue {
-    entries: Vec<LsqEntry>,
+    entries: VecDeque<LsqEntry>,
 }
 
 impl LoadStoreQueue {
@@ -78,14 +100,14 @@ impl LoadStoreQueue {
 
     /// Inserts an in-flight store (program order: youngest last).
     pub fn push_store(&mut self, addr: u64, data: Vec<u8>) {
-        self.entries.push(LsqEntry::Store { addr, data });
+        self.entries.push_back(LsqEntry::Store { addr, data });
     }
 
     /// Inserts an in-flight `CFORM`. Each LSQ entry carries a "is CFORM"
     /// bit in hardware; here it is the enum discriminant.
     pub fn push_cform(&mut self, line_addr: u64, affected: u64) {
         assert_eq!(line_addr % LINE_BYTES, 0, "CFORM targets a full line");
-        self.entries.push(LsqEntry::Cform {
+        self.entries.push_back(LsqEntry::Cform {
             line_addr,
             affected,
         });
@@ -114,23 +136,7 @@ impl LoadStoreQueue {
                     line_addr,
                     affected,
                 } => {
-                    // First a (cheap) line-address match, then the mask
-                    // confirms the byte overlap — the two-step match of
-                    // Section 5.3.
-                    if line_base(lo) != *line_addr && line_base(hi - 1) != *line_addr {
-                        continue;
-                    }
-                    let mut overlap = false;
-                    for a in lo..hi {
-                        if line_base(a) == *line_addr {
-                            let bit = (a - line_addr) as u32;
-                            if affected >> bit & 1 == 1 {
-                                overlap = true;
-                                break;
-                            }
-                        }
-                    }
-                    if overlap {
+                    if cform_overlaps(*line_addr, *affected, lo, hi) {
                         return ForwardResult::CformMatch { data: vec![0; len] };
                     }
                 }
@@ -142,26 +148,35 @@ impl LoadStoreQueue {
     /// Whether a younger **store** to `[addr, addr+len)` must be marked for
     /// a Califorms exception (it follows an in-flight `CFORM` touching the
     /// same bytes).
+    ///
+    /// Every older in-flight `CFORM` is checked, not just the youngest
+    /// overlapping entry: a store's exception mark depends on *any* older
+    /// `CFORM` touching its bytes, so an intervening in-flight store to
+    /// the same bytes must not mask the conflict. (Delegating to
+    /// [`Self::resolve_load`] did exactly that — its scan stops at the
+    /// youngest overlapping store, which is correct for forwarding but
+    /// let a store younger than both escape its commit-time mark.)
     pub fn store_conflicts_with_cform(&self, addr: u64, len: usize) -> bool {
-        matches!(
-            self.resolve_load(addr, len),
-            ForwardResult::CformMatch { .. }
-        )
+        let lo = addr;
+        let hi = addr + len as u64;
+        self.entries.iter().any(|entry| match entry {
+            LsqEntry::Cform {
+                line_addr,
+                affected,
+            } => cform_overlaps(*line_addr, *affected, lo, hi),
+            LsqEntry::Store { .. } => false,
+        })
     }
 
-    /// Drains the oldest entry (commit).
+    /// Drains the oldest entry (commit). O(1): the queue is a `VecDeque`.
     pub fn retire_oldest(&mut self) -> Option<LsqEntry> {
-        if self.entries.is_empty() {
-            None
-        } else {
-            Some(self.entries.remove(0))
-        }
+        self.entries.pop_front()
     }
 
     /// Memory-serialising barrier: drains everything (the paper's
     /// LSQ-modification-free alternative).
     pub fn drain_all(&mut self) -> Vec<LsqEntry> {
-        std::mem::take(&mut self.entries)
+        std::mem::take(&mut self.entries).into_iter().collect()
     }
 }
 
@@ -251,5 +266,74 @@ mod tests {
             q.resolve_load(0x1030, 32),
             ForwardResult::CformMatch { .. }
         ));
+    }
+
+    /// Regression (Section 5.3 masking bug): a store younger than both an
+    /// in-flight `CFORM` and an intervening in-flight store to the same
+    /// bytes must still be flagged. The old implementation delegated to
+    /// `resolve_load`, whose youngest-first scan stopped at the
+    /// intervening store and reported no conflict.
+    #[test]
+    fn cform_conflict_is_not_masked_by_younger_inflight_store() {
+        let mut q = LoadStoreQueue::new();
+        q.push_cform(0x1000, 0xFF); // CFORM over bytes 0..8
+        q.push_store(0x1000, vec![7; 4]); // store A, same bytes, younger
+                                          // Store B to the same bytes: the CFORM conflict must survive A.
+        assert!(
+            q.store_conflicts_with_cform(0x1000, 4),
+            "an in-flight store must not mask an older CFORM conflict"
+        );
+        // A load, by contrast, correctly sees store A first (forwarding).
+        assert_eq!(
+            q.resolve_load(0x1000, 4),
+            ForwardResult::Forwarded(vec![7; 4])
+        );
+        // Bytes the CFORM does not touch stay conflict-free.
+        assert!(!q.store_conflicts_with_cform(0x1008, 4));
+    }
+
+    /// A store whose only overlap with an in-flight `CFORM` sits in the
+    /// *second* line of a line-crossing range is still flagged.
+    #[test]
+    fn line_crossing_store_conflict_in_second_line() {
+        let mut q = LoadStoreQueue::new();
+        q.push_cform(0x1040, 0b100); // byte 2 of the second line
+        q.push_store(0x1020, vec![1; 8]); // unrelated younger store
+        assert!(q.store_conflicts_with_cform(0x1030, 32)); // 0x1030..0x1050
+        assert!(!q.store_conflicts_with_cform(0x1030, 16)); // stops at 0x1040
+    }
+
+    /// Line-crossing loads against an in-flight `CFORM` whose affected
+    /// bytes sit only in the second line: byte-granular `CformMatch` when
+    /// the range reaches the byte, `NoMatch` when it stops short
+    /// (exercises the `line_base(hi - 1)` arm of the two-step match).
+    #[test]
+    fn line_crossing_load_byte_granular_second_line_match() {
+        let mut q = LoadStoreQueue::new();
+        q.push_cform(0x1040, 1 << 2); // byte 0x1042 only
+                                      // 0x103C..0x1044 crosses into the second line and covers 0x1042.
+        match q.resolve_load(0x103C, 8) {
+            ForwardResult::CformMatch { data } => assert_eq!(data, vec![0; 8]),
+            other => panic!("expected CformMatch, got {other:?}"),
+        }
+        // 0x103C..0x1042 crosses the boundary but stops one byte short.
+        assert_eq!(q.resolve_load(0x103C, 6), ForwardResult::NoMatch);
+        // Same-length range entirely inside the first line: no match.
+        assert_eq!(q.resolve_load(0x1030, 8), ForwardResult::NoMatch);
+    }
+
+    #[test]
+    fn retire_drains_in_fifo_order_under_load() {
+        let mut q = LoadStoreQueue::new();
+        for i in 0..1000u64 {
+            q.push_store(i * 8, vec![i as u8]);
+        }
+        for i in 0..1000u64 {
+            match q.retire_oldest() {
+                Some(LsqEntry::Store { addr, .. }) => assert_eq!(addr, i * 8),
+                other => panic!("expected store, got {other:?}"),
+            }
+        }
+        assert!(q.retire_oldest().is_none());
     }
 }

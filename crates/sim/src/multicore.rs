@@ -32,10 +32,11 @@
 
 use crate::coherence::{CoherenceConfig, CoherentHierarchy, CoreL1};
 use crate::cpu::CoreConfig;
-use crate::engine::store_pattern;
+use crate::engine::with_store_data;
 use crate::hierarchy::{HierarchyConfig, MemResult};
 use crate::stats::{MulticoreStats, SimStats};
 use crate::trace::TraceOp;
+use crate::tracepack::TracePack;
 use califorms_core::{CaliformsException, CformInstruction, ExceptionMask};
 
 /// Configuration of a [`MulticoreEngine`].
@@ -200,8 +201,9 @@ impl CoreReplay {
                     None => return,
                 },
                 TraceOp::Store { addr, size } => {
-                    let data = store_pattern(addr, size as usize);
-                    match l1.try_store(addr, &data, pc) {
+                    let r =
+                        with_store_data(addr, size as usize, |data| l1.try_store(addr, data, pc));
+                    match r {
                         Some(r) => self.commit(&op, r),
                         None => return,
                     }
@@ -222,6 +224,30 @@ impl CoreReplay {
             }
         }
     }
+}
+
+/// Deterministically shards one op stream across `cores` shards:
+/// round-robin at op granularity (op `i` goes to core `i % cores`), so
+/// the same stream always produces the same shards regardless of how it
+/// was stored. This is the sharding [`MulticoreEngine::run_pack`] applies
+/// to a single [`TracePack`]; callers replaying a `Vec<TraceOp>` can use
+/// it directly to get bit-identical multi-core results for packed and
+/// unpacked forms of the same trace.
+///
+/// Note that `MaskPush`/`MaskPop` windows land on whichever core receives
+/// them — shard-aware workloads that need a window on a specific core
+/// should build per-core shards explicitly instead.
+///
+/// # Panics
+///
+/// Panics if `cores == 0`.
+pub fn shard_ops<I: IntoIterator<Item = TraceOp>>(ops: I, cores: usize) -> Vec<Vec<TraceOp>> {
+    assert!(cores >= 1, "need at least one core");
+    let mut shards: Vec<Vec<TraceOp>> = vec![Vec::new(); cores];
+    for (i, op) in ops.into_iter().enumerate() {
+        shards[i % cores].push(op);
+    }
+    shards
 }
 
 /// Replays per-core trace shards over a [`CoherentHierarchy`] with a
@@ -281,8 +307,7 @@ impl MulticoreEngine {
         let r = match op {
             TraceOp::Load { addr, size } => hier.load(c, addr, size as usize, pc),
             TraceOp::Store { addr, size } => {
-                let data = store_pattern(addr, size as usize);
-                hier.store(c, addr, &data, pc)
+                with_store_data(addr, size as usize, |data| hier.store(c, addr, data, pc))
             }
             TraceOp::Cform {
                 line_addr,
@@ -363,6 +388,26 @@ impl MulticoreEngine {
             }
         }
         self.finish()
+    }
+
+    /// Replays a single packed trace, sharding it across the configured
+    /// cores with the deterministic round-robin of [`shard_ops`].
+    /// Bit-identical in stats and exceptions to
+    /// `self.run(shard_ops(pack.iter(), cores))`.
+    ///
+    /// The shards are materialised (`run` replays them with per-core
+    /// cursors across quanta), so peak memory matches unpacked
+    /// multi-core replay — the pack's compactness pays off in storage
+    /// and transport, and in the constant-memory single-core
+    /// [`crate::engine::Engine::run_reader`] path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a corrupt pack (packs built by [`TracePack::from_ops`]
+    /// or validated by [`TracePack::from_bytes`] are always well-formed).
+    pub fn run_pack(self, pack: &TracePack) -> MulticoreOutcome {
+        let cores = self.cfg.cores;
+        self.run(shard_ops(pack.iter(), cores))
     }
 
     fn finish(self) -> MulticoreOutcome {

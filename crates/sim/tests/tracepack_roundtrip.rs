@@ -1,0 +1,83 @@
+//! Property tests of the `tracepack` wire format: encode → decode is the
+//! identity for arbitrary valid traces, through both the in-memory pack
+//! and the streaming writer/reader, one op at a time and in batches.
+
+use califorms_sim::tracepack::{TracePack, TracePackReader, TracePackWriter};
+use califorms_sim::TraceOp;
+use proptest::prelude::*;
+
+fn arb_op() -> impl Strategy<Value = TraceOp> {
+    prop_oneof![
+        any::<u32>().prop_map(TraceOp::Exec),
+        (any::<u64>(), 1u8..=64).prop_map(|(addr, size)| TraceOp::Load { addr, size }),
+        (any::<u64>(), 1u8..=64).prop_map(|(addr, size)| TraceOp::Store { addr, size }),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(a, attrs, mask)| TraceOp::Cform {
+            line_addr: a & !63,
+            attrs,
+            mask,
+        }),
+        (any::<u64>(), any::<u64>(), any::<u64>()).prop_map(|(a, attrs, mask)| {
+            TraceOp::CformNt {
+                line_addr: a & !63,
+                attrs,
+                mask,
+            }
+        }),
+        Just(TraceOp::MaskPush),
+        Just(TraceOp::MaskPop),
+    ]
+}
+
+proptest! {
+    /// In-memory round trip: `from_ops` → `to_vec` is the identity, and
+    /// re-parsing the serialised bytes yields the same pack.
+    #[test]
+    fn pack_round_trip_is_identity(ops in proptest::collection::vec(arb_op(), 0..200)) {
+        let pack = TracePack::from_ops(ops.iter().copied());
+        prop_assert_eq!(pack.len_ops(), ops.len() as u64);
+        prop_assert_eq!(pack.to_vec(), ops);
+        let reparsed = TracePack::from_bytes(pack.bytes().to_vec()).unwrap();
+        prop_assert_eq!(reparsed.to_vec(), pack.to_vec());
+    }
+
+    /// Streaming round trip: writer → reader over an `io` boundary equals
+    /// the original, and the streaming bytes equal the in-memory bytes.
+    #[test]
+    fn streaming_round_trip_is_identity(ops in proptest::collection::vec(arb_op(), 0..200)) {
+        let mut w = TracePackWriter::new(Vec::new()).unwrap();
+        for &op in &ops {
+            w.write_op(op).unwrap();
+        }
+        let bytes = w.finish().unwrap();
+        let in_memory = TracePack::from_ops(ops.iter().copied());
+        prop_assert_eq!(bytes.as_slice(), in_memory.bytes());
+
+        let mut r = TracePackReader::new(bytes.as_slice()).unwrap();
+        let mut got = Vec::new();
+        while let Some(op) = r.next_op().unwrap() {
+            got.push(op);
+        }
+        prop_assert_eq!(got, ops);
+    }
+
+    /// Batch decoding at any batch size yields the same op sequence as
+    /// one-at-a-time decoding.
+    #[test]
+    fn batch_decode_is_batch_size_invariant(
+        ops in proptest::collection::vec(arb_op(), 0..200),
+        batch in 1usize..17,
+    ) {
+        let pack = TracePack::from_ops(ops.iter().copied());
+        let mut dec = pack.decoder();
+        let mut buf = vec![TraceOp::Exec(0); batch];
+        let mut got = Vec::new();
+        loop {
+            let n = dec.next_batch(&mut buf).unwrap();
+            if n == 0 {
+                break;
+            }
+            got.extend_from_slice(&buf[..n]);
+        }
+        prop_assert_eq!(got, ops);
+    }
+}

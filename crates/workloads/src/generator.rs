@@ -93,6 +93,21 @@ pub struct Workload {
     pub security_bytes_per_object: usize,
 }
 
+impl Workload {
+    /// Encodes the whole trace (warmup + steady state) into a
+    /// [`TracePack`] for the batch-decoding replay path
+    /// ([`califorms_sim::Engine::run_pack`]).
+    pub fn to_pack(&self) -> califorms_sim::TracePack {
+        califorms_sim::TracePack::from_ops(self.ops.iter().copied())
+    }
+
+    /// Encodes only the steady-state region (after
+    /// [`Self::warmup_len`]) — the part the paper measures.
+    pub fn steady_pack(&self) -> califorms_sim::TracePack {
+        califorms_sim::TracePack::from_ops(self.ops[self.warmup_len..].iter().copied())
+    }
+}
+
 struct FieldSlot {
     offset: usize,
     size: usize,

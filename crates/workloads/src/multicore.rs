@@ -115,6 +115,15 @@ impl MtWorkload {
     pub fn cores(&self) -> usize {
         self.shards.len()
     }
+
+    /// Encodes each per-core shard into its own [`TracePack`] (shards are
+    /// replayed independently per core, so they pack independently too).
+    pub fn to_packs(&self) -> Vec<califorms_sim::TracePack> {
+        self.shards
+            .iter()
+            .map(|s| califorms_sim::TracePack::from_ops(s.iter().copied()))
+            .collect()
+    }
 }
 
 fn rng_for(cfg: &MtWorkloadConfig, core: usize) -> SmallRng {

@@ -1,7 +1,8 @@
 //! Host replay-throughput study: how fast the simulator itself chews
-//! through trace ops, before and after the trace-pack overhaul.
+//! through trace ops, before and after the trace-pack + parallel-runtime
+//! overhauls.
 //!
-//! Three single-core replay paths over the same streaming workload:
+//! Single-core rows over the same streaming workload:
 //!
 //! * `legacy_iter` — the pre-overhaul path, reproduced faithfully: a
 //!   boxed iterator chain feeding per-op `Hierarchy::load`/`store` calls
@@ -10,24 +11,48 @@
 //! * `engine_iter` — the current `Engine::run` over a materialised
 //!   `Vec<TraceOp>` (quiet loads, stack store buffers);
 //! * `packed_batched` — `Engine::run_pack`: ops batch-decoded from the
-//!   compact binary pack into a fixed ring (decode cost included in the
-//!   measurement).
+//!   compact binary pack into a fixed ring (decode cost included).
 //!
-//! Plus multi-core rows (2/4 cores): `MulticoreEngine::run` over
-//! pre-sharded `Vec`s vs `run_pack` sharding the single pack on the fly.
-//! Every packed run is asserted bit-identical (stats + exceptions) to its
-//! unpacked twin before its throughput is reported.
+//! Multi-core rows (2/4 cores by default, `--cores` to override) on the
+//! persistent-worker-pool `MulticoreEngine`:
+//!
+//! * `mc_shared_*` — the single stream round-robin-sharded across cores
+//!   (heavy artificial sharing: a worst case that stays weave-bound);
+//! * `mc_disjoint_*` — one offset copy of the stream per core in a
+//!   private 4 GB region (total ops = cores × trace): disjoint working
+//!   sets, but stream-dominated, so throughput tracks the (serial,
+//!   batched) private-miss transaction path;
+//! * `mc_readmostly_*` — the `shared-table-hot` multicore workload
+//!   (97 % loads over an L1-resident shared table, califormed spans):
+//!   nearly every op completes in the parallel bound phase — the shape
+//!   the persistent-worker runtime is built for.
+//!
+//! `*_iter` rows replay pre-materialised `Vec` shards; `*_packed` rows
+//! replay packs through per-core decoder lanes. Every packed run is
+//! asserted bit-identical (stats + exceptions) to its unpacked twin
+//! before its throughput is reported, and every multicore row carries the
+//! bound/weave/barrier wall-clock breakdown plus the deterministic
+//! runtime counters.
 //!
 //! Results go to stdout and `BENCH_replay.json` in the working directory
-//! (the perf-trajectory artifact CI uploads per PR).
+//! (the perf-trajectory artifact CI uploads per PR). With `--check`, the
+//! process exits non-zero unless the best 2-core packed scaling row
+//! (disjoint or read-mostly) is at least 1.0x legacy single-core
+//! throughput — the CI scaling gate.
 //!
-//! Usage: `cargo run --release --bin replay [--smoke] [steady_ops]`
+//! Usage:
+//! `cargo run --release --bin replay [--smoke] [--check] [--cores 2,4]
+//!  [--quantum N] [--adaptive] [steady_ops]`
 
 use califorms_bench::legacy_replay::run_legacy;
 use califorms_bench::write_json;
 use califorms_sim::multicore::shard_ops;
-use califorms_sim::{Engine, MulticoreConfig, MulticoreEngine, TraceOp};
-use califorms_workloads::{generate, spec, WorkloadConfig};
+use califorms_sim::{
+    Engine, MulticoreConfig, MulticoreEngine, MulticoreOutcome, TraceOp, TracePack,
+};
+use califorms_workloads::{
+    generate, generate_mt, spec, MtPattern, MtWorkloadConfig, WorkloadConfig,
+};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -35,12 +60,30 @@ use std::time::Instant;
 #[derive(Debug, Clone, Serialize)]
 struct ReplayRow {
     mode: String,
+    /// Simulated cores.
     cores: u64,
+    /// Host worker threads driving the replay (1 for single-core rows;
+    /// the pool spawns one per simulated core otherwise).
+    threads: u64,
+    /// Execution runtime: `single` (one-thread engine), or `pool`
+    /// (persistent worker pool + epoch barrier).
+    runtime: String,
     ops: u64,
     elapsed_s: f64,
     mops_per_s: f64,
     speedup_vs_legacy: f64,
     bit_identical_to_unpacked: bool,
+    /// Bound/weave/barrier wall-clock breakdown (multicore rows only;
+    /// zero for single-core rows).
+    bound_s: f64,
+    weave_s: f64,
+    barrier_s: f64,
+    /// Deterministic runtime counters (multicore rows only).
+    quanta: u64,
+    weave_turns: u64,
+    weave_transactions: u64,
+    batched_transactions: u64,
+    contended_transactions: u64,
 }
 
 /// The whole report written to `BENCH_replay.json`.
@@ -51,9 +94,33 @@ struct ReplayReport {
     steady_ops: u64,
     trace_ops: u64,
     pack_bytes_per_op: f64,
+    /// `size_of::<TraceOp>()`, computed at runtime.
     vec_bytes_per_op: f64,
+    quantum: f64,
+    adaptive_quantum: bool,
     packed_vs_legacy_speedup: f64,
     rows: Vec<ReplayRow>,
+}
+
+/// Last free-standing numeric argument, skipping flags and (by
+/// position) the values they consume.
+fn positional_number(args: &[String]) -> Option<usize> {
+    let mut out = None;
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        if a == "--cores" || a == "--quantum" {
+            i += 2; // skip the flag and its value
+            continue;
+        }
+        if !a.starts_with("--") {
+            if let Ok(v) = a.parse::<usize>() {
+                out = Some(v);
+            }
+        }
+        i += 1;
+    }
+    out
 }
 
 fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
@@ -62,13 +129,80 @@ fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
     (v, start.elapsed().as_secs_f64())
 }
 
+/// Offsets every address in the trace into core `c`'s private region, so
+/// each core replays the same access *shape* over a disjoint working set.
+fn offset_ops(ops: &[TraceOp], c: usize) -> Vec<TraceOp> {
+    let off = c as u64 * 0x1_0000_0000;
+    ops.iter()
+        .map(|&op| match op {
+            TraceOp::Load { addr, size } => TraceOp::Load {
+                addr: addr + off,
+                size,
+            },
+            TraceOp::Store { addr, size } => TraceOp::Store {
+                addr: addr + off,
+                size,
+            },
+            TraceOp::Cform {
+                line_addr,
+                attrs,
+                mask,
+            } => TraceOp::Cform {
+                line_addr: line_addr + off,
+                attrs,
+                mask,
+            },
+            TraceOp::CformNt {
+                line_addr,
+                attrs,
+                mask,
+            } => TraceOp::CformNt {
+                line_addr: line_addr + off,
+                attrs,
+                mask,
+            },
+            other => other,
+        })
+        .collect()
+}
+
+fn mc_identical(a: &MulticoreOutcome, b: &MulticoreOutcome) -> bool {
+    a.stats.combined == b.stats.combined
+        && a.stats.per_core == b.stats.per_core
+        && a.stats.runtime == b.stats.runtime
+        && a.exceptions == b.exceptions
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let steady_ops = args
-        .iter()
-        .find_map(|a| a.parse::<usize>().ok())
-        .unwrap_or(if smoke { 100_000 } else { 2_000_000 });
+    let check = args.iter().any(|a| a == "--check");
+    let adaptive = args.iter().any(|a| a == "--adaptive");
+    let flag_value = |name: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let core_counts: Vec<usize> = flag_value("--cores")
+        .map(|v| {
+            v.split(',')
+                .map(|s| s.trim().parse().expect("--cores takes e.g. 2,4"))
+                .collect()
+        })
+        .unwrap_or_else(|| vec![2, 4]);
+    let quantum: f64 = flag_value("--quantum")
+        .map(|v| v.parse().expect("--quantum takes a cycle count"))
+        .unwrap_or(10_000.0);
+    let steady_ops = positional_number(&args).unwrap_or(if smoke { 100_000 } else { 2_000_000 });
+
+    let mc_config = |cores: usize| {
+        let cfg = MulticoreConfig::westmere(cores).with_quantum(quantum);
+        if adaptive {
+            cfg.with_adaptive_quantum()
+        } else {
+            cfg
+        }
+    };
 
     // The streaming workload: libquantum is the paper's most
     // stream-dominated benchmark, with spans installed so the califormed
@@ -85,46 +219,102 @@ fn main() {
     assert_eq!(pack.len_ops(), total_ops);
 
     println!(
-        "Replay throughput: {} ops ({} steady), pack {:.2} B/op vs {} B/op in Vec<TraceOp>",
+        "Replay throughput: {} ops ({} steady), pack {:.2} B/op vs {} B/op in Vec<TraceOp>, quantum {}{}",
         total_ops,
         steady_ops,
         pack.bytes_per_op(),
         std::mem::size_of::<TraceOp>(),
+        quantum,
+        if adaptive { " (adaptive)" } else { "" },
     );
     println!();
     println!(
-        "{:<16} | {:>5} | {:>10} | {:>12} | {:>10} | {:>13}",
-        "mode", "cores", "elapsed s", "host Mops/s", "vs legacy", "bit-identical"
+        "{:<18} | {:>5} | {:>9} | {:>11} | {:>9} | {:>8} | {:>7} | {:>7} | {:>7}",
+        "mode",
+        "cores",
+        "elapsed s",
+        "host Mops/s",
+        "vs legacy",
+        "ident",
+        "bound s",
+        "weave s",
+        "barr s"
     );
-    println!("{}", "-".repeat(82));
+    println!("{}", "-".repeat(104));
 
     let mut rows: Vec<ReplayRow> = Vec::new();
-    let mut push = |mode: &str, cores: u64, elapsed: f64, legacy_elapsed: f64, identical: bool| {
-        let row = ReplayRow {
-            mode: mode.to_string(),
-            cores,
-            ops: total_ops,
-            elapsed_s: elapsed,
-            mops_per_s: total_ops as f64 / elapsed / 1e6,
-            speedup_vs_legacy: legacy_elapsed / elapsed,
-            bit_identical_to_unpacked: identical,
-        };
+    let mut push = |row: ReplayRow| {
         println!(
-            "{:<16} | {:>5} | {:>10.3} | {:>12.2} | {:>9.2}x | {:>13}",
+            "{:<18} | {:>5} | {:>9.3} | {:>11.2} | {:>8.2}x | {:>8} | {:>7.3} | {:>7.3} | {:>7.3}",
             row.mode,
             row.cores,
             row.elapsed_s,
             row.mops_per_s,
             row.speedup_vs_legacy,
-            row.bit_identical_to_unpacked
+            row.bit_identical_to_unpacked,
+            row.bound_s,
+            row.weave_s,
+            row.barrier_s,
         );
         rows.push(row);
+    };
+    let single_row =
+        |mode: &str, ops_run: u64, elapsed: f64, legacy_mops: f64, identical: bool| ReplayRow {
+            mode: mode.to_string(),
+            cores: 1,
+            threads: 1,
+            runtime: "single".to_string(),
+            ops: ops_run,
+            elapsed_s: elapsed,
+            mops_per_s: ops_run as f64 / elapsed / 1e6,
+            speedup_vs_legacy: (ops_run as f64 / elapsed / 1e6) / legacy_mops,
+            bit_identical_to_unpacked: identical,
+            bound_s: 0.0,
+            weave_s: 0.0,
+            barrier_s: 0.0,
+            quanta: 0,
+            weave_turns: 0,
+            weave_transactions: 0,
+            batched_transactions: 0,
+            contended_transactions: 0,
+        };
+    let mc_row = |mode: &str,
+                  cores: usize,
+                  ops_run: u64,
+                  elapsed: f64,
+                  legacy_mops: f64,
+                  identical: bool,
+                  out: &MulticoreOutcome| ReplayRow {
+        mode: mode.to_string(),
+        cores: cores as u64,
+        threads: cores as u64,
+        runtime: "pool".to_string(),
+        ops: ops_run,
+        elapsed_s: elapsed,
+        mops_per_s: ops_run as f64 / elapsed / 1e6,
+        speedup_vs_legacy: (ops_run as f64 / elapsed / 1e6) / legacy_mops,
+        bit_identical_to_unpacked: identical,
+        bound_s: out.timing.bound_s,
+        weave_s: out.timing.weave_s,
+        barrier_s: out.timing.barrier_s,
+        quanta: out.stats.runtime.quanta,
+        weave_turns: out.stats.runtime.weave_turns,
+        weave_transactions: out.stats.runtime.weave_transactions,
+        batched_transactions: out.stats.runtime.batched_transactions,
+        contended_transactions: out.stats.runtime.contended_transactions,
     };
 
     // --- Single core. ---
     let ((legacy_stats, legacy_exc), legacy_elapsed) =
         time(|| run_legacy(Box::new(ops.iter().copied())));
-    push("legacy_iter", 1, legacy_elapsed, legacy_elapsed, true);
+    let legacy_mops = total_ops as f64 / legacy_elapsed / 1e6;
+    push(single_row(
+        "legacy_iter",
+        total_ops,
+        legacy_elapsed,
+        legacy_mops,
+        true,
+    ));
 
     let (iter_out, iter_elapsed) = time(|| Engine::westmere().run(ops.iter().copied()));
     assert_eq!(
@@ -132,42 +322,142 @@ fn main() {
         "hot-path rework must not change simulation results"
     );
     assert_eq!(iter_out.exceptions, legacy_exc);
-    push("engine_iter", 1, iter_elapsed, legacy_elapsed, true);
+    push(single_row(
+        "engine_iter",
+        total_ops,
+        iter_elapsed,
+        legacy_mops,
+        true,
+    ));
 
     let (packed_out, packed_elapsed) = time(|| Engine::westmere().run_pack(&pack));
     let packed_identical =
         packed_out.stats == iter_out.stats && packed_out.exceptions == iter_out.exceptions;
     assert!(packed_identical, "packed replay must be bit-identical");
-    push("packed_batched", 1, packed_elapsed, legacy_elapsed, true);
-    let packed_speedup = legacy_elapsed / packed_elapsed;
+    push(single_row(
+        "packed_batched",
+        total_ops,
+        packed_elapsed,
+        legacy_mops,
+        true,
+    ));
+    let packed_speedup = (total_ops as f64 / packed_elapsed / 1e6) / legacy_mops;
 
-    // --- Multi core: pre-sharded Vecs vs sharding the pack on the fly.
-    // (Generated workloads carry no mask windows, so round-robin
-    // sharding is mask-safe.)
-    for cores in [2usize, 4] {
+    // --- Multi core. ---
+    let mut disjoint_2core_packed_speedup = f64::NAN;
+    let mut readmostly_2core_packed_speedup = f64::NAN;
+    for &cores in &core_counts {
+        // Shared stream, round-robin sharded: the contended worst case.
+        // (Generated workloads carry no mask windows, so round-robin
+        // sharding is mask-safe.)
         let shards = shard_ops(ops.iter().copied(), cores);
-        let (mc_vec, mc_vec_elapsed) =
-            time(|| MulticoreEngine::new(MulticoreConfig::westmere(cores)).run(shards));
-        push(
-            "multicore_iter",
-            cores as u64,
+        let (mc_vec, mc_vec_elapsed) = time(|| MulticoreEngine::new(mc_config(cores)).run(shards));
+        push(mc_row(
+            "mc_shared_iter",
+            cores,
+            total_ops,
             mc_vec_elapsed,
-            legacy_elapsed,
+            legacy_mops,
             true,
-        );
+            &mc_vec,
+        ));
         let (mc_pack, mc_pack_elapsed) =
-            time(|| MulticoreEngine::new(MulticoreConfig::westmere(cores)).run_pack(&pack));
-        let identical = mc_pack.stats.combined == mc_vec.stats.combined
-            && mc_pack.stats.per_core == mc_vec.stats.per_core
-            && mc_pack.exceptions == mc_vec.exceptions;
+            time(|| MulticoreEngine::new(mc_config(cores)).run_pack(&pack));
+        let identical = mc_identical(&mc_pack, &mc_vec);
         assert!(identical, "packed multicore replay must be bit-identical");
-        push(
-            "multicore_packed",
-            cores as u64,
+        push(mc_row(
+            "mc_shared_packed",
+            cores,
+            total_ops,
             mc_pack_elapsed,
-            legacy_elapsed,
+            legacy_mops,
             identical,
+            &mc_pack,
+        ));
+
+        // Disjoint working sets: one offset copy of the stream per core.
+        let dis_shards: Vec<Vec<TraceOp>> = (0..cores).map(|c| offset_ops(ops, c)).collect();
+        let dis_packs: Vec<TracePack> = dis_shards
+            .iter()
+            .map(|s| TracePack::from_ops(s.iter().copied()))
+            .collect();
+        let dis_ops = total_ops * cores as u64;
+        let (dis_vec, dis_vec_elapsed) =
+            time(|| MulticoreEngine::new(mc_config(cores)).run(dis_shards));
+        push(mc_row(
+            "mc_disjoint_iter",
+            cores,
+            dis_ops,
+            dis_vec_elapsed,
+            legacy_mops,
+            true,
+            &dis_vec,
+        ));
+        let (dis_pack, dis_pack_elapsed) =
+            time(|| MulticoreEngine::new(mc_config(cores)).run_packs(&dis_packs));
+        let identical = mc_identical(&dis_pack, &dis_vec);
+        assert!(
+            identical,
+            "packed disjoint multicore replay must be bit-identical"
         );
+        let row = mc_row(
+            "mc_disjoint_packed",
+            cores,
+            dis_ops,
+            dis_pack_elapsed,
+            legacy_mops,
+            identical,
+            &dis_pack,
+        );
+        if cores == 2 {
+            disjoint_2core_packed_speedup = row.speedup_vs_legacy;
+        }
+        push(row);
+
+        // Read-mostly shared table that fits the private L1s: after
+        // warm-up nearly every op is a clean Shared hit completed in the
+        // bound phase.
+        let rm = generate_mt(&MtWorkloadConfig {
+            pattern: MtPattern::SharedTableHot,
+            cores,
+            ops_per_core: steady_ops,
+            seed: 7,
+            califormed: true,
+        });
+        let rm_ops: u64 = rm.shards.iter().map(|s| s.len() as u64).sum();
+        let rm_packs: Vec<TracePack> = rm.to_packs();
+        let rm_shards = rm.shards.clone();
+        let (rm_vec, rm_vec_elapsed) =
+            time(|| MulticoreEngine::new(mc_config(cores)).run(rm_shards));
+        push(mc_row(
+            "mc_readmostly_iter",
+            cores,
+            rm_ops,
+            rm_vec_elapsed,
+            legacy_mops,
+            true,
+            &rm_vec,
+        ));
+        let (rm_pack, rm_pack_elapsed) =
+            time(|| MulticoreEngine::new(mc_config(cores)).run_packs(&rm_packs));
+        let identical = mc_identical(&rm_pack, &rm_vec);
+        assert!(
+            identical,
+            "packed read-mostly multicore replay must be bit-identical"
+        );
+        let row = mc_row(
+            "mc_readmostly_packed",
+            cores,
+            rm_ops,
+            rm_pack_elapsed,
+            legacy_mops,
+            identical,
+            &rm_pack,
+        );
+        if cores == 2 {
+            readmostly_2core_packed_speedup = row.speedup_vs_legacy;
+        }
+        push(row);
     }
 
     let report = ReplayReport {
@@ -177,6 +467,8 @@ fn main() {
         trace_ops: total_ops,
         pack_bytes_per_op: pack.bytes_per_op(),
         vec_bytes_per_op: std::mem::size_of::<TraceOp>() as f64,
+        quantum,
+        adaptive_quantum: adaptive,
         packed_vs_legacy_speedup: packed_speedup,
         rows,
     };
@@ -185,4 +477,20 @@ fn main() {
     println!(
         "packed_batched vs legacy_iter: {packed_speedup:.2}x — JSON written to BENCH_replay.json"
     );
+
+    if check {
+        // The scaling tripwire: a real multicore-runtime regression drags
+        // every scaling-shape row down, while single rows can wobble on a
+        // noisy (or single-CPU) host — so the gate fires only when BOTH
+        // 2-core packed scaling rows fall below 1.0x legacy.
+        let best = disjoint_2core_packed_speedup.max(readmostly_2core_packed_speedup);
+        println!(
+            "check: 2-core packed replay at {disjoint_2core_packed_speedup:.2}x (disjoint) / \
+             {readmostly_2core_packed_speedup:.2}x (read-mostly) legacy — gate: best ≥ 1.0x"
+        );
+        if best.is_nan() || best < 1.0 {
+            eprintln!("FAIL: 2-core packed replay dropped below 1.0x single-core legacy");
+            std::process::exit(1);
+        }
+    }
 }

@@ -86,6 +86,19 @@ impl<V> SetAssocCache<V> {
         }
     }
 
+    /// A zero-set placeholder left behind while the real cache is lent to
+    /// a bound-phase worker (see `crate::multicore`). Must never be
+    /// accessed.
+    pub(crate) fn detached() -> Self {
+        Self {
+            sets: Vec::new(),
+            ways: 1,
+            clock: 0,
+            latency: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
     /// Number of sets.
     pub fn set_count(&self) -> usize {
         self.sets.len()
@@ -137,6 +150,24 @@ impl<V> SetAssocCache<V> {
                 None
             }
         }
+    }
+
+    /// Looks up a line, updating LRU but **not** the hit/miss counters,
+    /// exposing the dirty bit alongside the payload. The caller decides
+    /// whether (and how) to count the access — the multi-core L1 fast
+    /// paths use this to probe once and count a hit only when the access
+    /// actually completes locally, leaving the miss count to whichever
+    /// phase services it.
+    pub(crate) fn probe_entry(&mut self, line_addr: u64) -> Option<AccessedLine<'_, V>> {
+        let (set_idx, tag) = self.index(line_addr);
+        self.clock += 1;
+        let clock = self.clock;
+        let e = self.sets[set_idx].iter_mut().find(|e| e.tag == tag)?;
+        e.stamp = clock;
+        Some(AccessedLine {
+            value: &mut e.value,
+            dirty: &mut e.dirty,
+        })
     }
 
     /// Looks up a line, updating LRU but **not** the hit/miss counters.

@@ -28,13 +28,15 @@
 //! `crates/sim/tests/multicore.rs`).
 
 use crate::cache::SetAssocCache;
-use crate::hierarchy::{kmap_exception, HierarchyConfig, MemResult, SharedLevels};
+use crate::hierarchy::{
+    kmap_exception, load_violation, HierarchyConfig, LevelBank, LineMap, MemResult, SharedLevels,
+};
 use crate::stats::{CacheStats, CoherenceStats, SimStats};
 use crate::{line_base, line_offset, LINE_BYTES};
 use califorms_core::{
-    fill, spill, AccessKind, CaliformsException, CformInstruction, CoreError, ExceptionKind, L1Line,
+    fill, range_mask, spill, AccessKind, CaliformsException, CformInstruction, CoreError,
+    ExceptionKind, L1Line,
 };
-use std::collections::HashMap;
 
 /// MESI residency state of a line in one core's L1 (absence = Invalid).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -146,6 +148,60 @@ impl CoreL1 {
         true
     }
 
+    /// A structurally empty stand-in left behind while the real L1 is
+    /// lent to a bound-phase worker. Never accessed.
+    pub(crate) fn detached() -> Self {
+        Self {
+            cache: SetAssocCache::detached(),
+        }
+    }
+
+    /// Completes a load entirely within this L1 **without materialising
+    /// the data** — the replay hot path only needs latency and exception.
+    /// Returns `None` if any covered line is absent.
+    ///
+    /// Single-line accesses (the trace-pack common case) take a one-scan
+    /// fast path: probe once, count the hit only if the access completes
+    /// locally, one bit-vector AND for the security check.
+    pub fn try_load_quiet(&mut self, addr: u64, len: usize, pc: u64) -> Option<MemResult> {
+        let offset = line_offset(addr);
+        if len != 0 && offset + len <= LINE_BYTES as usize {
+            let line_addr = line_base(addr);
+            let latency = self.cache.latency;
+            let hit = self.cache.probe_entry(line_addr)?;
+            let bv = hit.value.line.bitvector();
+            self.cache.stats.hits += 1;
+            return Some(MemResult {
+                latency,
+                data: Vec::new(),
+                exception: load_violation(bv & range_mask(offset, len), line_addr, pc),
+            });
+        }
+        if !self.servable_locally(addr, len, false) {
+            return None;
+        }
+        let latency = self.cache.latency;
+        let mut exception = None;
+        let mut cur = addr;
+        let end = addr + len as u64;
+        while cur < end {
+            let line_addr = line_base(cur);
+            let offset = line_offset(cur);
+            let chunk = ((LINE_BYTES - offset as u64).min(end - cur)) as usize;
+            let e = self.cache.access(line_addr).expect("checked resident");
+            let bv = e.line.bitvector();
+            if exception.is_none() {
+                exception = load_violation(bv & range_mask(offset, chunk), line_addr, pc);
+            }
+            cur += chunk as u64;
+        }
+        Some(MemResult {
+            latency,
+            data: Vec::new(),
+            exception,
+        })
+    }
+
     /// Completes a load entirely within this L1, or returns `None` if any
     /// covered line is absent (the coherence path must run).
     pub fn try_load(&mut self, addr: u64, len: usize, pc: u64) -> Option<MemResult> {
@@ -184,7 +240,42 @@ impl CoreL1 {
 
     /// Completes a store entirely within this L1, or returns `None` if any
     /// covered line is absent or lacks write permission.
+    ///
+    /// Single-line stores take a one-scan fast path: probe once, check
+    /// MESI write permission, write and mark dirty through the same
+    /// entry handle.
     pub fn try_store(&mut self, addr: u64, bytes: &[u8], pc: u64) -> Option<MemResult> {
+        let offset = line_offset(addr);
+        if !bytes.is_empty() && offset + bytes.len() <= LINE_BYTES as usize {
+            let line_addr = line_base(addr);
+            let latency = self.cache.latency;
+            let hit = self.cache.probe_entry(line_addr)?;
+            if !hit.value.state.writable() {
+                // S-state store: the upgrade (and its hit count) belongs
+                // to whichever phase runs the directory transaction.
+                return None;
+            }
+            let exception = match hit.value.line.store(offset, bytes) {
+                Ok(()) => {
+                    hit.value.state = Mesi::Modified; // silent E→M
+                    *hit.dirty = true;
+                    None
+                }
+                Err(CoreError::StoreToSecurityByte { index }) => Some(CaliformsException {
+                    fault_addr: line_addr + index as u64,
+                    access: AccessKind::Store,
+                    kind: ExceptionKind::SecurityByteAccess,
+                    pc,
+                }),
+                Err(other) => unreachable!("store can only fault on security bytes: {other}"),
+            };
+            self.cache.stats.hits += 1;
+            return Some(MemResult {
+                latency,
+                data: Vec::new(),
+                exception,
+            });
+        }
         if !self.servable_locally(addr, bytes.len(), true) {
             return None;
         }
@@ -226,21 +317,22 @@ impl CoreL1 {
     }
 
     /// Completes a `CFORM` entirely within this L1 (the line must be held
-    /// M or E), or returns `None`.
+    /// M or E), or returns `None`. One probe scan, like the store path.
     pub fn try_cform(&mut self, insn: &CformInstruction, pc: u64) -> Option<MemResult> {
-        if !self.servable_locally(insn.line_addr, 1, true) {
+        let latency = self.cache.latency;
+        let hit = self.cache.probe_entry(insn.line_addr)?;
+        if !hit.value.state.writable() {
             return None;
         }
-        let latency = self.cache.latency;
-        let e = self.cache.access(insn.line_addr).expect("checked resident");
-        let exception = match insn.execute(e.line.line_mut()) {
+        let exception = match insn.execute(hit.value.line.line_mut()) {
             Ok(_) => {
-                e.state = Mesi::Modified;
-                self.cache.mark_dirty(insn.line_addr);
+                hit.value.state = Mesi::Modified;
+                *hit.dirty = true;
                 None
             }
             Err(err) => Some(kmap_exception(err, insn.line_addr, pc)),
         };
+        self.cache.stats.hits += 1;
         Some(MemResult {
             latency,
             data: Vec::new(),
@@ -249,21 +341,72 @@ impl CoreL1 {
     }
 }
 
+/// Per-bank coherence-side state: the directory shard covering one
+/// [`LevelBank`]'s lines, plus the counters whose events are attributable
+/// to a single bank (and may therefore be bumped by a bound-phase worker
+/// that owns the bank, without any synchronisation).
+#[derive(Debug, Default)]
+pub(crate) struct BankExt {
+    /// Directory shard: full-map entries for this bank's lines.
+    dir: LineMap<DirEntry>,
+    /// Directory consultations against this shard.
+    lookups: u64,
+    /// S→M upgrades resolved through this shard.
+    upgrades: u64,
+    /// L1→L2 spill conversions of califormed lines into this bank.
+    spills: u64,
+    /// L2→L1 fill conversions of califormed lines out of this bank.
+    fills: u64,
+}
+
 /// The multi-core hierarchy: N per-core L1Ds kept coherent by a MESI
-/// directory over the shared sentinel-format L2/L3/DRAM.
+/// directory over the shared sentinel-format L2/L3/DRAM. The shared
+/// levels and the directory are sharded into banks (see [`LevelBank`])
+/// so the bound phase of [`crate::multicore::MulticoreEngine`] can lend
+/// each worker exclusive ownership of a slice.
 #[derive(Debug)]
 pub struct CoherentHierarchy {
     cfg: HierarchyConfig,
     ccfg: CoherenceConfig,
     l1s: Vec<CoreL1>,
     shared: SharedLevels,
-    directory: HashMap<u64, DirEntry>,
-    /// Coherence-traffic counters.
-    pub coherence: CoherenceStats,
-    /// L1→L2 spill conversions of califormed lines (all cores).
-    pub spills: u64,
-    /// L2→L1 fill conversions of califormed lines (all cores).
-    pub fills: u64,
+    /// Per-bank directory shards + bank-attributable counters.
+    exts: Vec<BankExt>,
+    /// Cross-core coherence-traffic counters (weave-phase only; the
+    /// per-bank `lookups`/`upgrades`/`spills`/`fills` are merged in by
+    /// [`Self::coherence_totals`]).
+    coherence: CoherenceStats,
+}
+
+/// Largest bank count the coherent hierarchy shards into.
+const MAX_BANKS: usize = 8;
+
+/// Largest power-of-two divisor of `n` (1 for odd `n`).
+fn pow2_divisor(n: usize) -> usize {
+    if n == 0 {
+        1
+    } else {
+        1 << n.trailing_zeros()
+    }
+}
+
+/// Bank count for a configuration: the largest power of two ≤
+/// [`MAX_BANKS`] **dividing** the L1, L2 and L3 set counts (for the
+/// power-of-two set counts `SetAssocCache` enforces this is just their
+/// minimum, capped). Dividing the **L1** set count is what guarantees
+/// an L1 victim always lives in the same bank as the line that evicted
+/// it (same L1 set ⇒ same line index modulo the bank count), so a
+/// private-miss transaction never has to touch a foreign bank to
+/// retire a victim.
+fn bank_count(cfg: &HierarchyConfig) -> usize {
+    let line = LINE_BYTES as usize;
+    let l1_sets = cfg.l1d_size / (cfg.l1d_ways * line);
+    let l2_sets = cfg.l2_size / (cfg.l2_ways * line);
+    let l3_sets = cfg.l3_size / (cfg.l3_ways * line);
+    MAX_BANKS
+        .min(pow2_divisor(l1_sets))
+        .min(pow2_divisor(l2_sets))
+        .min(pow2_divisor(l3_sets))
 }
 
 impl CoherentHierarchy {
@@ -281,15 +424,14 @@ impl CoherentHierarchy {
             (1..=64).contains(&cores),
             "directory supports 1..=64 cores, got {cores}"
         );
+        let banks = bank_count(&cfg);
         Self {
             l1s: (0..cores).map(|_| CoreL1::new(&cfg)).collect(),
-            shared: SharedLevels::new(cfg),
-            directory: HashMap::new(),
+            shared: SharedLevels::banked(cfg, banks),
+            exts: (0..banks).map(|_| BankExt::default()).collect(),
             cfg,
             ccfg,
             coherence: CoherenceStats::default(),
-            spills: 0,
-            fills: 0,
         }
     }
 
@@ -314,33 +456,93 @@ impl CoherentHierarchy {
         &self.l1s
     }
 
-    /// Spills `entry`'s line back to the shared L2 (running the real
-    /// bitvector→sentinel conversion) and returns the sentinel-format
-    /// line. `dirty` decides whether the L2 copy is marked dirty.
-    fn writeback(&mut self, line_addr: u64, line: &L1Line, dirty: bool) {
-        let spilled = spill(line).expect("canonical lines always spill");
-        if spilled.califormed {
-            self.spills += 1;
-        }
-        self.shared.insert_l2(line_addr, spilled, dirty);
+    /// Mutable access to one core's L1.
+    pub fn l1_mut(&mut self, c: usize) -> &mut CoreL1 {
+        &mut self.l1s[c]
     }
 
-    /// Removes core `c` from a line's directory entry (L1 capacity
-    /// eviction), writing a dirty victim back through the spill path.
-    fn evict_victim(&mut self, c: usize, line_addr: u64, victim: CoherentLine, dirty: bool) {
-        let entry = self
-            .directory
-            .get_mut(&line_addr)
+    /// Lends core `c`'s L1 out for a bound phase, leaving a detached
+    /// stand-in; pair with [`Self::put_l1`].
+    pub(crate) fn take_l1(&mut self, c: usize) -> CoreL1 {
+        std::mem::replace(&mut self.l1s[c], CoreL1::detached())
+    }
+
+    /// Returns a lent L1.
+    pub(crate) fn put_l1(&mut self, c: usize, l1: CoreL1) {
+        self.l1s[c] = l1;
+    }
+
+    /// L1→L2 spill conversions of califormed lines (all cores, all banks).
+    pub fn spills(&self) -> u64 {
+        self.exts.iter().map(|e| e.spills).sum()
+    }
+
+    /// L2→L1 fill conversions of califormed lines (all cores, all banks).
+    pub fn fills(&self) -> u64 {
+        self.exts.iter().map(|e| e.fills).sum()
+    }
+
+    /// The full coherence-traffic counters: the weave-phase cross-core
+    /// events plus the per-bank directory lookup and upgrade counts.
+    pub fn coherence_totals(&self) -> CoherenceStats {
+        let mut c = self.coherence;
+        c.directory_lookups += self.exts.iter().map(|e| e.lookups).sum::<u64>();
+        c.upgrades_s_to_m += self.exts.iter().map(|e| e.upgrades).sum::<u64>();
+        c
+    }
+
+    /// Monotonic count of coherence events that involved more than one
+    /// core (invalidations + cache-to-cache transfers). The weave uses
+    /// deltas of this to detect whether a transaction was contended, and
+    /// the adaptive quantum controller to measure a quantum's contention
+    /// — both purely simulated state.
+    pub(crate) fn cross_core_events(&self) -> u64 {
+        self.coherence.invalidations + self.coherence.cache_to_cache_transfers
+    }
+
+    /// Spills `line` back into `bank` (running the real
+    /// bitvector→sentinel conversion). `dirty` decides whether the L2
+    /// copy is marked dirty.
+    fn writeback_into(
+        bank: &mut LevelBank,
+        ext: &mut BankExt,
+        line_addr: u64,
+        line: &L1Line,
+        dirty: bool,
+    ) {
+        let spilled = spill(line).expect("canonical lines always spill");
+        if spilled.califormed {
+            ext.spills += 1;
+        }
+        bank.insert_l2(line_addr, spilled, dirty);
+    }
+
+    /// Removes core `c` from a victim line's directory entry (L1 capacity
+    /// eviction), writing a dirty victim back through the spill path. The
+    /// caller supplies the victim's own bank. One hash operation in the
+    /// common case (sole resident core evicts → entry removed); the entry
+    /// is reinserted only when other cores still share the line.
+    fn retire_victim(
+        bank: &mut LevelBank,
+        ext: &mut BankExt,
+        c: usize,
+        line_addr: u64,
+        victim: CoherentLine,
+        dirty: bool,
+    ) {
+        let mut entry = ext
+            .dir
+            .remove(&line_addr)
             .expect("resident lines are in the directory");
         entry.sharers &= !(1u64 << c);
-        if entry.owner == Some(c) {
-            entry.owner = None;
-        }
-        if entry.sharers == 0 {
-            self.directory.remove(&line_addr);
+        if entry.sharers != 0 {
+            if entry.owner == Some(c) {
+                entry.owner = None;
+            }
+            ext.dir.insert(line_addr, entry);
         }
         if dirty {
-            self.writeback(line_addr, &victim.line, true);
+            Self::writeback_into(bank, ext, line_addr, &victim.line, true);
         }
     }
 
@@ -348,16 +550,18 @@ impl CoherentHierarchy {
     /// L1 with read (`write == false`) or write permission, returning the
     /// latency beyond the L1 hit latency.
     fn ensure_state(&mut self, c: usize, line_addr: u64, write: bool) -> u32 {
+        let b = self.shared.bank_of(line_addr);
         // Fast path: already resident with sufficient permission.
         if let Some(e) = self.l1s[c].cache.access(line_addr) {
             match (e.state, write) {
                 (_, false) | (Mesi::Modified, true) | (Mesi::Exclusive, true) => return 0,
                 (Mesi::Shared, true) => {
                     // S→M upgrade: invalidate every other sharer.
-                    self.coherence.directory_lookups += 1;
-                    self.coherence.upgrades_s_to_m += 1;
-                    let entry = self
-                        .directory
+                    let ext = &mut self.exts[b];
+                    ext.lookups += 1;
+                    ext.upgrades += 1;
+                    let entry = ext
+                        .dir
                         .get_mut(&line_addr)
                         .expect("shared lines are in the directory");
                     let others = entry.sharers & !(1u64 << c);
@@ -384,13 +588,49 @@ impl CoherentHierarchy {
             }
         }
 
-        // Miss: consult the directory.
-        self.coherence.directory_lookups += 1;
-        let mut latency = self.ccfg.directory_latency;
-        let entry = self.directory.entry(line_addr).or_default();
+        // Miss: consult the directory shard (one hash op for the whole
+        // transaction — the entry is created and updated in place).
+        self.exts[b].lookups += 1;
+        let entry = self.exts[b].dir.entry(line_addr).or_default();
         let remote_owner = entry.owner.filter(|&o| o != c);
         let remote_sharers = entry.sharers & !(1u64 << c);
 
+        if remote_owner.is_none() && remote_sharers == 0 {
+            // No other core involved: the transaction touches only this
+            // core's L1 and the line's own bank — the private case the
+            // weave batches and the adaptive quantum grows over.
+            entry.sharers = 1 << c;
+            entry.owner = Some(c);
+            let state = if write {
+                Mesi::Modified
+            } else {
+                Mesi::Exclusive
+            };
+            let mut latency = self.ccfg.directory_latency;
+            let bank = self.shared.bank_mut(line_addr);
+            let (l2line, fetch_latency) = bank.fetch(line_addr);
+            latency += fetch_latency;
+            let ext = &mut self.exts[b];
+            if l2line.califormed {
+                ext.fills += 1;
+            }
+            let l1line = fill(&l2line).expect("hierarchy lines are well-formed");
+            if let Some(victim) = self.l1s[c].cache.insert(
+                line_addr,
+                CoherentLine {
+                    line: l1line,
+                    state,
+                },
+                false,
+            ) {
+                // NB divides the L1 set count, so the victim (same L1
+                // set) provably lives in the same bank as the line.
+                Self::retire_victim(bank, ext, c, victim.line_addr, victim.value, victim.dirty);
+            }
+            return latency;
+        }
+
+        let mut latency = self.ccfg.directory_latency;
         let l2line = if let Some(o) = remote_owner {
             // Cache-to-cache: recall the line from the remote owner's L1.
             // The spill conversion runs in the source L1 either way; on a
@@ -418,13 +658,13 @@ impl CoherentHierarchy {
             };
             let spilled = spill(&owner_line).expect("canonical lines always spill");
             if spilled.califormed {
-                self.spills += 1;
+                self.exts[b].spills += 1;
                 self.coherence.califormed_transfers += 1;
             }
             self.shared.insert_l2(line_addr, spilled, owner_dirty);
             spilled
         } else {
-            if write && remote_sharers != 0 {
+            if write {
                 // Write to a line shared (clean) by others: invalidate.
                 latency += self.ccfg.upgrade_latency;
                 for o in 0..self.l1s.len() {
@@ -440,18 +680,14 @@ impl CoherentHierarchy {
         };
 
         if l2line.califormed {
-            self.fills += 1;
+            self.exts[b].fills += 1;
         }
         let l1line = fill(&l2line).expect("hierarchy lines are well-formed");
-        let entry = self.directory.entry(line_addr).or_default();
+        let entry = self.exts[b].dir.entry(line_addr).or_default();
         let state = if write {
             entry.sharers = 1 << c;
             entry.owner = Some(c);
             Mesi::Modified
-        } else if entry.sharers & !(1u64 << c) == 0 {
-            entry.sharers = 1 << c;
-            entry.owner = Some(c);
-            Mesi::Exclusive
         } else {
             entry.sharers |= 1 << c;
             entry.owner = None;
@@ -465,7 +701,15 @@ impl CoherentHierarchy {
             },
             false,
         ) {
-            self.evict_victim(c, victim.line_addr, victim.value, victim.dirty);
+            let vb = self.shared.bank_of(victim.line_addr);
+            Self::retire_victim(
+                self.shared.bank_mut(victim.line_addr),
+                &mut self.exts[vb],
+                c,
+                victim.line_addr,
+                victim.value,
+                victim.dirty,
+            );
         }
         latency
     }
@@ -476,6 +720,33 @@ impl CoherentHierarchy {
             .cache
             .access_uncounted(line_addr)
             .expect("line was just ensured resident")
+    }
+
+    /// Performs a load by core `c` **without materialising the data** —
+    /// the replay hot path only needs latency and exception. Timing, LRU,
+    /// stats and exception behaviour are identical to [`Self::load`].
+    pub fn load_quiet(&mut self, c: usize, addr: u64, len: usize, pc: u64) -> MemResult {
+        let mut latency = 0u32;
+        let mut exception = None;
+        let mut cur = addr;
+        let end = addr + len as u64;
+        while cur < end {
+            let line_addr = line_base(cur);
+            let offset = line_offset(cur);
+            let chunk = ((LINE_BYTES - offset as u64).min(end - cur)) as usize;
+            let extra = self.ensure_state(c, line_addr, false);
+            latency = latency.max(self.cfg.l1d_latency + extra);
+            let bv = self.l1_line_mut(c, line_addr).line.bitvector();
+            if exception.is_none() {
+                exception = load_violation(bv & range_mask(offset, chunk), line_addr, pc);
+            }
+            cur += chunk as u64;
+        }
+        MemResult {
+            latency,
+            data: Vec::new(),
+            exception,
+        }
     }
 
     /// Performs a load by core `c` (line-crossing loads are split).
@@ -583,15 +854,22 @@ impl CoherentHierarchy {
     /// variant never allocates into any L1, so it does not use it.)
     pub fn cform_nt(&mut self, _c: usize, insn: &CformInstruction, pc: u64) -> MemResult {
         let line_addr = insn.line_addr;
-        self.coherence.directory_lookups += 1;
+        let b = self.shared.bank_of(line_addr);
+        self.exts[b].lookups += 1;
         let mut latency = self.ccfg.directory_latency;
-        if let Some(entry) = self.directory.remove(&line_addr) {
+        if let Some(entry) = self.exts[b].dir.remove(&line_addr) {
             for o in 0..self.l1s.len() {
                 if entry.sharers >> o & 1 == 1 {
                     if let Some((victim, dirty)) = self.l1s[o].cache.invalidate(line_addr) {
                         self.coherence.invalidations += 1;
                         if dirty {
-                            self.writeback(line_addr, &victim.line, true);
+                            Self::writeback_into(
+                                self.shared.bank_mut(line_addr),
+                                &mut self.exts[b],
+                                line_addr,
+                                &victim.line,
+                                true,
+                            );
                             latency += self.ccfg.cache_to_cache_latency;
                         }
                     }
@@ -621,7 +899,10 @@ impl CoherentHierarchy {
     /// shared levels. No timing, LRU or counter effects.
     fn peek_line(&self, addr: u64) -> L1Line {
         let line_addr = line_base(addr);
-        if let Some(entry) = self.directory.get(&line_addr) {
+        if let Some(entry) = self.exts[self.shared.bank_of(line_addr)]
+            .dir
+            .get(&line_addr)
+        {
             for o in 0..self.l1s.len() {
                 if entry.sharers >> o & 1 == 1 {
                     if let Some(e) = self.l1s[o].cache.peek(line_addr) {
@@ -669,9 +950,9 @@ impl CoherentHierarchy {
             l1d.writebacks += s.writebacks;
         }
         stats.l1d = l1d;
-        stats.spills = self.spills;
-        stats.fills = self.fills;
-        stats.coherence = self.coherence;
+        stats.spills = self.spills();
+        stats.fills = self.fills();
+        stats.coherence = self.coherence_totals();
     }
 }
 
@@ -696,7 +977,7 @@ mod tests {
         assert_eq!(r.data, vec![1, 2, 3, 4], "dirty data travels core-to-core");
         assert_eq!(h.l1_state(0, 0x1000), Some(Mesi::Shared));
         assert_eq!(h.l1_state(1, 0x1000), Some(Mesi::Shared));
-        assert_eq!(h.coherence.cache_to_cache_transfers, 1);
+        assert_eq!(h.coherence_totals().cache_to_cache_transfers, 1);
     }
 
     #[test]
@@ -705,10 +986,10 @@ mod tests {
         h.load(0, 0x2000, 8, 0);
         assert_eq!(h.l1_state(0, 0x2000), Some(Mesi::Exclusive));
         // The silent E→M store needs no directory transaction.
-        let lookups = h.coherence.directory_lookups;
+        let lookups = h.coherence_totals().directory_lookups;
         h.store(0, 0x2000, &[9], 1);
         assert_eq!(h.l1_state(0, 0x2000), Some(Mesi::Modified));
-        assert_eq!(h.coherence.directory_lookups, lookups);
+        assert_eq!(h.coherence_totals().directory_lookups, lookups);
     }
 
     #[test]
@@ -723,8 +1004,8 @@ mod tests {
         for c in [0usize, 2, 3] {
             assert_eq!(h.l1_state(c, 0x3000), None, "core {c} invalidated");
         }
-        assert_eq!(h.coherence.upgrades_s_to_m, 1);
-        assert_eq!(h.coherence.invalidations, 3);
+        assert_eq!(h.coherence_totals().upgrades_s_to_m, 1);
+        assert_eq!(h.coherence_totals().invalidations, 3);
     }
 
     #[test]
@@ -735,7 +1016,7 @@ mod tests {
         assert_eq!(h.l1_state(0, 0x4000), None);
         assert_eq!(h.l1_state(1, 0x4000), Some(Mesi::Modified));
         assert_eq!(h.load(1, 0x4000, 8, 2).data, vec![2; 8]);
-        assert_eq!(h.coherence.invalidations, 1);
+        assert_eq!(h.coherence_totals().invalidations, 1);
     }
 
     #[test]
@@ -744,14 +1025,18 @@ mod tests {
         h.store(0, 0x5000, &[5; 16], 0);
         let insn = CformInstruction::set(0x5000, 0b1111 << 20);
         assert!(h.cform(0, &insn, 1).exception.is_none());
-        let (spills0, fills0) = (h.spills, h.fills);
+        let (spills0, fills0) = (h.spills(), h.fills());
         // Core 1 reads a normal part of the line: recall runs spill+fill.
         let r = h.load(1, 0x5000, 8, 2);
         assert!(r.exception.is_none());
         assert_eq!(r.data, vec![5; 8]);
-        assert_eq!(h.spills, spills0 + 1, "recall spilled in the source L1");
-        assert_eq!(h.fills, fills0 + 1, "fill converted in the destination L1");
-        assert_eq!(h.coherence.califormed_transfers, 1);
+        assert_eq!(h.spills(), spills0 + 1, "recall spilled in the source L1");
+        assert_eq!(
+            h.fills(),
+            fills0 + 1,
+            "fill converted in the destination L1"
+        );
+        assert_eq!(h.coherence_totals().califormed_transfers, 1);
         assert_eq!(h.peek_mask(0x5000), 0b1111 << 20, "mask survived transfer");
     }
 

@@ -28,6 +28,38 @@ use califorms_core::{
     ExceptionKind, L1Line, L2Line,
 };
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A fast, deterministic hasher for line-address keys (multiply-xor over
+/// the golden ratio, Fx-style). The directory shards and the DRAM maps
+/// sit on the replay miss path, where SipHash's per-lookup cost is pure
+/// overhead: keys are internal `u64` line addresses, not attacker-chosen
+/// input, so HashDoS resistance buys nothing here.
+#[derive(Debug, Default, Clone)]
+pub struct LineHasher(u64);
+
+impl Hasher for LineHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        let h = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 32);
+    }
+}
+
+/// A `HashMap` keyed by line address with the deterministic fast hasher.
+pub type LineMap<V> = HashMap<u64, V, BuildHasherDefault<LineHasher>>;
 
 /// Hierarchy geometry and latency configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -150,7 +182,11 @@ fn access_end(addr: u64, len: usize) -> u64 {
 /// Builds the load exception for a violating-byte mask (line-relative),
 /// or `None` when no accessed byte was a security byte.
 #[inline]
-fn load_violation(violating: u64, line_addr: u64, pc: u64) -> Option<CaliformsException> {
+pub(crate) fn load_violation(
+    violating: u64,
+    line_addr: u64,
+    pc: u64,
+) -> Option<CaliformsException> {
     (violating != 0).then(|| CaliformsException {
         fault_addr: line_addr + u64::from(violating.trailing_zeros()),
         access: AccessKind::Load,
@@ -177,7 +213,7 @@ fn store_violation(e: CoreError, line_addr: u64, pc: u64) -> CaliformsException 
 /// lives in spare ECC bits (Section 3), so no extra address space is used.
 #[derive(Debug, Default)]
 struct Dram {
-    lines: HashMap<u64, L2Line>,
+    lines: LineMap<L2Line>,
 }
 
 impl Dram {
@@ -193,41 +229,65 @@ impl Dram {
     }
 }
 
-/// The shared, sentinel-format levels below the L1 boundary: L2 → L3 →
-/// DRAM.
+/// One bank of the shared levels: an L2/L3 slice plus its DRAM partition,
+/// holding every line whose index is ≡ `bank` (mod `banks`).
 ///
-/// Extracted from [`Hierarchy`] so the single-core hierarchy and the
-/// multi-core [`crate::coherence::CoherentHierarchy`] (where *several*
-/// per-core L1Ds sit on top of one shared L2/L3) drive one implementation.
-/// Everything at or below this boundary stores califormed lines in the
-/// sentinel format; crossing the boundary upward is where the fill
-/// conversion runs, crossing downward the spill.
+/// Banks exist so the multi-core bound phase can hand each worker
+/// exclusive ownership of a subset of the shared state (DESIGN.md §10):
+/// during the parallel phase of a quantum, bank `b` is touched only by
+/// the core that owns it, so private misses can be serviced without any
+/// lock or weave turn — data-race-free by construction.
+///
+/// The bank addresses its internal caches with *bank-local* line indices
+/// (`line_no / banks`), which makes the composite (bank, local-set)
+/// mapping a bijection of the unbanked set mapping: two lines conflict in
+/// a banked set **iff** they conflicted in the corresponding unbanked
+/// set, so banking changes no simulated result — with one bank this is
+/// the identity. All public methods speak global line addresses.
 #[derive(Debug)]
-pub struct SharedLevels {
+pub struct LevelBank {
     cfg: HierarchyConfig,
+    /// This bank's index and the total bank count (for address
+    /// translation back and forth).
+    bank: u64,
+    banks: u64,
     l2: SetAssocCache<L2Line>,
     l3: SetAssocCache<L2Line>,
     dram: Dram,
-    /// DRAM line fetches.
+    /// DRAM line fetches serviced by this bank.
     pub dram_accesses: u64,
 }
 
-impl SharedLevels {
-    /// Builds the shared levels from a configuration.
-    pub fn new(cfg: HierarchyConfig) -> Self {
+impl LevelBank {
+    fn new(cfg: HierarchyConfig, bank: u64, banks: u64) -> Self {
         Self {
-            l2: SetAssocCache::new(cfg.l2_size, cfg.l2_ways, cfg.l2_latency),
-            l3: SetAssocCache::new(cfg.l3_size, cfg.l3_ways, cfg.l3_latency),
+            l2: SetAssocCache::new(cfg.l2_size / banks as usize, cfg.l2_ways, cfg.l2_latency),
+            l3: SetAssocCache::new(cfg.l3_size / banks as usize, cfg.l3_ways, cfg.l3_latency),
             dram: Dram::default(),
             dram_accesses: 0,
             cfg,
+            bank,
+            banks,
         }
     }
 
+    /// Global line address → bank-local line address.
+    #[inline]
+    fn local(&self, line_addr: u64) -> u64 {
+        (line_addr / LINE_BYTES / self.banks) * LINE_BYTES
+    }
+
+    /// Bank-local line address → global line address.
+    #[inline]
+    fn global(&self, local_addr: u64) -> u64 {
+        ((local_addr / LINE_BYTES) * self.banks + self.bank) * LINE_BYTES
+    }
+
     fn insert_l3(&mut self, line_addr: u64, line: L2Line, dirty: bool) {
-        if let Some(ev) = self.l3.insert(line_addr, line, dirty) {
+        if let Some(ev) = self.l3.insert(self.local(line_addr), line, dirty) {
             if ev.dirty {
-                self.dram.store(ev.line_addr, ev.value);
+                let global = self.global(ev.line_addr);
+                self.dram.store(global, ev.value);
             }
         }
     }
@@ -235,9 +295,10 @@ impl SharedLevels {
     /// Inserts (or refreshes) a line in the L2, rippling dirty evictions
     /// down to L3 and DRAM — the write-back path for L1 spills.
     pub fn insert_l2(&mut self, line_addr: u64, line: L2Line, dirty: bool) {
-        if let Some(ev) = self.l2.insert(line_addr, line, dirty) {
+        if let Some(ev) = self.l2.insert(self.local(line_addr), line, dirty) {
             if ev.dirty {
-                self.insert_l3(ev.line_addr, ev.value, true);
+                let global = self.global(ev.line_addr);
+                self.insert_l3(global, ev.value, true);
             }
         }
     }
@@ -245,11 +306,12 @@ impl SharedLevels {
     /// Fetches a line in sentinel format from L2/L3/DRAM, returning the
     /// added latency (beyond L1).
     pub fn fetch(&mut self, line_addr: u64) -> (L2Line, u32) {
-        if let Some(line) = self.l2.access(line_addr) {
+        let local = self.local(line_addr);
+        if let Some(line) = self.l2.access(local) {
             return (*line, self.cfg.l2_latency + self.cfg.extra_l2_latency);
         }
         let l2_part = self.cfg.l2_latency + self.cfg.extra_l2_latency;
-        if let Some(line) = self.l3.access(line_addr) {
+        if let Some(line) = self.l3.access(local) {
             let line = *line;
             let latency = l2_part + self.cfg.l3_latency + self.cfg.extra_l3_latency;
             self.insert_l2(line_addr, line, false);
@@ -264,63 +326,180 @@ impl SharedLevels {
     }
 
     /// Functional (stat-free, LRU-free) read of a line from whichever
-    /// shared level holds it, falling through to DRAM.
+    /// level of this bank holds it, falling through to DRAM.
     pub fn peek_line(&self, line_addr: u64) -> L2Line {
+        let local = self.local(line_addr);
         self.l2
-            .peek(line_addr)
-            .or_else(|| self.l3.peek(line_addr))
+            .peek(local)
+            .or_else(|| self.l3.peek(local))
             .copied()
             .unwrap_or_else(|| self.dram.load(line_addr))
+    }
+
+    fn evict_to_dram(&mut self, line_addr: u64) {
+        let local = self.local(line_addr);
+        if let Some((line, _)) = self.l2.invalidate(local) {
+            self.l3.invalidate(local);
+            self.dram.store(line_addr, line);
+            return;
+        }
+        if let Some((line, _)) = self.l3.invalidate(local) {
+            self.dram.store(line_addr, line);
+        }
+    }
+
+    fn flush(&mut self) {
+        for (addr, line, dirty) in self.l2.drain() {
+            if dirty {
+                let global = self.global(addr);
+                self.insert_l3(global, line, true);
+            }
+        }
+        for (addr, line, dirty) in self.l3.drain() {
+            if dirty {
+                let global = self.global(addr);
+                self.dram.store(global, line);
+            }
+        }
+    }
+}
+
+/// The shared, sentinel-format levels below the L1 boundary: L2 → L3 →
+/// DRAM, internally sharded into [`LevelBank`]s by line index.
+///
+/// Extracted from [`Hierarchy`] so the single-core hierarchy and the
+/// multi-core [`crate::coherence::CoherentHierarchy`] (where *several*
+/// per-core L1Ds sit on top of one shared L2/L3) drive one implementation.
+/// Everything at or below this boundary stores califormed lines in the
+/// sentinel format; crossing the boundary upward is where the fill
+/// conversion runs, crossing downward the spill. The single-core
+/// hierarchy uses one bank; the coherent hierarchy banks the state so the
+/// bound phase can own slices of it (see [`LevelBank`]).
+#[derive(Debug)]
+pub struct SharedLevels {
+    banks: Vec<LevelBank>,
+}
+
+impl SharedLevels {
+    /// Builds the shared levels from a configuration, unbanked.
+    pub fn new(cfg: HierarchyConfig) -> Self {
+        Self::banked(cfg, 1)
+    }
+
+    /// Builds the shared levels sharded into `banks` banks.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `banks` is a power of two dividing the L2 and L3 set
+    /// counts (so bank-local indexing preserves the unbanked set
+    /// grouping).
+    pub fn banked(cfg: HierarchyConfig, banks: usize) -> Self {
+        assert!(
+            banks.is_power_of_two(),
+            "bank count must be a power of two, got {banks}"
+        );
+        let line = LINE_BYTES as usize;
+        let l2_sets = cfg.l2_size / (cfg.l2_ways * line);
+        let l3_sets = cfg.l3_size / (cfg.l3_ways * line);
+        assert!(
+            l2_sets.is_multiple_of(banks) && l3_sets.is_multiple_of(banks),
+            "bank count {banks} must divide the L2 ({l2_sets}) and L3 ({l3_sets}) set counts"
+        );
+        Self {
+            banks: (0..banks)
+                .map(|b| LevelBank::new(cfg, b as u64, banks as u64))
+                .collect(),
+        }
+    }
+
+    /// Number of banks.
+    pub fn bank_count(&self) -> usize {
+        self.banks.len()
+    }
+
+    /// Bank index holding `line_addr`.
+    #[inline]
+    pub fn bank_of(&self, line_addr: u64) -> usize {
+        ((line_addr / LINE_BYTES) % self.banks.len() as u64) as usize
+    }
+
+    /// The bank holding `line_addr`.
+    #[inline]
+    pub fn bank_mut(&mut self, line_addr: u64) -> &mut LevelBank {
+        let b = self.bank_of(line_addr);
+        &mut self.banks[b]
+    }
+
+    /// Total DRAM line fetches across banks.
+    pub fn dram_accesses(&self) -> u64 {
+        self.banks.iter().map(|b| b.dram_accesses).sum()
+    }
+
+    /// Inserts (or refreshes) a line in the L2, rippling dirty evictions
+    /// down to L3 and DRAM — the write-back path for L1 spills.
+    pub fn insert_l2(&mut self, line_addr: u64, line: L2Line, dirty: bool) {
+        self.bank_mut(line_addr).insert_l2(line_addr, line, dirty);
+    }
+
+    /// Fetches a line in sentinel format from L2/L3/DRAM, returning the
+    /// added latency (beyond L1).
+    pub fn fetch(&mut self, line_addr: u64) -> (L2Line, u32) {
+        self.bank_mut(line_addr).fetch(line_addr)
+    }
+
+    /// Functional (stat-free, LRU-free) read of a line from whichever
+    /// shared level holds it, falling through to DRAM.
+    pub fn peek_line(&self, line_addr: u64) -> L2Line {
+        self.banks[self.bank_of(line_addr)].peek_line(line_addr)
     }
 
     /// Drops every cached copy of a line, writing the freshest one back to
     /// DRAM (page-eviction building block). The L1 levels above must have
     /// been handled by the caller first.
     pub fn evict_to_dram(&mut self, line_addr: u64) {
-        if let Some((line, _)) = self.l2.invalidate(line_addr) {
-            self.l3.invalidate(line_addr);
-            self.dram.store(line_addr, line);
-            return;
-        }
-        if let Some((line, _)) = self.l3.invalidate(line_addr) {
-            self.dram.store(line_addr, line);
-        }
+        self.bank_mut(line_addr).evict_to_dram(line_addr);
     }
 
     /// Overwrites a line's DRAM copy and drops stale cached copies.
     pub fn set_dram_line(&mut self, line_addr: u64, line: L2Line) {
-        self.dram.store(line_addr, line);
+        self.bank_mut(line_addr).dram.store(line_addr, line);
     }
 
     /// Reads a line's DRAM copy.
     pub fn dram_line(&self, line_addr: u64) -> L2Line {
-        self.dram.load(line_addr)
+        self.banks[self.bank_of(line_addr)].dram.load(line_addr)
     }
 
     /// Removes a line from DRAM entirely (its page was swapped out).
     pub fn remove_dram_line(&mut self, line_addr: u64) {
-        self.dram.lines.remove(&line_addr);
+        self.bank_mut(line_addr).dram.lines.remove(&line_addr);
     }
 
     /// Flushes the L2 and L3 to DRAM.
     pub fn flush(&mut self) {
-        for (addr, line, dirty) in self.l2.drain() {
-            if dirty {
-                self.insert_l3(addr, line, true);
-            }
-        }
-        for (addr, line, dirty) in self.l3.drain() {
-            if dirty {
-                self.dram.store(addr, line);
-            }
+        for bank in &mut self.banks {
+            bank.flush();
         }
     }
 
-    /// Copies the shared-level counters into a stats block.
+    /// Copies the shared-level counters into a stats block (summed over
+    /// banks).
     pub fn export_stats(&self, stats: &mut SimStats) {
-        stats.l2 = self.l2.stats;
-        stats.l3 = self.l3.stats;
-        stats.dram_accesses = self.dram_accesses;
+        let mut l2 = crate::stats::CacheStats::default();
+        let mut l3 = crate::stats::CacheStats::default();
+        for bank in &self.banks {
+            l2.hits += bank.l2.stats.hits;
+            l2.misses += bank.l2.stats.misses;
+            l2.evictions += bank.l2.stats.evictions;
+            l2.writebacks += bank.l2.stats.writebacks;
+            l3.hits += bank.l3.stats.hits;
+            l3.misses += bank.l3.stats.misses;
+            l3.evictions += bank.l3.stats.evictions;
+            l3.writebacks += bank.l3.stats.writebacks;
+        }
+        stats.l2 = l2;
+        stats.l3 = l3;
+        stats.dram_accesses = self.dram_accesses();
     }
 }
 
@@ -363,7 +542,7 @@ impl Hierarchy {
 
     /// DRAM line fetches performed so far.
     pub fn dram_accesses(&self) -> u64 {
-        self.shared.dram_accesses
+        self.shared.dram_accesses()
     }
 
     /// Detects sequential miss streams: returns true when `line_addr`

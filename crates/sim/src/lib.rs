@@ -46,6 +46,7 @@ pub mod hierarchy;
 pub mod lsq;
 pub mod multicore;
 pub mod os;
+pub mod runtime;
 pub mod stats;
 pub mod trace;
 pub mod tracepack;
@@ -56,6 +57,7 @@ pub use cpu::CoreConfig;
 pub use engine::{Engine, SimOutcome};
 pub use hierarchy::{Hierarchy, HierarchyConfig};
 pub use multicore::{shard_ops, MulticoreConfig, MulticoreEngine, MulticoreOutcome};
+pub use runtime::{QuantumSizing, RuntimeConfig, RuntimeStats, RuntimeTiming};
 pub use stats::{CoherenceStats, MulticoreStats, SimStats};
 pub use trace::TraceOp;
 pub use tracepack::{TracePack, TracePackError, TracePackReader, TracePackWriter};

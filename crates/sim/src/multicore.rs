@@ -1,43 +1,63 @@
 //! The multi-core engine: parallel sharded trace replay over the
-//! MESI-coherent hierarchy.
+//! MESI-coherent hierarchy, on a persistent worker pool.
 //!
 //! Each core replays its own trace shard. Simulated time advances in
-//! fixed **cycle quanta** with a barrier between them, and every quantum
-//! runs in two phases (the bound/weave idea of ZSim, adapted — see
-//! DESIGN.md §7):
+//! **cycle quanta** with a barrier between them, and every quantum runs
+//! in two phases (the bound/weave idea of ZSim, adapted — see
+//! DESIGN.md §7 and §10):
 //!
-//! 1. **Parallel phase** — one `std::thread` worker per core replays ops
-//!    that its private L1 can complete without a directory transaction
-//!    (hits with sufficient MESI permission, plain `Exec`, mask ops).
-//!    Workers touch disjoint state — their own [`CoreReplay`] and their
-//!    own [`CoreL1`] slice — so this phase is data-race-free by
-//!    construction and its outcome is independent of thread scheduling.
-//!    A core stops at its first op needing coherence, or at quantum end.
-//! 2. **Serial phase** — cores are resumed on the calling thread in a
-//!    deterministic round-robin (0, 1, …, 0, 1, …), each turn executing
-//!    at most one transaction through the full [`CoherentHierarchy`]
-//!    (miss, recall, upgrade, invalidation) plus any local-completable
-//!    ops around it, until every core reaches the quantum boundary. The
-//!    transaction-granular interleave keeps line ping-pong (false
-//!    sharing, lock bouncing) visible inside a quantum.
+//! 1. **Parallel (bound) phase** — one *persistent* worker thread per
+//!    core (spawned once per run, woken through an epoch/`Condvar`
+//!    barrier; no thread is created or joined on the hot path) replays
+//!    ops its private L1 completes without a directory transaction:
+//!    hits with sufficient MESI permission, plain `Exec`, mask ops.
+//!    Workers touch disjoint state — their own replay cursor, decoder
+//!    lane and L1 — so the phase is data-race-free by construction and
+//!    its outcome is independent of thread scheduling. A core stops at
+//!    its first op needing a transaction, or at quantum end.
+//! 2. **Serial (weave) phase** — cores are resumed on the main thread
+//!    in a deterministic round-robin. A turn executes up to
+//!    [`RuntimeConfig::weave_batch`] coherence transactions through the
+//!    full MESI machinery against the bank-sharded shared levels, but a
+//!    transaction that involved another core (recall, invalidation,
+//!    cross-core upgrade) always ends the turn — so a run of
+//!    independent private misses costs one turn instead of N, while
+//!    intra-quantum line ping-pong (false sharing, lock bouncing) keeps
+//!    its transaction-granular round-robin interleave.
 //!
-//! Because phase 1 only ever uses permissions granted by earlier serial
-//! phases and phase 2 is totally ordered, a run's result — every counter,
-//! every cycle count, every delivered exception — is **bit-identical**
-//! across runs and across host thread schedules for the same shards
-//! (tested in `crates/sim/tests/multicore.rs`). The trade-off is
-//! quantum-granular interleaving: a store by core A becomes visible to
-//! core B's parallel phase only at the next barrier, exactly the
-//! approximation bound-weave simulators make.
+//! **Determinism.** The bound phase only ever consumes permissions
+//! granted by earlier (totally ordered) weave phases, and the weave is
+//! totally ordered, so a run's result — every counter, cycle count and
+//! exception, including the [`RuntimeStats`] — is **bit-identical**
+//! across runs and host thread schedules (tested in
+//! `crates/sim/tests/multicore.rs` and
+//! `crates/sim/tests/parallel_runtime.rs`). The trade-off is unchanged
+//! from any bound-weave simulator: cross-core visibility is
+//! quantum-granular. The quantum length is fixed by default and may
+//! adapt to observed coherence traffic behind
+//! [`RuntimeConfig::quantum_sizing`].
+//!
+//! Packed traces replay without pre-sharding: [`MulticoreEngine::run_pack`]
+//! gives every worker its own [`PackDecoder`] lane over the same pack
+//! (core `c` keeps ops with index ≡ `c` mod `cores`), so decode runs in
+//! parallel inside the bound phase instead of materialising
+//! `Vec<TraceOp>` shards up front; [`MulticoreEngine::run_packs`] does
+//! the same for per-core packs.
 
 use crate::coherence::{CoherenceConfig, CoherentHierarchy, CoreL1};
 use crate::cpu::CoreConfig;
 use crate::engine::with_store_data;
 use crate::hierarchy::{HierarchyConfig, MemResult};
+use crate::runtime::{
+    QuantumBarrier, QuantumSizing, RuntimeConfig, RuntimeStats, RuntimeTiming,
+    ADAPTIVE_SHRINK_THRESHOLD,
+};
 use crate::stats::{MulticoreStats, SimStats};
 use crate::trace::TraceOp;
-use crate::tracepack::TracePack;
+use crate::tracepack::{PackDecoder, TracePack};
 use califorms_core::{CaliformsException, CformInstruction, ExceptionMask};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// Configuration of a [`MulticoreEngine`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,7 +66,8 @@ pub struct MulticoreConfig {
     pub cores: usize,
     /// Quantum length in cycles. Coherence actions of one core become
     /// visible to the others' local fast paths at quantum boundaries;
-    /// shorter quanta interleave finer but synchronise (and spawn) more.
+    /// shorter quanta interleave finer but synchronise more. Under
+    /// [`QuantumSizing::Adaptive`] this is the *initial* length.
     pub quantum: f64,
     /// Geometry/latency of the shared hierarchy (per-core L1s use the
     /// L1D parameters; L2/L3/DRAM are shared). The `stream_prefetcher`
@@ -59,11 +80,13 @@ pub struct MulticoreConfig {
     pub coherence: CoherenceConfig,
     /// Core timing model, applied to every core.
     pub core: CoreConfig,
+    /// Parallel-runtime knobs (weave batching, quantum sizing).
+    pub runtime: RuntimeConfig,
 }
 
 impl MulticoreConfig {
     /// The paper's Table 3 machine replicated `cores` times around a
-    /// shared L2/L3, with a 10k-cycle quantum.
+    /// shared L2/L3, with a 10k-cycle quantum and the default runtime.
     pub fn westmere(cores: usize) -> Self {
         Self {
             cores,
@@ -71,6 +94,7 @@ impl MulticoreConfig {
             hierarchy: HierarchyConfig::westmere(),
             coherence: CoherenceConfig::westmere(),
             core: CoreConfig::westmere(),
+            runtime: RuntimeConfig::default(),
         }
     }
 
@@ -79,25 +103,143 @@ impl MulticoreConfig {
         self.core = self.core.with_overlap(overlap);
         self
     }
+
+    /// Same machine with a different (fixed) quantum length.
+    pub fn with_quantum(mut self, quantum: f64) -> Self {
+        self.quantum = quantum;
+        self
+    }
+
+    /// Same machine with adaptive quantum sizing in `[quantum/8, 16·quantum]`.
+    pub fn with_adaptive_quantum(mut self) -> Self {
+        self.runtime.quantum_sizing = QuantumSizing::Adaptive {
+            min: self.quantum / 8.0,
+            max: self.quantum * 16.0,
+        };
+        self
+    }
+
+    /// Same machine with a different weave-turn batching depth (`1`
+    /// reproduces the strict one-transaction-per-turn weave).
+    pub fn with_weave_batch(mut self, batch: u32) -> Self {
+        self.runtime.weave_batch = batch;
+        self
+    }
 }
 
 /// Outcome of a multi-core run.
 #[derive(Debug, Clone)]
 pub struct MulticoreOutcome {
-    /// Per-core and combined statistics.
+    /// Per-core and combined statistics (bit-identical across runs,
+    /// including the [`RuntimeStats`] inside).
     pub stats: MulticoreStats,
     /// Delivered exceptions per core, in program order, capped at
     /// [`crate::engine::Engine::MAX_RECORDED_EXCEPTIONS`] per core.
     pub exceptions: Vec<Vec<CaliformsException>>,
+    /// Host wall-clock per phase — scheduling-dependent by nature, so
+    /// deliberately *outside* [`Self::stats`] and every bit-identity
+    /// comparison.
+    pub timing: RuntimeTiming,
 }
 
-/// Per-core replay state: the shard cursor, the core's clock and its
-/// architectural counters. Owned by exactly one worker thread during the
-/// parallel phase.
+/// Ops a packed shard source decodes ahead into its core-local ring.
+/// 256 ops × 32 B = 8 KB: big enough to amortise refill dispatch, small
+/// enough to stay resident in the host L1 alongside the decode cursor.
+const SOURCE_RING: usize = 256;
+
+/// Where a core's ops come from: a materialised shard, or a core-local
+/// decoder lane over a (possibly shared) trace pack.
 #[derive(Debug)]
-struct CoreReplay {
-    shard: Vec<TraceOp>,
-    pos: usize,
+enum ShardSource<'p> {
+    /// Pre-materialised `Vec<TraceOp>` shard with a cursor.
+    Slice { ops: Vec<TraceOp>, pos: usize },
+    /// A decoder lane: this core decodes the pack itself (inside its own
+    /// bound phase, in parallel with the other cores' lanes) and keeps
+    /// the ops with global index ≡ `lane` (mod `stride`), batching them
+    /// through a fixed ring. `stride == 1` consumes a whole (per-core)
+    /// pack; `stride == cores` round-robin-shards one shared pack,
+    /// bit-identical to [`shard_ops`].
+    Pack {
+        dec: PackDecoder<'p>,
+        lane: u64,
+        stride: u64,
+        next_idx: u64,
+        ring: Vec<TraceOp>,
+        head: usize,
+    },
+}
+
+impl ShardSource<'_> {
+    /// The op at the cursor (`None` once the shard is exhausted).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a corrupt pack (packs built by [`TracePack::from_ops`]
+    /// or validated by [`TracePack::from_bytes`] are always well-formed).
+    #[inline]
+    fn peek(&mut self) -> Option<TraceOp> {
+        match self {
+            ShardSource::Slice { ops, pos } => ops.get(*pos).copied(),
+            ShardSource::Pack {
+                dec,
+                lane,
+                stride,
+                next_idx,
+                ring,
+                head,
+            } => {
+                if *head == ring.len() {
+                    refill(dec, *lane, *stride, next_idx, ring);
+                    *head = 0;
+                }
+                ring.get(*head).copied()
+            }
+        }
+    }
+
+    /// Consumes the op at the cursor.
+    #[inline]
+    fn advance(&mut self) {
+        match self {
+            ShardSource::Slice { pos, .. } => *pos += 1,
+            ShardSource::Pack { head, .. } => *head += 1,
+        }
+    }
+}
+
+/// Refills a decoder lane's ring: decode ops, keep those on this lane
+/// (global index ≡ `lane` mod `stride`). Out of line — it runs once per
+/// [`SOURCE_RING`] committed ops, and keeping it out of `peek` lets the
+/// per-op path inline.
+#[cold]
+fn refill(
+    dec: &mut PackDecoder<'_>,
+    lane: u64,
+    stride: u64,
+    next_idx: &mut u64,
+    ring: &mut Vec<TraceOp>,
+) {
+    ring.clear();
+    while ring.len() < SOURCE_RING {
+        match dec.next_op().expect("validated pack is well-formed") {
+            None => break,
+            Some(op) => {
+                if *next_idx % stride == lane {
+                    ring.push(op);
+                }
+                *next_idx += 1;
+            }
+        }
+    }
+}
+
+/// Per-core replay state: the shard source, the core's clock and its
+/// architectural counters. Owned by exactly one worker thread during the
+/// parallel phase and by the main thread during the weave.
+#[derive(Debug)]
+struct CoreReplay<'p> {
+    id: usize,
+    src: ShardSource<'p>,
     core: CoreConfig,
     l1d_latency: u32,
     mask: ExceptionMask,
@@ -107,15 +249,16 @@ struct CoreReplay {
     stores: u64,
     cforms: u64,
     stores_suppressed: u64,
+    committed: u64,
     exceptions: Vec<CaliformsException>,
     pc: u64,
 }
 
-impl CoreReplay {
-    fn new(shard: Vec<TraceOp>, core: CoreConfig, l1d_latency: u32) -> Self {
+impl<'p> CoreReplay<'p> {
+    fn new(id: usize, src: ShardSource<'p>, core: CoreConfig, l1d_latency: u32) -> Self {
         Self {
-            shard,
-            pos: 0,
+            id,
+            src,
             core,
             l1d_latency,
             mask: ExceptionMask::new(),
@@ -125,13 +268,14 @@ impl CoreReplay {
             stores: 0,
             cforms: 0,
             stores_suppressed: 0,
+            committed: 0,
             exceptions: Vec::new(),
             pc: 0,
         }
     }
 
-    fn done(&self) -> bool {
-        self.pos >= self.shard.len()
+    fn done(&mut self) -> bool {
+        self.src.peek().is_none()
     }
 
     fn account_memory(&mut self, latency: u32) {
@@ -164,21 +308,24 @@ impl CoreReplay {
         self.instructions += op.instruction_count();
         self.account_memory(r.latency);
         self.deliver(r.exception);
-        self.pos += 1;
+        self.committed += 1;
+        self.src.advance();
     }
 
     fn commit_exec(&mut self, op: &TraceOp, cycles: f64) {
         self.pc += 1;
         self.instructions += op.instruction_count();
         self.cycles += cycles;
-        self.pos += 1;
+        self.committed += 1;
+        self.src.advance();
     }
 
     /// Parallel ("bound") phase: replay ops the private L1 can complete
-    /// until the first one needing coherence, or until `quantum_end`.
+    /// until the first one needing a coherence transaction, or until
+    /// `quantum_end`.
     fn run_quantum_local(&mut self, l1: &mut CoreL1, quantum_end: f64) {
-        while self.cycles < quantum_end && !self.done() {
-            let op = self.shard[self.pos];
+        while self.cycles < quantum_end {
+            let Some(op) = self.src.peek() else { return };
             // `pc + 1` mirrors the serial path, which increments before use.
             let pc = self.pc + 1;
             match op {
@@ -196,7 +343,7 @@ impl CoreReplay {
                     self.commit_exec(&op, c);
                     self.mask.pop_window();
                 }
-                TraceOp::Load { addr, size } => match l1.try_load(addr, size as usize, pc) {
+                TraceOp::Load { addr, size } => match l1.try_load_quiet(addr, size as usize, pc) {
                     Some(r) => self.commit(&op, r),
                     None => return,
                 },
@@ -219,7 +366,8 @@ impl CoreReplay {
                         None => return,
                     }
                 }
-                // Non-temporal CFORMs operate below the L1: always serial.
+                // Non-temporal CFORMs operate below the L1 across every
+                // core's copy: always a transaction.
                 TraceOp::CformNt { .. } => return,
             }
         }
@@ -229,10 +377,11 @@ impl CoreReplay {
 /// Deterministically shards one op stream across `cores` shards:
 /// round-robin at op granularity (op `i` goes to core `i % cores`), so
 /// the same stream always produces the same shards regardless of how it
-/// was stored. This is the sharding [`MulticoreEngine::run_pack`] applies
-/// to a single [`TracePack`]; callers replaying a `Vec<TraceOp>` can use
-/// it directly to get bit-identical multi-core results for packed and
-/// unpacked forms of the same trace.
+/// was stored. [`MulticoreEngine::run_pack`] applies the same assignment
+/// through per-core decoder lanes without materialising the shards;
+/// callers replaying a `Vec<TraceOp>` can use this directly to get
+/// bit-identical multi-core results for packed and unpacked forms of the
+/// same trace.
 ///
 /// Note that `MaskPush`/`MaskPop` windows land on whichever core receives
 /// them — shard-aware workloads that need a window on a specific core
@@ -250,72 +399,86 @@ pub fn shard_ops<I: IntoIterator<Item = TraceOp>>(ops: I, cores: usize) -> Vec<V
     shards
 }
 
+/// State a worker owns for the duration of one bound phase: the core's
+/// replay cursor and its L1, lent through the worker's mutex slot at
+/// the top of each quantum and reclaimed for the weave.
+#[derive(Debug)]
+struct WorkerTask<'p> {
+    replay: CoreReplay<'p>,
+    l1: CoreL1,
+}
+
+/// The persistent bound-phase worker loop: park at the barrier, run the
+/// lent task for the released quantum (up to the first op needing a
+/// coherence transaction), report done; repeat until stopped.
+fn worker_loop(barrier: &QuantumBarrier, slot: &Mutex<Option<WorkerTask<'_>>>) {
+    let mut seen = 0u64;
+    while let Some(quantum_end) = barrier.wait_for_quantum(&mut seen) {
+        let mut g = slot.lock().expect("worker slot poisoned");
+        if let Some(task) = g.as_mut() {
+            task.replay.run_quantum_local(&mut task.l1, quantum_end);
+        }
+        drop(g);
+        barrier.worker_done();
+    }
+}
+
 /// Replays per-core trace shards over a [`CoherentHierarchy`] with a
-/// cycle-quantum barrier.
+/// cycle-quantum barrier, on a persistent worker pool.
 #[derive(Debug)]
 pub struct MulticoreEngine {
     /// The coherent hierarchy (public: attack simulations inspect it).
     pub hierarchy: CoherentHierarchy,
     cfg: MulticoreConfig,
-    cores: Vec<CoreReplay>,
 }
 
 impl MulticoreEngine {
-    /// Builds an engine; shards are supplied to [`Self::run`].
+    /// Builds an engine; shards are supplied to [`Self::run`],
+    /// [`Self::run_pack`] or [`Self::run_packs`].
     ///
     /// # Panics
     ///
-    /// Panics if `cfg.cores == 0` or `cfg.quantum` is not a positive,
-    /// finite cycle count.
+    /// Panics if `cfg.cores == 0`, `cfg.quantum` is not a positive finite
+    /// cycle count, `cfg.runtime.weave_batch == 0`, or an adaptive
+    /// quantum range is invalid (`0 < min ≤ quantum ≤ max`, all finite).
     pub fn new(cfg: MulticoreConfig) -> Self {
         assert!(cfg.cores >= 1, "need at least one core");
         assert!(
             cfg.quantum.is_finite() && cfg.quantum > 0.0,
             "quantum must be a positive cycle count"
         );
+        assert!(cfg.runtime.weave_batch >= 1, "weave batch must be ≥ 1");
+        if let QuantumSizing::Adaptive { min, max } = cfg.runtime.quantum_sizing {
+            assert!(
+                min.is_finite()
+                    && max.is_finite()
+                    && min > 0.0
+                    && min <= cfg.quantum
+                    && cfg.quantum <= max,
+                "adaptive quantum range must satisfy 0 < min ≤ quantum ≤ max"
+            );
+        }
         Self {
             hierarchy: CoherentHierarchy::new(cfg.hierarchy, cfg.coherence, cfg.cores),
             cfg,
-            cores: Vec::new(),
         }
     }
 
-    /// Serial ("weave") phase slice for core `c`: replay local-completable
-    /// ops through the same fast path the parallel phase uses, then
-    /// execute **at most one** coherence transaction through the full
-    /// MESI machinery and yield the turn. Returns whether any op ran.
-    ///
-    /// Yielding after each transaction makes the serial phase a
-    /// round-robin at coherence-transaction granularity, so
-    /// intra-quantum line ping-pong (false sharing, lock bouncing) is
-    /// simulated instead of being collapsed to one transfer per quantum.
-    fn run_serial_slice(&mut self, c: usize, quantum_end: f64) -> bool {
-        let (cores, hier) = (&mut self.cores, &mut self.hierarchy);
-        let core = &mut cores[c];
-        if core.cycles >= quantum_end || core.done() {
-            return false;
-        }
-        let before = core.pos;
-        core.run_quantum_local(&mut hier.l1s_mut()[c], quantum_end);
-        let progressed = core.pos != before;
-        if core.cycles >= quantum_end || core.done() {
-            return progressed;
-        }
-        // The op at the cursor needs the coherence machinery.
-        let op = core.shard[core.pos];
-        let pc = core.pc + 1;
-        let r = match op {
-            TraceOp::Load { addr, size } => hier.load(c, addr, size as usize, pc),
-            TraceOp::Store { addr, size } => {
-                with_store_data(addr, size as usize, |data| hier.store(c, addr, data, pc))
-            }
+    /// Executes one coherence-needing op for core `c` through the full
+    /// hierarchy — the weave's transaction dispatch.
+    fn execute_op(&mut self, c: usize, op: TraceOp, pc: u64) -> MemResult {
+        match op {
+            TraceOp::Load { addr, size } => self.hierarchy.load_quiet(c, addr, size as usize, pc),
+            TraceOp::Store { addr, size } => with_store_data(addr, size as usize, |data| {
+                self.hierarchy.store(c, addr, data, pc)
+            }),
             TraceOp::Cform {
                 line_addr,
                 attrs,
                 mask,
             } => {
                 let insn = CformInstruction::new(line_addr, attrs, mask);
-                hier.cform(c, &insn, pc)
+                self.hierarchy.cform(c, &insn, pc)
             }
             TraceOp::CformNt {
                 line_addr,
@@ -323,14 +486,60 @@ impl MulticoreEngine {
                 mask,
             } => {
                 let insn = CformInstruction::new(line_addr, attrs, mask);
-                hier.cform_nt(c, &insn, pc)
+                self.hierarchy.cform_nt(c, &insn, pc)
             }
             TraceOp::Exec(..) | TraceOp::MaskPush | TraceOp::MaskPop => {
                 unreachable!("local ops are consumed by the fast path")
             }
-        };
-        core.commit(&op, r);
-        true
+        }
+    }
+
+    /// Serial ("weave") phase turn for one core: resume local-completable
+    /// ops through the same fast path the parallel phase uses, then
+    /// execute up to [`RuntimeConfig::weave_batch`] coherence
+    /// transactions through the full MESI machinery. A transaction that
+    /// involved another core (observable as an invalidation or
+    /// cache-to-cache transfer) always ends the turn, so intra-quantum
+    /// line ping-pong keeps its transaction-granular round-robin
+    /// interleave while runs of private misses cost one turn. Returns
+    /// whether any op ran.
+    fn weave_turn(
+        &mut self,
+        core: &mut CoreReplay<'_>,
+        quantum_end: f64,
+        rt: &mut RuntimeStats,
+    ) -> bool {
+        if core.cycles >= quantum_end || core.done() {
+            return false;
+        }
+        let committed_before = core.committed;
+        core.run_quantum_local(self.hierarchy.l1_mut(core.id), quantum_end);
+        let mut progressed = core.committed != committed_before;
+        let batch = self.cfg.runtime.weave_batch;
+        let mut txns = 0u32;
+        while txns < batch && core.cycles < quantum_end {
+            // The op at the cursor (if any) needs the coherence machinery.
+            let Some(op) = core.src.peek() else { break };
+            let pc = core.pc + 1;
+            let events_before = self.hierarchy.cross_core_events();
+            let r = self.execute_op(core.id, op, pc);
+            core.commit(&op, r);
+            progressed = true;
+            txns += 1;
+            rt.weave_transactions += 1;
+            if txns > 1 {
+                rt.batched_transactions += 1;
+            }
+            if self.hierarchy.cross_core_events() != events_before {
+                rt.contended_transactions += 1;
+                break;
+            }
+            core.run_quantum_local(self.hierarchy.l1_mut(core.id), quantum_end);
+        }
+        if progressed {
+            rt.weave_turns += 1;
+        }
+        progressed
     }
 
     /// Runs one trace shard per core to completion.
@@ -338,83 +547,224 @@ impl MulticoreEngine {
     /// # Panics
     ///
     /// Panics unless `shards.len()` equals the configured core count.
-    pub fn run(mut self, shards: Vec<Vec<TraceOp>>) -> MulticoreOutcome {
+    pub fn run(self, shards: Vec<Vec<TraceOp>>) -> MulticoreOutcome {
         assert_eq!(
             shards.len(),
             self.cfg.cores,
             "one shard per configured core"
         );
-        let l1d_latency = self.cfg.hierarchy.l1d_latency;
-        self.cores = shards
+        let sources = shards
             .into_iter()
-            .map(|s| CoreReplay::new(s, self.cfg.core, l1d_latency))
+            .map(|ops| ShardSource::Slice { ops, pos: 0 })
             .collect();
-
-        let quantum = self.cfg.quantum;
-        let mut quantum_end = quantum;
-        while self.cores.iter().any(|c| !c.done()) {
-            // Parallel phase: one worker per core, disjoint &mut slices.
-            std::thread::scope(|scope| {
-                for (core, l1) in self.cores.iter_mut().zip(self.hierarchy.l1s_mut()) {
-                    scope.spawn(move || core.run_quantum_local(l1, quantum_end));
-                }
-            });
-            // Serial phase: deterministic round-robin, one coherence
-            // transaction per core per turn.
-            loop {
-                let mut progressed = false;
-                for c in 0..self.cfg.cores {
-                    progressed |= self.run_serial_slice(c, quantum_end);
-                }
-                if !progressed {
-                    break;
-                }
-            }
-            quantum_end += quantum;
-            // Fast-forward over empty quanta: if every unfinished core is
-            // already past the boundary (e.g. one committed a huge `Exec`),
-            // jump to the first quantum in which some core can run instead
-            // of spawning idle workers 10k cycles at a time. Pure f64 math
-            // on deterministic inputs, so determinism is unaffected.
-            let min_cycles = self
-                .cores
-                .iter()
-                .filter(|c| !c.done())
-                .map(|c| c.cycles)
-                .fold(f64::INFINITY, f64::min);
-            if min_cycles.is_finite() && min_cycles >= quantum_end {
-                let skipped = ((min_cycles - quantum_end) / quantum).floor() + 1.0;
-                quantum_end += skipped * quantum;
-            }
-        }
-        self.finish()
+        self.run_sources(sources)
     }
 
     /// Replays a single packed trace, sharding it across the configured
-    /// cores with the deterministic round-robin of [`shard_ops`].
+    /// cores with the deterministic round-robin of [`shard_ops`] — but
+    /// without materialising the shards: every worker owns a
+    /// [`PackDecoder`] lane over the same pack and decodes in parallel
+    /// inside its bound phase, through a fixed core-local ring.
     /// Bit-identical in stats and exceptions to
     /// `self.run(shard_ops(pack.iter(), cores))`.
-    ///
-    /// The shards are materialised (`run` replays them with per-core
-    /// cursors across quanta), so peak memory matches unpacked
-    /// multi-core replay — the pack's compactness pays off in storage
-    /// and transport, and in the constant-memory single-core
-    /// [`crate::engine::Engine::run_reader`] path.
     ///
     /// # Panics
     ///
     /// Panics on a corrupt pack (packs built by [`TracePack::from_ops`]
     /// or validated by [`TracePack::from_bytes`] are always well-formed).
     pub fn run_pack(self, pack: &TracePack) -> MulticoreOutcome {
-        let cores = self.cfg.cores;
-        self.run(shard_ops(pack.iter(), cores))
+        let cores = self.cfg.cores as u64;
+        let sources = (0..cores)
+            .map(|lane| ShardSource::Pack {
+                dec: pack.decoder(),
+                lane,
+                stride: cores,
+                next_idx: 0,
+                ring: Vec::with_capacity(SOURCE_RING),
+                head: 0,
+            })
+            .collect();
+        self.run_sources(sources)
     }
 
-    fn finish(self) -> MulticoreOutcome {
-        let mut per_core = Vec::with_capacity(self.cores.len());
-        let mut exceptions = Vec::with_capacity(self.cores.len());
+    /// Replays one pre-encoded pack per core (e.g. from
+    /// `MtWorkload::to_packs`), each decoded by its own worker inside the
+    /// bound phase. Bit-identical in stats and exceptions to
+    /// `self.run(packs.iter().map(|p| p.to_vec()).collect())`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `packs.len()` equals the configured core count, or
+    /// on a corrupt pack.
+    pub fn run_packs(self, packs: &[TracePack]) -> MulticoreOutcome {
+        assert_eq!(packs.len(), self.cfg.cores, "one pack per configured core");
+        let sources = packs
+            .iter()
+            .map(|pack| ShardSource::Pack {
+                dec: pack.decoder(),
+                lane: 0,
+                stride: 1,
+                next_idx: 0,
+                ring: Vec::with_capacity(SOURCE_RING),
+                head: 0,
+            })
+            .collect();
+        self.run_sources(sources)
+    }
+
+    /// The shared run loop: persistent workers (multi-core only),
+    /// quantum barrier, batched weave, optional adaptive quantum.
+    fn run_sources(mut self, sources: Vec<ShardSource<'_>>) -> MulticoreOutcome {
+        let n = self.cfg.cores;
+        let l1d_latency = self.cfg.hierarchy.l1d_latency;
+        let core_cfg = self.cfg.core;
+        let mut replays: Vec<Option<CoreReplay<'_>>> = sources
+            .into_iter()
+            .enumerate()
+            .map(|(id, src)| Some(CoreReplay::new(id, src, core_cfg, l1d_latency)))
+            .collect();
+
+        let mut rt = RuntimeStats::default();
+        let mut timing = RuntimeTiming::default();
+
+        // Persistent pool plumbing, created once per run: the barrier,
+        // one state slot and one lane flag per core. With one core the
+        // bound phase runs inline — there is nobody to overlap with.
+        let use_threads = n > 1;
+        let barrier = QuantumBarrier::new();
+        let slots: Vec<Mutex<Option<WorkerTask<'_>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            if use_threads {
+                for slot in &slots {
+                    let barrier = &barrier;
+                    scope.spawn(move || worker_loop(barrier, slot));
+                }
+            }
+
+            let (mut quantum, qmin, qmax) = match self.cfg.runtime.quantum_sizing {
+                QuantumSizing::Fixed => (self.cfg.quantum, self.cfg.quantum, self.cfg.quantum),
+                QuantumSizing::Adaptive { min, max } => (self.cfg.quantum, min, max),
+            };
+            let mut quantum_end = quantum;
+
+            loop {
+                let all_done = replays
+                    .iter_mut()
+                    .all(|r| r.as_mut().expect("replay present between quanta").done());
+                if all_done {
+                    break;
+                }
+
+                // Lend each worker its replay cursor and L1.
+                let t0 = Instant::now();
+                for (c, slot) in slots.iter().enumerate() {
+                    let task = WorkerTask {
+                        replay: replays[c].take().expect("replay present between quanta"),
+                        l1: self.hierarchy.take_l1(c),
+                    };
+                    *slot.lock().expect("worker slot poisoned") = Some(task);
+                }
+
+                // Parallel (bound) phase.
+                let t1 = Instant::now();
+                if use_threads {
+                    barrier.release(n, quantum_end);
+                    barrier.wait_all_done();
+                } else {
+                    let mut g = slots[0].lock().expect("worker slot poisoned");
+                    let task = g.as_mut().expect("task was just lent");
+                    task.replay.run_quantum_local(&mut task.l1, quantum_end);
+                }
+                let t2 = Instant::now();
+
+                // Reclaim the machine for the weave.
+                for (c, slot) in slots.iter().enumerate() {
+                    let task = slot
+                        .lock()
+                        .expect("worker slot poisoned")
+                        .take()
+                        .expect("worker returned the task");
+                    self.hierarchy.put_l1(c, task.l1);
+                    replays[c] = Some(task.replay);
+                }
+                let t3 = Instant::now();
+
+                // Serial (weave) phase: deterministic round-robin.
+                let events_before = self.hierarchy.cross_core_events();
+                loop {
+                    let mut progressed = false;
+                    for slot in replays.iter_mut() {
+                        let mut core = slot.take().expect("replay present between quanta");
+                        progressed |= self.weave_turn(&mut core, quantum_end, &mut rt);
+                        *slot = Some(core);
+                    }
+                    if !progressed {
+                        break;
+                    }
+                }
+                let t4 = Instant::now();
+
+                timing.barrier_s += (t1 - t0).as_secs_f64() + (t3 - t2).as_secs_f64();
+                timing.bound_s += (t2 - t1).as_secs_f64();
+                timing.weave_s += (t4 - t3).as_secs_f64();
+                rt.quanta += 1;
+                rt.barrier_waits += n as u64;
+
+                // Adaptive quantum: grow when a quantum saw no cross-core
+                // coherence, shrink under heavy contention. Reads only
+                // simulated state, so determinism is unaffected.
+                let delta = self.hierarchy.cross_core_events() - events_before;
+                if !matches!(self.cfg.runtime.quantum_sizing, QuantumSizing::Fixed) {
+                    if delta == 0 {
+                        quantum = (quantum * 2.0).min(qmax);
+                    } else if delta > ADAPTIVE_SHRINK_THRESHOLD {
+                        quantum = (quantum / 2.0).max(qmin);
+                    }
+                }
+                quantum_end += quantum;
+
+                // Fast-forward over empty quanta: if every unfinished core
+                // is already past the boundary (e.g. one committed a huge
+                // `Exec`), jump to the first quantum in which some core can
+                // run instead of waking idle workers one quantum at a time.
+                // Pure f64 math on deterministic inputs.
+                let min_cycles = replays
+                    .iter_mut()
+                    .filter_map(|r| {
+                        let r = r.as_mut().expect("replay present between quanta");
+                        if r.done() {
+                            None
+                        } else {
+                            Some(r.cycles)
+                        }
+                    })
+                    .fold(f64::INFINITY, f64::min);
+                if min_cycles.is_finite() && min_cycles >= quantum_end {
+                    let skipped = ((min_cycles - quantum_end) / quantum).floor() + 1.0;
+                    quantum_end += skipped * quantum;
+                }
+            }
+            barrier.stop();
+        });
+
+        let cores = replays
+            .into_iter()
+            .map(|r| r.expect("replay present at finish"))
+            .collect();
+        self.finish(cores, rt, timing)
+    }
+
+    fn finish(
+        self,
+        cores: Vec<CoreReplay<'_>>,
+        rt: RuntimeStats,
+        timing: RuntimeTiming,
+    ) -> MulticoreOutcome {
+        let mut per_core = Vec::with_capacity(cores.len());
+        let mut exceptions = Vec::with_capacity(cores.len());
         let mut combined = SimStats::default();
-        for (c, core) in self.cores.iter().enumerate() {
+        for core in &cores {
             let stats = SimStats {
                 cycles: core.cycles,
                 instructions: core.instructions,
@@ -424,7 +774,7 @@ impl MulticoreEngine {
                 stores_suppressed: core.stores_suppressed,
                 exceptions_delivered: core.mask.delivered_count(),
                 exceptions_suppressed: core.mask.suppressed_count(),
-                l1d: self.hierarchy.l1s()[c].stats(),
+                l1d: self.hierarchy.l1s()[core.id].stats(),
                 ..SimStats::default()
             };
             combined.cycles = combined.cycles.max(stats.cycles);
@@ -440,8 +790,13 @@ impl MulticoreEngine {
         }
         self.hierarchy.export_stats(&mut combined);
         MulticoreOutcome {
-            stats: MulticoreStats { per_core, combined },
+            stats: MulticoreStats {
+                per_core,
+                combined,
+                runtime: rt,
+            },
             exceptions,
+            timing,
         }
     }
 }
@@ -530,6 +885,10 @@ mod tests {
             "write sharing must invalidate"
         );
         assert!(out.stats.combined.coherence.cache_to_cache_transfers > 0);
+        assert!(
+            out.stats.runtime.contended_transactions > 0,
+            "ping-pong transactions must be flagged contended"
+        );
     }
 
     #[test]
@@ -556,8 +915,63 @@ mod tests {
     }
 
     #[test]
+    fn disjoint_misses_batch_without_contention() {
+        // Two cores streaming through disjoint regions: every miss is
+        // private, so weave turns batch runs of them and no transaction
+        // is ever contended.
+        let shard = |base: u64| -> Vec<TraceOp> {
+            (0..256u64)
+                .map(|i| TraceOp::Load {
+                    addr: base + i * 64,
+                    size: 8,
+                })
+                .collect()
+        };
+        let out = engine(2).run(vec![shard(0x10_0000), shard(0x90_0000)]);
+        assert_eq!(out.stats.runtime.contended_transactions, 0);
+        assert_eq!(out.stats.combined.coherence.invalidations, 0);
+        assert!(
+            out.stats.runtime.batched_transactions > 0,
+            "private miss runs must share weave turns"
+        );
+    }
+
+    #[test]
+    fn runtime_counters_populate() {
+        let shards = vec![
+            vec![
+                TraceOp::Store {
+                    addr: 0x9000,
+                    size: 8
+                };
+                64
+            ],
+            vec![
+                TraceOp::Store {
+                    addr: 0xA0000,
+                    size: 8
+                };
+                64
+            ],
+        ];
+        let out = engine(2).run(shards);
+        assert!(out.stats.runtime.quanta >= 1);
+        assert_eq!(
+            out.stats.runtime.barrier_waits,
+            out.stats.runtime.quanta * 2
+        );
+        assert!(out.timing.bound_s >= 0.0);
+    }
+
+    #[test]
     #[should_panic(expected = "one shard per configured core")]
     fn shard_count_mismatch_panics() {
         engine(2).run(vec![vec![]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one pack per configured core")]
+    fn pack_count_mismatch_panics() {
+        engine(2).run_packs(&[TracePack::from_ops(std::iter::empty())]);
     }
 }

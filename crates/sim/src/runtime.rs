@@ -1,0 +1,253 @@
+//! The parallel-replay runtime: configuration, deterministic runtime
+//! counters, host-side phase timing, and the epoch barrier the persistent
+//! worker pool synchronises on (DESIGN.md §10).
+//!
+//! The multicore engine used to spawn fresh scoped threads every cycle
+//! quantum; this module provides the pieces that replace that with one
+//! long-lived worker per core:
+//!
+//! * [`RuntimeConfig`] — weave batching and quantum sizing knobs.
+//! * [`RuntimeStats`] — counters derived purely from simulated state
+//!   (quanta, weave turns, batched/contended transactions). They are
+//!   **bit-identical** across runs and
+//!   across packed/unpacked replay, so they ride inside
+//!   [`crate::stats::MulticoreStats`] and the determinism assertions.
+//! * [`RuntimeTiming`] — host wall-clock per phase (bound / weave /
+//!   barrier+bookkeeping). Host timing is scheduling-dependent by nature,
+//!   so it lives on [`crate::multicore::MulticoreOutcome`], *outside* the
+//!   stats that must compare equal.
+//! * [`QuantumBarrier`] — a Mutex/Condvar epoch barrier: the main thread
+//!   publishes `(epoch, quantum_end)` to release the workers, each worker
+//!   runs its bound phase and reports done; nobody creates or joins a
+//!   thread between quanta.
+
+use std::sync::{Condvar, Mutex};
+
+/// How the cycle-quantum length evolves over a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QuantumSizing {
+    /// The quantum stays at [`crate::multicore::MulticoreConfig::quantum`]
+    /// for the whole run — the reproducible default.
+    Fixed,
+    /// The quantum adapts to observed coherence traffic, within
+    /// `[min, max]` cycles: it doubles after a quantum with **zero**
+    /// cross-core coherence events (disjoint working sets barely
+    /// synchronise) and halves after a quantum with more than
+    /// [`ADAPTIVE_SHRINK_THRESHOLD`] of them (contended lines interleave
+    /// finely). Decisions read only simulated state, so adaptive runs are
+    /// still bit-identical for a given seed and configuration.
+    Adaptive {
+        /// Smallest quantum the controller may shrink to (cycles).
+        min: f64,
+        /// Largest quantum the controller may grow to (cycles).
+        max: f64,
+    },
+}
+
+/// Cross-core coherence events per quantum above which an
+/// [`QuantumSizing::Adaptive`] quantum halves.
+pub const ADAPTIVE_SHRINK_THRESHOLD: u64 = 32;
+
+/// Knobs of the parallel runtime, carried by
+/// [`crate::multicore::MulticoreConfig`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeConfig {
+    /// Quantum sizing policy (default: [`QuantumSizing::Fixed`], the
+    /// pre-existing behaviour, for reproducibility).
+    pub quantum_sizing: QuantumSizing,
+    /// Most coherence transactions one core may retire in a single weave
+    /// turn. A run of *private* transactions (no other core involved)
+    /// costs one turn instead of one turn each; a contended transaction
+    /// always ends the turn so intra-quantum ping-pong keeps its
+    /// transaction-granular round-robin. `1` reproduces the strict
+    /// one-transaction-per-turn weave.
+    pub weave_batch: u32,
+}
+
+impl RuntimeConfig {
+    /// Default batching depth of a weave turn.
+    pub const DEFAULT_WEAVE_BATCH: u32 = 64;
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            quantum_sizing: QuantumSizing::Fixed,
+            weave_batch: Self::DEFAULT_WEAVE_BATCH,
+        }
+    }
+}
+
+/// Deterministic counters of the parallel runtime. Every field is a
+/// function of simulated state only — host scheduling cannot perturb
+/// them — so they participate in the bit-identity comparisons.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuntimeStats {
+    /// Cycle quanta executed (barrier crossings of the whole machine).
+    pub quanta: u64,
+    /// Worker barrier crossings: `quanta × cores` (each worker waits at
+    /// the quantum barrier once per quantum).
+    pub barrier_waits: u64,
+    /// Weave turns taken (one core's slice of the round-robin in which it
+    /// made progress).
+    pub weave_turns: u64,
+    /// Coherence transactions executed in the weave phase.
+    pub weave_transactions: u64,
+    /// Weave transactions that rode an earlier transaction's turn — the
+    /// savings of [`RuntimeConfig::weave_batch`] over the strict
+    /// one-transaction-per-turn weave.
+    pub batched_transactions: u64,
+    /// Weave transactions that involved another core (recall,
+    /// invalidation, cross-core upgrade) and therefore ended their turn.
+    /// `weave_transactions − contended_transactions` is the private
+    /// traffic the weave merely orders, rather than arbitrates.
+    pub contended_transactions: u64,
+}
+
+/// Host wall-clock spent per phase — the breakdown the bench bins emit so
+/// scaling regressions are diagnosable from the JSON artifact. Host time
+/// is inherently scheduling-dependent, so this lives outside
+/// [`RuntimeStats`] and outside every bit-identity comparison.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RuntimeTiming {
+    /// Seconds in the parallel (bound) phase: from worker release to the
+    /// last worker reporting done.
+    pub bound_s: f64,
+    /// Seconds in the serial (weave) phase on the main thread.
+    pub weave_s: f64,
+    /// Seconds of barrier bookkeeping: lending/reclaiming per-core
+    /// state through the worker slots around each quantum.
+    pub barrier_s: f64,
+}
+
+/// State published through the quantum barrier.
+#[derive(Debug)]
+struct BarrierState {
+    /// Bumped once per quantum by the main thread; workers run when they
+    /// observe a fresh value.
+    epoch: u64,
+    /// Quantum boundary (cycles) for the current epoch.
+    quantum_end: f64,
+    /// Workers still executing the current bound phase.
+    running: usize,
+    /// Terminates the worker loops.
+    stop: bool,
+}
+
+/// Epoch barrier between the main (weave) thread and the persistent
+/// bound-phase workers. One `Mutex` + two `Condvar`s; the hot path per
+/// quantum is one lock round-trip on each side — no thread is ever
+/// created or joined between quanta.
+#[derive(Debug)]
+pub(crate) struct QuantumBarrier {
+    state: Mutex<BarrierState>,
+    start: Condvar,
+    done: Condvar,
+}
+
+impl QuantumBarrier {
+    pub(crate) fn new() -> Self {
+        Self {
+            state: Mutex::new(BarrierState {
+                epoch: 0,
+                quantum_end: 0.0,
+                running: 0,
+                stop: false,
+            }),
+            start: Condvar::new(),
+            done: Condvar::new(),
+        }
+    }
+
+    /// Worker side: parks until the main thread publishes an epoch newer
+    /// than `*seen` (returning that epoch's `quantum_end`) or requests
+    /// shutdown (returning `None`).
+    pub(crate) fn wait_for_quantum(&self, seen: &mut u64) -> Option<f64> {
+        let mut g = self.state.lock().expect("barrier poisoned");
+        loop {
+            if g.stop {
+                return None;
+            }
+            if g.epoch != *seen {
+                *seen = g.epoch;
+                return Some(g.quantum_end);
+            }
+            g = self.start.wait(g).expect("barrier poisoned");
+        }
+    }
+
+    /// Worker side: reports the bound phase complete for this epoch.
+    pub(crate) fn worker_done(&self) {
+        let mut g = self.state.lock().expect("barrier poisoned");
+        g.running -= 1;
+        if g.running == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    /// Main side: releases `workers` workers into a bound phase bounded
+    /// by `quantum_end`.
+    pub(crate) fn release(&self, workers: usize, quantum_end: f64) {
+        let mut g = self.state.lock().expect("barrier poisoned");
+        g.epoch += 1;
+        g.quantum_end = quantum_end;
+        g.running = workers;
+        drop(g);
+        self.start.notify_all();
+    }
+
+    /// Main side: blocks until every released worker reported done.
+    pub(crate) fn wait_all_done(&self) {
+        let mut g = self.state.lock().expect("barrier poisoned");
+        while g.running > 0 {
+            g = self.done.wait(g).expect("barrier poisoned");
+        }
+    }
+
+    /// Main side: shuts the worker loops down.
+    pub(crate) fn stop(&self) {
+        let mut g = self.state.lock().expect("barrier poisoned");
+        g.stop = true;
+        drop(g);
+        self.start.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn default_runtime_is_fixed_quantum() {
+        let cfg = RuntimeConfig::default();
+        assert_eq!(cfg.quantum_sizing, QuantumSizing::Fixed);
+        assert_eq!(cfg.weave_batch, RuntimeConfig::DEFAULT_WEAVE_BATCH);
+    }
+
+    #[test]
+    fn barrier_runs_workers_once_per_epoch() {
+        let barrier = QuantumBarrier::new();
+        let ticks = AtomicU64::new(0);
+        let workers = 3usize;
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut seen = 0u64;
+                    while let Some(end) = barrier.wait_for_quantum(&mut seen) {
+                        assert!(end > 0.0);
+                        ticks.fetch_add(1, Ordering::Relaxed);
+                        barrier.worker_done();
+                    }
+                });
+            }
+            for q in 1..=5u64 {
+                barrier.release(workers, q as f64 * 10_000.0);
+                barrier.wait_all_done();
+                assert_eq!(ticks.load(Ordering::Relaxed), q * workers as u64);
+            }
+            barrier.stop();
+        });
+        assert_eq!(ticks.load(Ordering::Relaxed), 5 * workers as u64);
+    }
+}

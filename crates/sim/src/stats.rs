@@ -61,6 +61,10 @@ pub struct MulticoreStats {
     /// slowest core (makespan), shared L2/L3/DRAM counters, conversion
     /// counts and the coherence counters.
     pub combined: SimStats,
+    /// Parallel-runtime counters (quanta, weave turns, batched and
+    /// contended transactions). Deterministic — they participate in
+    /// bit-identity comparisons like every other counter here.
+    pub runtime: crate::runtime::RuntimeStats,
 }
 
 impl MulticoreStats {

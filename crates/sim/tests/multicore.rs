@@ -176,7 +176,7 @@ proptest! {
         }
         prop_assert_eq!(h.peek_mask(line), mask, "mask survives the round-trip");
         if mask != 0 {
-            prop_assert_eq!(h.coherence.califormed_transfers, 1);
+            prop_assert_eq!(h.coherence_totals().califormed_transfers, 1);
         }
     }
 }

@@ -35,5 +35,7 @@ pub mod multicore;
 pub mod spec;
 
 pub use generator::{generate, layout_for, run_workload, Workload, WorkloadConfig};
-pub use multicore::{generate_mt, run_mt, MtPattern, MtWorkload, MtWorkloadConfig};
+pub use multicore::{
+    generate_mt, mt_config, run_mt, run_mt_outcome, MtPattern, MtWorkload, MtWorkloadConfig,
+};
 pub use spec::{fig10_benchmarks, software_eval_benchmarks, BenchmarkProfile};

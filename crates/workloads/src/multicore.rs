@@ -56,18 +56,26 @@ pub enum MtPattern {
     /// table it protects.
     LockContention,
     /// Read-mostly shared table (97 % loads) with rare updates — many
-    /// concurrent users over one hot data set.
+    /// concurrent users over one hot data set. The table spills the
+    /// private L1s, so steady state exercises the shared levels.
     SharedTable,
+    /// The same read-mostly shape over a table that **fits** in every
+    /// private L1: after warm-up nearly every access is a clean Shared
+    /// hit completed in the parallel bound phase — the best case for the
+    /// persistent-worker runtime, and the `replay` bench's read-mostly
+    /// scaling row.
+    SharedTableHot,
 }
 
 impl MtPattern {
     /// All patterns, for sweeps.
-    pub fn all() -> [MtPattern; 4] {
+    pub fn all() -> [MtPattern; 5] {
         [
             MtPattern::ProducerConsumer,
             MtPattern::FalseSharing,
             MtPattern::LockContention,
             MtPattern::SharedTable,
+            MtPattern::SharedTableHot,
         ]
     }
 
@@ -78,6 +86,7 @@ impl MtPattern {
             MtPattern::FalseSharing => "false-sharing",
             MtPattern::LockContention => "lock-contention",
             MtPattern::SharedTable => "shared-table",
+            MtPattern::SharedTableHot => "shared-table-hot",
         }
     }
 }
@@ -156,7 +165,8 @@ pub fn generate_mt(cfg: &MtWorkloadConfig) -> MtWorkload {
         MtPattern::ProducerConsumer => producer_consumer(cfg),
         MtPattern::FalseSharing => false_sharing(cfg),
         MtPattern::LockContention => lock_contention(cfg),
-        MtPattern::SharedTable => shared_table(cfg),
+        MtPattern::SharedTable => shared_table(cfg, 2048), // 128 KB: spills the private L1s
+        MtPattern::SharedTableHot => shared_table(cfg, 192), // 12 KB: L1-resident hot set
     };
     MtWorkload {
         name: cfg.pattern.name(),
@@ -308,15 +318,17 @@ fn lock_contention(cfg: &MtWorkloadConfig) -> Vec<Vec<TraceOp>> {
 /// Read-mostly shared table: 97 % loads of a hot shared table, 1 % table
 /// updates, 2 % private stores — the "millions of concurrent users over
 /// one data set" shape the ROADMAP asks for. Scales almost linearly in
-/// the parallel phase because nearly every access is a clean Shared hit.
-fn shared_table(cfg: &MtWorkloadConfig) -> Vec<Vec<TraceOp>> {
-    const TABLE_LINES: u64 = 2048; // 128 KB: spills the private L1s
+/// the parallel phase because nearly every access is a clean Shared hit;
+/// `table_lines` decides whether the hot set lives in the private L1s
+/// ([`MtPattern::SharedTableHot`]) or thrashes them into the shared
+/// levels ([`MtPattern::SharedTable`]).
+fn shared_table(cfg: &MtWorkloadConfig, table_lines: u64) -> Vec<Vec<TraceOp>> {
     (0..cfg.cores)
         .map(|core| {
             let mut rng = rng_for(cfg, core);
             let mut ops = Vec::with_capacity(cfg.ops_per_core * 2);
             if cfg.califormed && core == 0 {
-                caliform_region(&mut ops, SHARED_BASE, TABLE_LINES);
+                caliform_region(&mut ops, SHARED_BASE, table_lines);
             }
             let priv_base = private_base(core);
             let mut emitted = 0usize;
@@ -324,7 +336,7 @@ fn shared_table(cfg: &MtWorkloadConfig) -> Vec<Vec<TraceOp>> {
                 ops.push(TraceOp::Exec(rng.gen_range(4..16)));
                 let roll = rng.gen_range(0..100);
                 let table_addr = SHARED_BASE
-                    + rng.gen_range(0..TABLE_LINES) * LINE_BYTES
+                    + rng.gen_range(0..table_lines) * LINE_BYTES
                     + payload_off(&mut rng);
                 if roll < 97 {
                     ops.push(TraceOp::Load {
@@ -347,17 +359,31 @@ fn shared_table(cfg: &MtWorkloadConfig) -> Vec<Vec<TraceOp>> {
         .collect()
 }
 
-/// Runs a multi-threaded workload and returns its statistics — the
-/// common driver the scaling bench and tests share.
-pub fn run_mt(workload: &MtWorkload, hcfg: HierarchyConfig) -> MulticoreStats {
-    let cfg = MulticoreConfig {
+/// The engine configuration [`run_mt`] applies to a workload: the
+/// Table 3 machine with the workload's memory-level parallelism.
+pub fn mt_config(workload: &MtWorkload, hcfg: HierarchyConfig) -> MulticoreConfig {
+    MulticoreConfig {
         hierarchy: hcfg,
         ..MulticoreConfig::westmere(workload.cores())
     }
-    .with_overlap(workload.overlap);
-    let engine = MulticoreEngine::new(cfg);
-    let out = engine.run(workload.shards.clone());
-    out.stats
+    .with_overlap(workload.overlap)
+}
+
+/// Runs a multi-threaded workload under an explicit engine configuration
+/// and returns the full outcome (stats, exceptions, per-phase host
+/// timing) — the driver the scaling bench uses so quantum and runtime
+/// overrides reach the engine.
+pub fn run_mt_outcome(
+    workload: &MtWorkload,
+    cfg: MulticoreConfig,
+) -> califorms_sim::MulticoreOutcome {
+    MulticoreEngine::new(cfg).run(workload.shards.clone())
+}
+
+/// Runs a multi-threaded workload and returns its statistics — the
+/// common driver the scaling bench and tests share.
+pub fn run_mt(workload: &MtWorkload, hcfg: HierarchyConfig) -> MulticoreStats {
+    run_mt_outcome(workload, mt_config(workload, hcfg)).stats
 }
 
 #[cfg(test)]

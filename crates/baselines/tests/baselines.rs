@@ -1,0 +1,226 @@
+//! Integration coverage for the baseline comparison models (REST, SPARC
+//! ADI, Intel MPX) and the Tables 4–6 / detection-matrix data, which
+//! lagged the rest of the workspace.
+
+use califorms_baselines::adi::{AdiAccess, AdiMachine, COLORS, GRANULE};
+use califorms_baselines::comparison::{
+    detection_matrix, render_table4, table4, table5, table6, AttackKind, Detection,
+};
+use califorms_baselines::mpx::{MpxAccess, MpxMachine};
+use califorms_baselines::rest::{RestAccess, RestMachine};
+
+// --- REST -------------------------------------------------------------
+
+#[test]
+fn rest_granularity_is_the_token_not_the_byte() {
+    let mut m = RestMachine::new(64);
+    // Arming a single byte arms its whole 64 B token — the granularity
+    // loss that motivates Califorms.
+    m.arm(0x1020, 1);
+    assert!(matches!(m.access(0x1000, 1), RestAccess::Tripped { .. }));
+    assert!(matches!(m.access(0x103F, 1), RestAccess::Tripped { .. }));
+    assert_eq!(m.access(0x1040, 1), RestAccess::Ok);
+}
+
+#[test]
+fn rest_disarm_covers_partial_spans() {
+    let mut m = RestMachine::new(8);
+    m.arm(0x100, 32); // tokens 0x100..0x120
+    m.disarm(0x108, 8); // middle token only
+    assert!(matches!(m.access(0x100, 8), RestAccess::Tripped { .. }));
+    assert_eq!(m.access(0x108, 8), RestAccess::Ok);
+    assert!(matches!(m.access(0x110, 8), RestAccess::Tripped { .. }));
+}
+
+#[test]
+fn rest_access_spanning_into_a_token_reports_its_base() {
+    let mut m = RestMachine::new(16);
+    m.arm(0x210, 16);
+    match m.access(0x208, 16) {
+        RestAccess::Tripped { token_base } => assert_eq!(token_base, 0x210),
+        other => panic!("expected trip, got {other:?}"),
+    }
+}
+
+#[test]
+fn rest_intra_object_fencing_costs_tokens() {
+    let m = RestMachine::new(64);
+    // Fencing 7 fields costs 8 × 64 B of dead memory — vs a handful of
+    // 1–7 B Califorms spans.
+    assert_eq!(m.intra_object_fence_bytes(7), 512);
+}
+
+#[test]
+#[should_panic(expected = "8-64B")]
+fn rest_rejects_non_power_of_two_tokens() {
+    RestMachine::new(24);
+}
+
+// --- SPARC ADI --------------------------------------------------------
+
+#[test]
+fn adi_detects_use_after_free_via_recolour() {
+    let mut m = AdiMachine::new();
+    let p = m.allocate(0x1000, 128);
+    assert_eq!(m.access(p, 0, 128), AdiAccess::Ok);
+    m.free(p, 128);
+    assert!(matches!(m.access(p, 0, 8), AdiAccess::Mismatch { .. }));
+}
+
+#[test]
+fn adi_cannot_protect_intra_object_fields() {
+    // Both fields share one granule and hence one colour: the overflow
+    // from field A into field B is invisible — cache-line granularity.
+    let mut m = AdiMachine::new();
+    let p = m.allocate(0x2000, GRANULE);
+    assert_eq!(m.access(p, 32, 8), AdiAccess::Ok, "field B via A's ptr");
+}
+
+#[test]
+fn adi_colors_recycle_after_thirteen_allocations() {
+    let mut m = AdiMachine::new();
+    let first = m.allocate(0x10_000, 64);
+    for i in 1..u64::from(COLORS) {
+        m.allocate(0x10_000 + i * 64, 64);
+    }
+    let recycled = m.allocate(0x20_000, 64);
+    assert_eq!(
+        recycled.color, first.color,
+        "13-colour wheel wraps: stale pointers of the same colour collide"
+    );
+    assert!((AdiMachine::collision_probability() - 1.0 / 13.0).abs() < 1e-12);
+}
+
+#[test]
+#[should_panic(expected = "whole granules")]
+fn adi_rejects_unaligned_allocations() {
+    AdiMachine::new().allocate(0x1004, 64);
+}
+
+// --- Intel MPX --------------------------------------------------------
+
+#[test]
+fn mpx_bounds_check_catches_overflow_and_costs_memory_refs() {
+    let mut m = MpxMachine::new();
+    m.set_bounds(1, 0x1000, 0x1040);
+    assert_eq!(m.access(1, 0x1000, 64), MpxAccess::Ok);
+    assert!(matches!(
+        m.access(1, 0x103F, 2),
+        MpxAccess::BoundViolation { .. }
+    ));
+    assert_eq!(m.checks, 2);
+    assert!(
+        m.metadata_memory_refs >= 5,
+        "bounds traffic is the 1.7x slowdown mechanism"
+    );
+}
+
+#[test]
+fn mpx_narrowing_gives_intra_object_protection() {
+    let mut m = MpxMachine::new();
+    m.set_bounds(7, 0x2000, 0x2040);
+    m.narrow_bounds(7, 0x2000, 0x2020); // field A only
+    assert!(matches!(
+        m.access(7, 0x2020, 8),
+        MpxAccess::BoundViolation { .. }
+    ));
+}
+
+#[test]
+#[should_panic(expected = "contained")]
+fn mpx_narrowing_cannot_widen() {
+    let mut m = MpxMachine::new();
+    m.set_bounds(7, 0x2000, 0x2040);
+    m.narrow_bounds(7, 0x2000, 0x2080);
+}
+
+#[test]
+fn mpx_drops_bounds_through_uninstrumented_modules() {
+    let mut m = MpxMachine::new();
+    m.set_bounds(3, 0x3000, 0x3040);
+    m.pass_through_unprotected_module(3);
+    // The wild access sails through unchecked — compatibility over
+    // safety, Table 4's interoperability hazard.
+    assert_eq!(m.access(3, 0xDEAD_0000, 4096), MpxAccess::Unchecked);
+}
+
+#[test]
+fn mpx_has_no_temporal_safety() {
+    let mut m = MpxMachine::new();
+    m.set_bounds(9, 0x4000, 0x4040);
+    m.free(9);
+    assert_eq!(
+        m.access(9, 0x4000, 8),
+        MpxAccess::Ok,
+        "stale pointer with stale bounds still passes"
+    );
+}
+
+// --- Tables 4–6 and the detection matrix ------------------------------
+
+#[test]
+fn tables_cover_the_same_proposals_and_include_califorms() {
+    let t4 = table4();
+    let t5 = table5();
+    let t6 = table6();
+    assert_eq!(t4.len(), t5.len());
+    assert_eq!(t4.len(), t6.len());
+    for (r4, (r5, r6)) in t4.iter().zip(t5.iter().zip(t6.iter())) {
+        assert_eq!(r4.proposal, r5.proposal);
+        assert_eq!(r4.proposal, r6.proposal);
+    }
+    let cali = t4
+        .iter()
+        .find(|r| r.proposal.contains("Califorms"))
+        .expect("Califorms row present");
+    assert_eq!(cali.granularity, "Byte");
+}
+
+#[test]
+fn detection_matrix_matches_the_paper_claims() {
+    let matrix = detection_matrix();
+    let get = |scheme: &str, attack: AttackKind| -> Detection {
+        matrix
+            .iter()
+            .find(|(s, _)| *s == scheme)
+            .unwrap_or_else(|| panic!("{scheme} missing"))
+            .1
+            .iter()
+            .find(|(a, _)| *a == attack)
+            .unwrap()
+            .1
+    };
+    // Califorms catches all three attack classes.
+    for attack in AttackKind::ALL {
+        assert_eq!(get("Califorms", attack), Detection::Detected);
+    }
+    // ADI misses intra-object overflows (cache-line granularity);
+    // MPX misses use-after-free (no temporal safety).
+    assert_eq!(
+        get("SPARC ADI", AttackKind::IntraObjectOverflow),
+        Detection::Missed
+    );
+    assert_eq!(
+        get("Intel MPX", AttackKind::UseAfterFree),
+        Detection::Missed
+    );
+    // Everyone catches the classic inter-object overflow.
+    for (scheme, _) in &matrix {
+        assert_eq!(
+            get(scheme, AttackKind::InterObjectOverflow),
+            Detection::Detected
+        );
+    }
+}
+
+#[test]
+fn rendered_table_contains_every_proposal() {
+    let rendered = render_table4();
+    for row in table4() {
+        assert!(
+            rendered.contains(row.proposal),
+            "{} missing from render",
+            row.proposal
+        );
+    }
+}

@@ -1,0 +1,627 @@
+//! The differential harness: replay one pack through the optimized
+//! simulator and the flat reference model, and report the first
+//! divergence.
+//!
+//! What is compared, per run:
+//!
+//! 1. **Delivered exceptions**, per core, in program order — full
+//!    equality of fault address, access kind, exception kind and pc.
+//! 2. **Final memory and blacklist state** over every line the oracle
+//!    touched, byte for byte, through the simulator's functional
+//!    snapshot hooks ([`Hierarchy::snapshot_line`],
+//!    [`CoherentHierarchy::snapshot_line`]).
+//! 3. **Architectural counters** (loads, stores, cforms, instructions,
+//!    suppressed stores, delivered/suppressed exceptions) per core.
+//! 4. Optional **mid-run system events**: a califorms-respecting DMA
+//!    read must return exactly the oracle's view of memory at that
+//!    point, and a page swap-out/swap-in cycle must be architecturally
+//!    invisible (caught by the final state diff).
+//!
+//! Timing (cycles, latencies, cache hit rates) is deliberately *not*
+//! compared — the oracle has no caches, which is the point.
+//!
+//! For multi-core runs the pack is dealt to per-core lanes with the
+//! same deterministic round-robin the engine uses (op `i` → core
+//! `i % cores`), and the oracle replays the ops in global index order
+//! with per-lane masks/pcs against one shared flat memory. That is a
+//! faithful oracle for **interleaving-independent** packs — the only
+//! kind the fuzzer generates for multi-core (writes of a line's
+//! blacklist state are lane-exclusive; shared lines carry data races
+//! only, which the address-derived store payload makes benign). See
+//! DESIGN.md §11.
+
+use crate::model::{FlatMemory, OracleCore, OracleCounters};
+use califorms_core::CaliformsException;
+use califorms_sim::dma::DmaEngine;
+use califorms_sim::hierarchy::Hierarchy;
+use califorms_sim::os::SwapManager;
+use califorms_sim::{
+    CoherentHierarchy, Engine, MulticoreConfig, MulticoreEngine, SimStats, TraceOp, TracePack,
+};
+
+/// A deliberate, harness-side fault injected into the engine-observed
+/// state, used to prove the fuzzer catches real bugs (the seeded-fault
+/// acceptance check) without corrupting the engine itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultInjection {
+    /// An off-by-one (left shift) applied to a **scratch copy** of the
+    /// L1 security-byte mask of every L1-resident line when the final
+    /// state is snapshotted. Any case that ends with a califormed line
+    /// in the L1 diverges.
+    L1MaskOffByOne,
+}
+
+/// A system event interleaved into a (single-core) replay at a given op
+/// index. Both events preserve architectural memory state, so the
+/// oracle needs no special handling beyond knowing *when* to compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SysEvent {
+    /// A califorms-respecting DMA read of `[addr, addr + len)` issued
+    /// before op `at_op`; its data and security-byte count must match
+    /// the oracle's view of memory at that point.
+    Dma {
+        /// Op index the event fires before (may equal the op count to
+        /// fire after the last op).
+        at_op: usize,
+        /// Transfer start address.
+        addr: u64,
+        /// Transfer length in bytes.
+        len: usize,
+    },
+    /// A page swap-out immediately followed by swap-in before op
+    /// `at_op` — must be architecturally invisible (metadata parked in
+    /// the reserved kernel region and restored).
+    SwapCycle {
+        /// Op index the event fires before.
+        at_op: usize,
+        /// Page-aligned address of the 4 KB page to cycle.
+        page_addr: u64,
+    },
+}
+
+impl SysEvent {
+    fn at_op(&self) -> usize {
+        match self {
+            SysEvent::Dma { at_op, .. } | SysEvent::SwapCycle { at_op, .. } => *at_op,
+        }
+    }
+}
+
+/// Configuration of one differential run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DiffConfig {
+    /// `1` replays through [`Engine`], `>1` through [`MulticoreEngine`]
+    /// with the deterministic round-robin pack sharding.
+    pub cores: usize,
+    /// Weave-turn batching depth (multi-core only; `1` = strict
+    /// one-transaction-per-turn weave).
+    pub weave_batch: u32,
+    /// Cycle-quantum length (multi-core only).
+    pub quantum: f64,
+    /// Harness-side fault injection (single-core only; see
+    /// [`FaultInjection`]).
+    pub fault: Option<FaultInjection>,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        Self {
+            cores: 1,
+            weave_batch: 64,
+            quantum: 10_000.0,
+            fault: None,
+        }
+    }
+}
+
+impl DiffConfig {
+    /// A single-core diff against [`Engine`].
+    pub fn single() -> Self {
+        Self::default()
+    }
+
+    /// A multi-core diff against [`MulticoreEngine`] with `cores` cores
+    /// and the given weave batch.
+    pub fn multicore(cores: usize, weave_batch: u32) -> Self {
+        Self {
+            cores,
+            weave_batch,
+            ..Self::default()
+        }
+    }
+}
+
+/// The first observed disagreement between the engine and the oracle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Divergence {
+    /// The delivered-exception streams differ at `index` on `core`
+    /// (`None` = that side's stream ended first).
+    Exceptions {
+        /// Core whose streams differ.
+        core: usize,
+        /// Index of the first differing exception.
+        index: usize,
+        /// The engine's exception at that index, if any.
+        engine: Option<CaliformsException>,
+        /// The oracle's exception at that index, if any.
+        oracle: Option<CaliformsException>,
+    },
+    /// Final memory/blacklist state differs at one byte. Each side is
+    /// reported as *(data byte, is-security-byte)*.
+    State {
+        /// The differing byte's address.
+        addr: u64,
+        /// The engine's view.
+        engine: (u8, bool),
+        /// The oracle's view.
+        oracle: (u8, bool),
+    },
+    /// An architectural counter differs on `core`.
+    Counter {
+        /// Core whose counter differs.
+        core: usize,
+        /// Counter name.
+        name: &'static str,
+        /// The engine's value.
+        engine: u64,
+        /// The oracle's value.
+        oracle: u64,
+    },
+    /// A mid-run DMA read disagreed with the oracle's memory view at
+    /// byte `index` of the transfer (or in the security-byte count,
+    /// flagged by `index == usize::MAX`).
+    Dma {
+        /// Op index the DMA fired before.
+        at_op: usize,
+        /// Transfer start address.
+        addr: u64,
+        /// Differing byte index within the transfer.
+        index: usize,
+        /// The engine-side value.
+        engine: u64,
+        /// The oracle-side value.
+        oracle: u64,
+    },
+    /// The engine panicked on a worker thread (multi-core replays) —
+    /// a divergence by definition: the oracle never panics on a valid
+    /// pack.
+    EnginePanic {
+        /// Core whose worker panicked.
+        core: usize,
+        /// The panic message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Divergence::Exceptions {
+                core,
+                index,
+                engine,
+                oracle,
+            } => write!(
+                f,
+                "core {core}: exception stream differs at index {index}: \
+                 engine={engine:?} oracle={oracle:?}"
+            ),
+            Divergence::State {
+                addr,
+                engine,
+                oracle,
+            } => write!(
+                f,
+                "final state differs at {addr:#x}: engine=(byte {:#04x}, security {}) \
+                 oracle=(byte {:#04x}, security {})",
+                engine.0, engine.1, oracle.0, oracle.1
+            ),
+            Divergence::Counter {
+                core,
+                name,
+                engine,
+                oracle,
+            } => write!(
+                f,
+                "core {core}: counter {name} differs: engine={engine} oracle={oracle}"
+            ),
+            Divergence::Dma {
+                at_op,
+                addr,
+                index,
+                engine,
+                oracle,
+            } => write!(
+                f,
+                "DMA before op {at_op} at {addr:#x} differs at byte {index}: \
+                 engine={engine} oracle={oracle}"
+            ),
+            Divergence::EnginePanic { core, message } => {
+                write!(f, "engine worker for core {core} panicked: {message}")
+            }
+        }
+    }
+}
+
+/// Compares two delivered-exception streams.
+fn diff_exceptions(
+    core: usize,
+    engine: &[CaliformsException],
+    oracle: &[CaliformsException],
+) -> Option<Divergence> {
+    let n = engine.len().max(oracle.len());
+    for i in 0..n {
+        let e = engine.get(i).copied();
+        let o = oracle.get(i).copied();
+        if e != o {
+            return Some(Divergence::Exceptions {
+                core,
+                index: i,
+                engine: e,
+                oracle: o,
+            });
+        }
+    }
+    None
+}
+
+/// Compares the semantic counters of one core.
+fn diff_counters(core: usize, stats: &SimStats, oracle: OracleCounters) -> Option<Divergence> {
+    let pairs: [(&'static str, u64, u64); 7] = [
+        ("instructions", stats.instructions, oracle.instructions),
+        ("loads", stats.loads, oracle.loads),
+        ("stores", stats.stores, oracle.stores),
+        ("cforms", stats.cforms, oracle.cforms),
+        (
+            "stores_suppressed",
+            stats.stores_suppressed,
+            oracle.stores_suppressed,
+        ),
+        (
+            "exceptions_delivered",
+            stats.exceptions_delivered,
+            oracle.exceptions_delivered,
+        ),
+        (
+            "exceptions_suppressed",
+            stats.exceptions_suppressed,
+            oracle.exceptions_suppressed,
+        ),
+    ];
+    for (name, e, o) in pairs {
+        if e != o {
+            return Some(Divergence::Counter {
+                core,
+                name,
+                engine: e,
+                oracle: o,
+            });
+        }
+    }
+    None
+}
+
+/// Compares one line's engine snapshot against the oracle's canonical
+/// line, byte by byte.
+fn diff_line(
+    line_addr: u64,
+    engine_data: &[u8; 64],
+    engine_mask: u64,
+    oracle: &califorms_core::CaliformedLine,
+) -> Option<Divergence> {
+    for (i, &byte) in engine_data.iter().enumerate() {
+        let e = (byte, engine_mask >> i & 1 == 1);
+        let o = (oracle.read_byte(i), oracle.is_security_byte(i));
+        if e != o {
+            return Some(Divergence::State {
+                addr: line_addr + i as u64,
+                engine: e,
+                oracle: o,
+            });
+        }
+    }
+    None
+}
+
+/// Diffs the final state over the oracle's touched lines, reading the
+/// engine through `snapshot`, with the optional scratch-copy fault
+/// applied to lines for which `faulted` returns true.
+fn diff_state(
+    mem: &FlatMemory,
+    snapshot: impl Fn(u64) -> califorms_core::CaliformedLine,
+    faulted: impl Fn(u64) -> bool,
+) -> Option<Divergence> {
+    for (line_addr, oline) in mem.lines() {
+        let eline = snapshot(line_addr);
+        let mut emask = eline.security_mask();
+        if faulted(line_addr) {
+            // The injected off-by-one: a scratch copy of the L1
+            // security-byte mask, shifted one position.
+            emask <<= 1;
+        }
+        if let Some(d) = diff_line(line_addr, eline.data(), emask, oline) {
+            return Some(d);
+        }
+    }
+    None
+}
+
+/// Replays `pack` through the configured engine and the oracle and
+/// returns the first divergence (`None` = byte-exact agreement).
+///
+/// `events` (single-core only) interleave DMA reads / swap cycles into
+/// the replay; pass `&[]` for a pure replay. For `cfg.cores > 1` the
+/// pack must be interleaving-independent (the fuzzer's multi-core
+/// grammar guarantees this) and `events` must be empty.
+///
+/// # Panics
+///
+/// Panics where the engines would (corrupt pack, misaligned CFORM on
+/// the main replay path, unbalanced mask pops) and if events are passed
+/// to a multi-core diff.
+pub fn diff_pack(pack: &TracePack, events: &[SysEvent], cfg: &DiffConfig) -> Option<Divergence> {
+    assert!(cfg.cores >= 1, "need at least one core");
+    if cfg.cores == 1 {
+        diff_single(pack, events, cfg)
+    } else {
+        assert!(events.is_empty(), "system events are single-core only");
+        diff_multicore(pack, cfg)
+    }
+}
+
+fn apply_event(hierarchy: &mut Hierarchy, mem: &FlatMemory, ev: &SysEvent) -> Option<Divergence> {
+    match *ev {
+        SysEvent::Dma { at_op, addr, len } => {
+            let t = DmaEngine::respecting().read(hierarchy, addr, len);
+            let (expect, security) = mem.read_bytes(addr, len);
+            for (i, (&e, &o)) in t.data.iter().zip(expect.iter()).enumerate() {
+                if e != o {
+                    return Some(Divergence::Dma {
+                        at_op,
+                        addr,
+                        index: i,
+                        engine: u64::from(e),
+                        oracle: u64::from(o),
+                    });
+                }
+            }
+            if t.security_bytes_seen != security {
+                return Some(Divergence::Dma {
+                    at_op,
+                    addr,
+                    index: usize::MAX,
+                    engine: t.security_bytes_seen as u64,
+                    oracle: security as u64,
+                });
+            }
+            None
+        }
+        SysEvent::SwapCycle { page_addr, .. } => {
+            let mut swap = SwapManager::new();
+            swap.swap_out(hierarchy, page_addr);
+            swap.swap_in(hierarchy, page_addr);
+            None
+        }
+    }
+}
+
+fn diff_single(pack: &TracePack, events: &[SysEvent], cfg: &DiffConfig) -> Option<Divergence> {
+    let ops: Vec<TraceOp> = pack.to_vec();
+    let mut events: Vec<&SysEvent> = events.iter().collect();
+    events.sort_by_key(|e| e.at_op());
+    let mut next_event = 0usize;
+
+    let mut engine = Engine::westmere();
+    let mut mem = FlatMemory::new();
+    let mut core = OracleCore::new();
+
+    for (i, &op) in ops.iter().enumerate() {
+        while next_event < events.len() && events[next_event].at_op() <= i {
+            if let Some(d) = apply_event(&mut engine.hierarchy, &mem, events[next_event]) {
+                return Some(d);
+            }
+            next_event += 1;
+        }
+        engine.step(op);
+        core.step(&mut mem, op);
+    }
+    while next_event < events.len() {
+        if let Some(d) = apply_event(&mut engine.hierarchy, &mem, events[next_event]) {
+            return Some(d);
+        }
+        next_event += 1;
+    }
+
+    let hierarchy = &engine.hierarchy;
+    let fault = cfg.fault;
+    if let Some(d) = diff_state(
+        &mem,
+        |line| hierarchy.snapshot_line(line),
+        |line| matches!(fault, Some(FaultInjection::L1MaskOffByOne)) && hierarchy.l1_contains(line),
+    ) {
+        return Some(d);
+    }
+    if let Some(d) = diff_exceptions(0, engine.delivered_exceptions(), core.exceptions()) {
+        return Some(d);
+    }
+    let outcome = engine.finish();
+    diff_counters(0, &outcome.stats, core.counters())
+}
+
+/// Oracle replay of a pack dealt to `cores` lanes with the engine's
+/// round-robin (op `i` → lane `i % cores`), in global index order
+/// against one shared flat memory.
+fn oracle_replay_lanes(pack: &TracePack, cores: usize) -> (FlatMemory, Vec<OracleCore>) {
+    let mut mem = FlatMemory::new();
+    let mut lanes: Vec<OracleCore> = (0..cores).map(|_| OracleCore::new()).collect();
+    for (i, op) in pack.iter().enumerate() {
+        lanes[i % cores].step(&mut mem, op);
+    }
+    (mem, lanes)
+}
+
+fn diff_multicore(pack: &TracePack, cfg: &DiffConfig) -> Option<Divergence> {
+    let mc = MulticoreEngine::new(
+        MulticoreConfig::westmere(cfg.cores)
+            .with_weave_batch(cfg.weave_batch)
+            .with_quantum(cfg.quantum),
+    );
+    let (outcome, hierarchy): (_, CoherentHierarchy) = match mc.try_run_pack_with_state(pack) {
+        Ok(pair) => pair,
+        Err(p) => {
+            // An engine panic is a divergence only if the oracle replays
+            // the same pack cleanly. On an *invalid* stream (unbalanced
+            // mask pop, misaligned CFORM — which a shrinker's candidate
+            // reductions can manufacture) both sides fault: that is
+            // agreement, not a counterexample.
+            let cores = cfg.cores;
+            let oracle_panics = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                oracle_replay_lanes(pack, cores);
+            }))
+            .is_err();
+            return if oracle_panics {
+                None
+            } else {
+                Some(Divergence::EnginePanic {
+                    core: p.core,
+                    message: p.message,
+                })
+            };
+        }
+    };
+
+    let (mem, lanes) = oracle_replay_lanes(pack, cfg.cores);
+
+    if let Some(d) = diff_state(&mem, |line| hierarchy.snapshot_line(line), |_| false) {
+        return Some(d);
+    }
+    for (c, lane) in lanes.iter().enumerate() {
+        if let Some(d) = diff_exceptions(c, &outcome.exceptions[c], lane.exceptions()) {
+            return Some(d);
+        }
+        if let Some(d) = diff_counters(c, &outcome.stats.per_core[c], lane.counters()) {
+            return Some(d);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_pack_agrees_single_core() {
+        let pack = TracePack::from_ops([
+            TraceOp::Store {
+                addr: 0x1000,
+                size: 8,
+            },
+            TraceOp::Cform {
+                line_addr: 0x1000,
+                attrs: 1 << 20,
+                mask: 1 << 20,
+            },
+            TraceOp::Load {
+                addr: 0x1014,
+                size: 1,
+            },
+            TraceOp::Load {
+                addr: 0x1000,
+                size: 8,
+            },
+        ]);
+        assert_eq!(diff_pack(&pack, &[], &DiffConfig::single()), None);
+    }
+
+    #[test]
+    fn simple_pack_agrees_multicore() {
+        let ops: Vec<TraceOp> = (0..64u64)
+            .map(|i| TraceOp::Store {
+                addr: 0x10_0000 + (i % 2) * 0x8_0000 + (i / 2) * 8,
+                size: 8,
+            })
+            .collect();
+        let pack = TracePack::from_ops(ops);
+        assert_eq!(diff_pack(&pack, &[], &DiffConfig::multicore(2, 1)), None);
+        assert_eq!(diff_pack(&pack, &[], &DiffConfig::multicore(2, 64)), None);
+    }
+
+    #[test]
+    fn injected_mask_fault_is_caught() {
+        let pack = TracePack::from_ops([TraceOp::Cform {
+            line_addr: 0x2000,
+            attrs: 1 << 7,
+            mask: 1 << 7,
+        }]);
+        let cfg = DiffConfig {
+            fault: Some(FaultInjection::L1MaskOffByOne),
+            ..DiffConfig::single()
+        };
+        let d = diff_pack(&pack, &[], &cfg).expect("scratch-copy fault must diverge");
+        assert!(matches!(d, Divergence::State { .. }));
+        // Without the fault the same pack agrees.
+        assert_eq!(diff_pack(&pack, &[], &DiffConfig::single()), None);
+    }
+
+    #[test]
+    fn invalid_stream_faulting_on_both_sides_is_agreement() {
+        // An unbalanced MaskPop (the kind of stream a shrinker's
+        // candidate reductions manufacture) panics the engine worker
+        // *and* the oracle: that is agreement, not an EnginePanic
+        // divergence — otherwise shrinking would converge on unrelated
+        // invalid packs.
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let pack = TracePack::from_ops([TraceOp::Exec(1), TraceOp::MaskPop]);
+        let d = diff_pack(&pack, &[], &DiffConfig::multicore(2, 64));
+        std::panic::set_hook(prev_hook);
+        assert_eq!(d, None);
+    }
+
+    #[test]
+    fn dma_event_checks_memory_view_mid_run() {
+        let pack = TracePack::from_ops([
+            TraceOp::Store {
+                addr: 0x3000,
+                size: 16,
+            },
+            TraceOp::Cform {
+                line_addr: 0x3000,
+                attrs: 1 << 4,
+                mask: 1 << 4,
+            },
+            TraceOp::Exec(10),
+        ]);
+        let events = [SysEvent::Dma {
+            at_op: 2,
+            addr: 0x3000,
+            len: 16,
+        }];
+        assert_eq!(diff_pack(&pack, &events, &DiffConfig::single()), None);
+    }
+
+    #[test]
+    fn swap_cycle_is_architecturally_invisible() {
+        let pack = TracePack::from_ops([
+            TraceOp::Store {
+                addr: 0x10_0000,
+                size: 8,
+            },
+            TraceOp::Cform {
+                line_addr: 0x10_0000,
+                attrs: 1 << 9,
+                mask: 1 << 9,
+            },
+            TraceOp::Load {
+                addr: 0x10_0000,
+                size: 8,
+            },
+        ]);
+        let events = [SysEvent::SwapCycle {
+            at_op: 2,
+            page_addr: 0x10_0000,
+        }];
+        assert_eq!(diff_pack(&pack, &events, &DiffConfig::single()), None);
+    }
+}

@@ -1,0 +1,474 @@
+//! The seeded deterministic trace fuzzer: a scenario grammar that
+//! synthesises valid packs no hand-written workload covers.
+//!
+//! Every case is a pure function of its seed (the rand shim's
+//! `SmallRng` is deterministic), so a divergence reproduces from
+//! `(seed, ops, cores)` alone and the same seed produces a bit-identical
+//! case stream across runs and machines.
+//!
+//! Single-core scenarios:
+//!
+//! * **heap-lifecycle** — alloc/free cycles over
+//!   [`CaliformsHeap`] with random allocator knobs (quarantine size,
+//!   span-only vs full-object frees, non-temporal frees) and random
+//!   insertion policies, interleaved with in-object accesses,
+//!   overflowing accesses and use-after-free probes.
+//! * **cform-churn** — promotion/demotion storms over a few lines: a
+//!   mix of K-map-legal transitions (tracked against a shadow mask) and
+//!   deliberately illegal ones, `CFORM` and `CFORM-NT`, plus
+//!   loads/stores over the churning lines.
+//! * **probe-sweep** — caliform an object per a random layout policy,
+//!   then sweep byte-granular loads/stores across it (the
+//!   `security::attacks` probe pattern), some inside whitelist mask
+//!   windows.
+//! * **random-mix** — uniform ops over a small line pool sized to force
+//!   L1 set conflicts (spills/fills of califormed lines), including
+//!   line-crossing accesses.
+//! * **workload-replay** — a miniature `califorms-workloads` benchmark
+//!   profile generated at a random policy.
+//!
+//! A third of single-core cases interleave mid-run [`SysEvent`]s (DMA
+//! reads, page swap cycles).
+//!
+//! Multi-core cases build one lane per core and interleave them
+//! round-robin, so lane `c`'s ops land exactly on engine core `c`. The
+//! grammar keeps blacklist-state writes (CFORMs) and trapping accesses
+//! lane-exclusive, while **data** races on shared lines are allowed and
+//! encouraged (false sharing, read-mostly sharing): the address-derived
+//! store payload makes racing writes idempotent, so the case stays
+//! interleaving-independent and the flat oracle is exact for it.
+
+use crate::diff::SysEvent;
+use califorms_alloc::{AllocatorConfig, CaliformsHeap, FreeMode};
+use califorms_layout::{InsertionPolicy, StructDef};
+use califorms_sim::{TraceOp, TracePack};
+use califorms_workloads::{generate, BenchmarkProfile, WorkloadConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// One generated differential-test case.
+#[derive(Debug, Clone)]
+pub struct FuzzCase {
+    /// Scenario name (for reporting).
+    pub label: &'static str,
+    /// The case's seed (reproduction key).
+    pub seed: u64,
+    /// The encoded trace.
+    pub pack: TracePack,
+    /// Mid-run system events (single-core cases only).
+    pub events: Vec<SysEvent>,
+    /// Core count the case is built for (1 = [`califorms_sim::Engine`];
+    /// >1 = lane-structured for [`califorms_sim::MulticoreEngine`]).
+    pub cores: usize,
+}
+
+/// Derives the per-case seed from a campaign seed and a case index
+/// (SplitMix64 finalizer — decorrelates consecutive indices).
+pub fn case_seed(campaign_seed: u64, index: u64) -> u64 {
+    let mut z = campaign_seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+const LINE: u64 = 64;
+
+/// Policies the scenarios draw layouts from.
+fn random_policy(rng: &mut SmallRng) -> InsertionPolicy {
+    match rng.gen_range(0u32..5) {
+        0 => InsertionPolicy::None,
+        1 => InsertionPolicy::Opportunistic,
+        2 => InsertionPolicy::full_1_to(3),
+        3 => InsertionPolicy::full_1_to(7),
+        _ => InsertionPolicy::intelligent_1_to(7),
+    }
+}
+
+/// A load or store of a random size at `addr`, clipped so the access
+/// never wraps (all scenario bases are far below the top anyway).
+fn random_access(rng: &mut SmallRng, addr: u64) -> TraceOp {
+    let size = rng.gen_range(1u8..=64);
+    if rng.gen_range(0u32..2) == 0 {
+        TraceOp::Load { addr, size }
+    } else {
+        TraceOp::Store { addr, size }
+    }
+}
+
+// --- single-core scenarios --------------------------------------------
+
+/// Heap alloc/free lifecycles with probes. Returns (ops, region base).
+fn heap_lifecycle(rng: &mut SmallRng, budget: usize) -> (Vec<TraceOp>, u64) {
+    let base = 0x10_0000u64;
+    let cfg = AllocatorConfig {
+        quarantine_bytes: rng.gen_range(0usize..2048),
+        free_mode: if rng.gen_range(0u32..2) == 0 {
+            FreeMode::FullObject
+        } else {
+            FreeMode::SpanOnly
+        },
+        nt_cform_on_free: rng.gen_range(0u32..2) == 0,
+        ..AllocatorConfig::default()
+    };
+    let mut heap = CaliformsHeap::new(base, cfg);
+    let mut ops = Vec::new();
+    let mut live: Vec<(u64, usize)> = Vec::new();
+    let mut freed: Vec<(u64, usize)> = Vec::new();
+    let def = StructDef::paper_example();
+    while ops.len() < budget {
+        match rng.gen_range(0u32..10) {
+            0..=2 => {
+                let layout = random_policy(rng).apply(&def, rng);
+                let size = layout.size;
+                let p = heap.malloc(&layout, &mut ops);
+                live.push((p, size));
+            }
+            3 if !live.is_empty() => {
+                let victim = live.remove(rng.gen_range(0usize..live.len()));
+                heap.free(victim.0, &mut ops);
+                freed.push(victim);
+            }
+            4..=6 if !live.is_empty() => {
+                // In-object access; may overflow into spans/neighbours.
+                let (p, size) = live[rng.gen_range(0usize..live.len())];
+                let off = rng.gen_range(0u64..size as u64 + 8);
+                ops.push(random_access(rng, p + off));
+            }
+            7 if !freed.is_empty() => {
+                // Use-after-free probe.
+                let (p, size) = freed[rng.gen_range(0usize..freed.len())];
+                let off = rng.gen_range(0u64..size.max(1) as u64);
+                ops.push(random_access(rng, p + off));
+            }
+            _ => ops.push(TraceOp::Exec(rng.gen_range(1u32..200))),
+        }
+    }
+    (ops, base)
+}
+
+/// Random CFORM attrs/mask pairs: half the time a K-map-legal
+/// transition derived from the shadow mask, half the time fully random
+/// (exercising the fault-and-commit-nothing path).
+fn churn_cform(rng: &mut SmallRng, shadow: &mut u64, line_addr: u64) -> TraceOp {
+    let r: u64 = (u64::from(rng.next_u32()) << 32) | u64::from(rng.next_u32());
+    let (attrs, mask) = if rng.gen_range(0u32..2) == 0 {
+        // Legal: set a subset of clear bits and unset a subset of set
+        // bits in one instruction.
+        let set = r & !*shadow;
+        let unset = (r >> 13) & *shadow;
+        *shadow = (*shadow | set) & !unset;
+        (set, set | unset)
+    } else {
+        let attrs = r;
+        let mask = r.rotate_right(23) | 1;
+        // Only update the shadow if the op will actually be legal.
+        let illegal = (mask & attrs & *shadow) != 0 || (mask & !attrs & !*shadow) != 0;
+        if !illegal {
+            *shadow = (*shadow | (mask & attrs)) & !(mask & !attrs);
+        }
+        (attrs, mask)
+    };
+    if rng.gen_range(0u32..4) == 0 {
+        TraceOp::CformNt {
+            line_addr,
+            attrs,
+            mask,
+        }
+    } else {
+        TraceOp::Cform {
+            line_addr,
+            attrs,
+            mask,
+        }
+    }
+}
+
+/// Promotion/demotion storms over a few lines.
+fn cform_churn(rng: &mut SmallRng, budget: usize) -> (Vec<TraceOp>, u64) {
+    let base = 0x20_0000u64;
+    let nlines = rng.gen_range(2usize..6);
+    let mut shadows = vec![0u64; nlines];
+    let mut ops = Vec::new();
+    while ops.len() < budget {
+        let l = rng.gen_range(0usize..nlines);
+        let line_addr = base + l as u64 * LINE;
+        match rng.gen_range(0u32..4) {
+            0 | 1 => ops.push(churn_cform(rng, &mut shadows[l], line_addr)),
+            2 => {
+                let off = rng.gen_range(0u64..LINE);
+                ops.push(random_access(rng, line_addr + off));
+            }
+            _ => ops.push(TraceOp::Exec(rng.gen_range(1u32..50))),
+        }
+    }
+    (ops, base)
+}
+
+/// Caliform an object, then sweep probes across it, some whitelisted.
+fn probe_sweep(rng: &mut SmallRng, budget: usize) -> (Vec<TraceOp>, u64) {
+    let base = 0x30_0000u64;
+    let layout = random_policy(rng).apply(&StructDef::paper_example(), rng);
+    let mut ops = Vec::new();
+    for op in layout.cform_ops(base) {
+        ops.push(TraceOp::Cform {
+            line_addr: op.line_addr,
+            attrs: op.mask,
+            mask: op.mask,
+        });
+    }
+    let span = layout.size.max(1) as u64 + 16;
+    let mut depth = 0u32;
+    while ops.len() < budget {
+        match rng.gen_range(0u32..12) {
+            0 if depth < 4 => {
+                ops.push(TraceOp::MaskPush);
+                depth += 1;
+            }
+            1 if depth > 0 => {
+                ops.push(TraceOp::MaskPop);
+                depth -= 1;
+            }
+            _ => {
+                // Byte-granular sweep probe, the attack pattern.
+                let off = rng.gen_range(0u64..span);
+                let size = *[1u8, 1, 1, 2, 4, 8].get(rng.gen_range(0usize..6)).unwrap();
+                ops.push(if rng.gen_range(0u32..3) == 0 {
+                    TraceOp::Store {
+                        addr: base + off,
+                        size,
+                    }
+                } else {
+                    TraceOp::Load {
+                        addr: base + off,
+                        size,
+                    }
+                });
+            }
+        }
+    }
+    (ops, base)
+}
+
+/// Uniform random ops over a pool of lines chosen to collide in L1 sets.
+fn random_mix(rng: &mut SmallRng, budget: usize) -> (Vec<TraceOp>, u64) {
+    let base = 0x40_0000u64;
+    // Half the pool strides by 4 KB (same L1 set → evictions), half is
+    // local (adjacent lines → line-crossing accesses). The local chain
+    // starts at 1: `base` itself is already slot 0 of the stride chain,
+    // and a duplicated line would split its shadow mask across two
+    // slots, desyncing the legal-transition generator.
+    let pool: Vec<u64> = (0..8u64)
+        .map(|i| base + i * 4096)
+        .chain((1..8u64).map(|i| base + i * LINE))
+        .collect();
+    let mut depth = 0u32;
+    let mut shadow = vec![0u64; pool.len()];
+    let mut ops = Vec::new();
+    while ops.len() < budget {
+        let l = rng.gen_range(0usize..pool.len());
+        let line_addr = pool[l];
+        match rng.gen_range(0u32..10) {
+            0 | 1 => ops.push(churn_cform(rng, &mut shadow[l], line_addr)),
+            2 if depth < 4 => {
+                ops.push(TraceOp::MaskPush);
+                depth += 1;
+            }
+            3 if depth > 0 => {
+                ops.push(TraceOp::MaskPop);
+                depth -= 1;
+            }
+            4 => ops.push(TraceOp::Exec(rng.gen_range(1u32..400))),
+            _ => {
+                let off = rng.gen_range(0u64..LINE);
+                ops.push(random_access(rng, line_addr + off));
+            }
+        }
+    }
+    (ops, base)
+}
+
+/// A miniature workload-generator benchmark.
+fn workload_replay(rng: &mut SmallRng, budget: usize, seed: u64) -> (Vec<TraceOp>, u64) {
+    let profile = BenchmarkProfile {
+        name: "fuzz-mini",
+        live_objects: rng.gen_range(4usize..24),
+        fields: rng.gen_range(2usize..8),
+        array_len: *[0usize, 16, 64].get(rng.gen_range(0usize..3)).unwrap(),
+        churn_per_kop: rng.gen_range(0u32..80),
+        chase_pct: rng.gen_range(0u32..50),
+        stream_pct: rng.gen_range(0u32..50),
+        exec_per_mem: rng.gen_range(1u32..6),
+        overlap: 0.5,
+        global_pct: rng.gen_range(0u32..40),
+        calls_per_kop: rng.gen_range(0u32..20),
+        stack_arrays: rng.gen_range(0u32..2) == 0,
+        in_fig10: false,
+        in_software_eval: false,
+    };
+    let cfg = WorkloadConfig::with_policy(random_policy(rng), budget.min(400), seed);
+    let workload = generate(&profile, &cfg);
+    (workload.ops.clone(), 0x1000_0000)
+}
+
+// --- multi-core lanes --------------------------------------------------
+
+/// Builds `cores` lanes and interleaves them round-robin so lane `c`'s
+/// ops land on engine core `c` (op index ≡ c mod cores).
+fn multilane(rng: &mut SmallRng, budget: usize, cores: usize) -> Vec<TraceOp> {
+    let shared_base = 0x100_0000u64; // 8 plain lines, shared by all lanes
+    let shared_lines = 8u64;
+    let per_lane = budget.div_ceil(cores).max(8);
+    let mut lanes: Vec<Vec<TraceOp>> = Vec::with_capacity(cores);
+    for c in 0..cores {
+        // Lane-exclusive region: CFORMs and trapping probes stay here.
+        let excl = 0x200_0000u64 + c as u64 * 0x10_0000;
+        // Local chain starts at 1 — `excl` is already slot 0 of the
+        // stride chain (see `random_mix`).
+        let pool: Vec<u64> = (0..4u64)
+            .map(|i| excl + i * 4096)
+            .chain((1..4u64).map(|i| excl + i * LINE))
+            .collect();
+        let mut shadow = vec![0u64; pool.len()];
+        let mut depth = 0u32;
+        let mut ops = Vec::with_capacity(per_lane);
+        while ops.len() < per_lane {
+            match rng.gen_range(0u32..12) {
+                0 | 1 => {
+                    let l = rng.gen_range(0usize..pool.len());
+                    ops.push(churn_cform(rng, &mut shadow[l], pool[l]));
+                }
+                2..=4 => {
+                    // Exclusive-region access (may trap on own CFORMs).
+                    let l = rng.gen_range(0usize..pool.len());
+                    let off = rng.gen_range(0u64..LINE);
+                    ops.push(random_access(rng, pool[l] + off));
+                }
+                5..=7 => {
+                    // Shared-region access: every lane hits the same few
+                    // lines (false sharing / read-mostly sharing). No
+                    // CFORMs ever land here, and racing stores are
+                    // idempotent (payload is a function of the address),
+                    // so the case stays interleaving-independent.
+                    let off = rng.gen_range(0u64..shared_lines * LINE - 8);
+                    ops.push(random_access(rng, shared_base + off));
+                }
+                8 if depth < 3 => {
+                    ops.push(TraceOp::MaskPush);
+                    depth += 1;
+                }
+                9 if depth > 0 => {
+                    ops.push(TraceOp::MaskPop);
+                    depth -= 1;
+                }
+                _ => ops.push(TraceOp::Exec(rng.gen_range(1u32..100))),
+            }
+        }
+        ops.truncate(per_lane);
+        lanes.push(ops);
+    }
+    let mut interleaved = Vec::with_capacity(per_lane * cores);
+    for j in 0..per_lane {
+        for lane in &lanes {
+            interleaved.push(lane[j]);
+        }
+    }
+    interleaved
+}
+
+/// Generates one deterministic case from its seed.
+///
+/// `cores == 1` draws one of the single-core scenarios (a third of them
+/// with mid-run DMA/swap events); `cores > 1` builds the lane-structured
+/// multi-core grammar.
+pub fn generate_case(seed: u64, ops_budget: usize, cores: usize) -> FuzzCase {
+    assert!(cores >= 1, "need at least one core");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let budget = ops_budget.max(16);
+    if cores > 1 {
+        let ops = multilane(&mut rng, budget, cores);
+        return FuzzCase {
+            label: "multilane",
+            seed,
+            pack: TracePack::from_ops(ops),
+            events: Vec::new(),
+            cores,
+        };
+    }
+    let (label, (ops, region)) = match rng.gen_range(0u32..5) {
+        0 => ("heap-lifecycle", heap_lifecycle(&mut rng, budget)),
+        1 => ("cform-churn", cform_churn(&mut rng, budget)),
+        2 => ("probe-sweep", probe_sweep(&mut rng, budget)),
+        3 => ("random-mix", random_mix(&mut rng, budget)),
+        _ => ("workload-replay", workload_replay(&mut rng, budget, seed)),
+    };
+    let mut events = Vec::new();
+    if rng.gen_range(0u32..3) == 0 && !ops.is_empty() {
+        for _ in 0..rng.gen_range(1u32..=2) {
+            let at_op = rng.gen_range(0usize..=ops.len());
+            if rng.gen_range(0u32..2) == 0 {
+                events.push(SysEvent::Dma {
+                    at_op,
+                    addr: region + rng.gen_range(0u64..2048),
+                    len: rng.gen_range(1usize..=256),
+                });
+            } else {
+                // Region bases are page-aligned; pick one of the first
+                // few pages of the region (untouched pages swap as
+                // all-zero lines, which is itself worth exercising).
+                events.push(SysEvent::SwapCycle {
+                    at_op,
+                    page_addr: (region & !4095) + rng.gen_range(0u64..4) * 4096,
+                });
+            }
+        }
+    }
+    FuzzCase {
+        label,
+        seed,
+        pack: TracePack::from_ops(ops),
+        events,
+        cores: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_is_bit_identical() {
+        for i in 0..20u64 {
+            let s = case_seed(42, i);
+            let a = generate_case(s, 200, 1);
+            let b = generate_case(s, 200, 1);
+            assert_eq!(a.pack.bytes(), b.pack.bytes());
+            assert_eq!(a.events, b.events);
+            let a = generate_case(s, 200, 4);
+            let b = generate_case(s, 200, 4);
+            assert_eq!(a.pack.bytes(), b.pack.bytes());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate_case(case_seed(1, 0), 200, 1);
+        let b = generate_case(case_seed(2, 0), 200, 1);
+        assert_ne!(a.pack.bytes(), b.pack.bytes());
+    }
+
+    #[test]
+    fn multilane_ops_are_full_rounds() {
+        let case = generate_case(7, 300, 4);
+        assert_eq!(case.pack.len_ops() % 4, 0);
+        assert!(case.events.is_empty());
+    }
+
+    #[test]
+    fn scenarios_produce_every_label() {
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..64u64 {
+            seen.insert(generate_case(case_seed(9, i), 64, 1).label);
+        }
+        assert!(seen.len() >= 5, "all scenarios drawn: {seen:?}");
+    }
+}

@@ -1,0 +1,155 @@
+//! Counterexample shrinking: reduce a diverging op stream to a minimal
+//! one that still diverges.
+//!
+//! The shrinker is engine-agnostic — it only needs a `check` predicate
+//! ("does this op stream still diverge?") and preserves whatever the
+//! predicate observes. Reduction runs in two phases:
+//!
+//! 1. **ddmin-style chunk removal** at *round* granularity: for
+//!    multi-core packs a round is one op per core, so removing whole
+//!    rounds keeps every surviving op on its original lane (removing
+//!    single ops would shift the round-robin assignment of everything
+//!    after them and could turn a lane-safe pack into a racy one,
+//!    manufacturing spurious divergences).
+//! 2. For multi-core packs, a final **neutralisation pass** that
+//!    replaces individual surviving ops with `Exec(0)` where the
+//!    divergence persists — single ops can't be removed, but they can
+//!    be blanked.
+//!
+//! The total number of `check` invocations is budgeted; shrinking is a
+//! convenience, not a proof search.
+
+use califorms_sim::TraceOp;
+
+/// Default budget of `check` invocations.
+pub const DEFAULT_CHECK_BUDGET: usize = 2000;
+
+/// Shrinks `ops` (grouped in rounds of `stride` ops — pass `1` for
+/// single-core streams) to a smaller stream for which `check` still
+/// returns `true`.
+///
+/// Returns the reduced stream; if `check` fails on the input itself the
+/// input is returned unchanged.
+pub fn shrink_ops(
+    ops: &[TraceOp],
+    stride: usize,
+    mut check: impl FnMut(&[TraceOp]) -> bool,
+    check_budget: usize,
+) -> Vec<TraceOp> {
+    assert!(stride >= 1, "stride must be at least 1");
+    let mut current: Vec<TraceOp> = ops.to_vec();
+    if stride > 1 && !current.len().is_multiple_of(stride) {
+        // Not in full rounds: refuse to reshuffle lanes, shrink nothing.
+        return current;
+    }
+    let mut checks = 0usize;
+    let spent = |checks: &mut usize| {
+        *checks += 1;
+        *checks > check_budget
+    };
+    if !check(&current) || spent(&mut checks) {
+        return current;
+    }
+
+    // Phase 1: remove round-aligned chunks, halving the chunk size.
+    let mut chunk_rounds = (current.len() / stride).div_ceil(2).max(1);
+    loop {
+        let mut removed_any = false;
+        let mut start_round = 0usize;
+        while start_round * stride < current.len() {
+            let lo = start_round * stride;
+            let hi = ((start_round + chunk_rounds) * stride).min(current.len());
+            let mut candidate = Vec::with_capacity(current.len() - (hi - lo));
+            candidate.extend_from_slice(&current[..lo]);
+            candidate.extend_from_slice(&current[hi..]);
+            if !candidate.is_empty() && check(&candidate) {
+                current = candidate;
+                removed_any = true;
+                // Re-test the same position: the next chunk slid into it.
+            } else {
+                start_round += chunk_rounds;
+            }
+            if spent(&mut checks) {
+                return current;
+            }
+        }
+        if chunk_rounds == 1 && !removed_any {
+            break;
+        }
+        if !removed_any {
+            chunk_rounds = (chunk_rounds / 2).max(1);
+        }
+    }
+
+    // Phase 2 (multi-core): blank individual ops in place.
+    if stride > 1 {
+        for i in 0..current.len() {
+            if matches!(current[i], TraceOp::Exec(0)) {
+                continue;
+            }
+            let saved = current[i];
+            current[i] = TraceOp::Exec(0);
+            if !check(&current) {
+                current[i] = saved;
+            }
+            if spent(&mut checks) {
+                return current;
+            }
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn load(addr: u64) -> TraceOp {
+        TraceOp::Load { addr, size: 1 }
+    }
+
+    #[test]
+    fn shrinks_to_the_single_culprit() {
+        // Divergence = "stream contains a load of 0xBAD".
+        let mut ops: Vec<TraceOp> = (0..200u64).map(load).collect();
+        ops.insert(137, load(0xBAD));
+        let shrunk = shrink_ops(
+            &ops,
+            1,
+            |s| {
+                s.iter()
+                    .any(|op| matches!(op, TraceOp::Load { addr: 0xBAD, .. }))
+            },
+            DEFAULT_CHECK_BUDGET,
+        );
+        assert_eq!(shrunk, vec![load(0xBAD)]);
+    }
+
+    #[test]
+    fn multicore_shrink_preserves_round_alignment() {
+        let stride = 4usize;
+        let mut ops: Vec<TraceOp> = (0..160u64).map(load).collect();
+        // Culprit on lane 2 of round 17.
+        ops[17 * stride + 2] = load(0xBAD);
+        let shrunk = shrink_ops(
+            &ops,
+            stride,
+            |s| {
+                s.len().is_multiple_of(stride)
+                    && s.iter().enumerate().any(|(i, op)| {
+                        i % stride == 2 && matches!(op, TraceOp::Load { addr: 0xBAD, .. })
+                    })
+            },
+            DEFAULT_CHECK_BUDGET,
+        );
+        assert!(shrunk.len() <= stride, "one round survives: {shrunk:?}");
+        assert!(shrunk.len().is_multiple_of(stride));
+    }
+
+    #[test]
+    fn non_diverging_input_is_returned_unchanged() {
+        let ops: Vec<TraceOp> = (0..10u64).map(load).collect();
+        let shrunk = shrink_ops(&ops, 1, |_| false, DEFAULT_CHECK_BUDGET);
+        assert_eq!(shrunk, ops);
+    }
+}

@@ -914,6 +914,15 @@ impl CoherentHierarchy {
         fill(&self.shared.peek_line(line_addr)).expect("hierarchy lines are well-formed")
     }
 
+    /// Functional snapshot of a line's canonical *(data, security-mask)*
+    /// state through the coherent machine (freshest copy: an owning L1
+    /// first, then the shared levels) — no timing, LRU or stats effects.
+    /// The differential oracle (`califorms-oracle`) diffs final memory
+    /// and blacklist state against this.
+    pub fn snapshot_line(&self, line_addr: u64) -> califorms_core::CaliformedLine {
+        *self.peek_line(line_addr).line()
+    }
+
     /// Functional read of one byte (security bytes read as zero).
     pub fn peek_byte(&self, addr: u64) -> u8 {
         self.peek_line(addr).line().data()[line_offset(addr)]

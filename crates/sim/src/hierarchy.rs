@@ -833,6 +833,21 @@ impl Hierarchy {
         l1.line().data()[offset]
     }
 
+    /// Functional snapshot of a line's canonical *(data, security-mask)*
+    /// state through whichever level currently holds it — no timing, LRU
+    /// or stats effects. This is the hook the differential oracle
+    /// (`califorms-oracle`) diffs final memory and blacklist state
+    /// against.
+    pub fn snapshot_line(&self, line_addr: u64) -> califorms_core::CaliformedLine {
+        if let Some(l1) = self.l1d.peek(line_addr) {
+            return *l1.line();
+        }
+        let l2line = self.shared.peek_line(line_addr);
+        *fill(&l2line)
+            .expect("hierarchy lines are well-formed")
+            .line()
+    }
+
     /// Whether the byte at `addr` is currently a security byte (functional
     /// check through whichever level holds the line).
     pub fn peek_is_security_byte(&self, addr: u64) -> bool {

@@ -56,7 +56,7 @@ pub use coherence::{CoherenceConfig, CoherentHierarchy, Mesi};
 pub use cpu::CoreConfig;
 pub use engine::{Engine, SimOutcome};
 pub use hierarchy::{Hierarchy, HierarchyConfig};
-pub use multicore::{shard_ops, MulticoreConfig, MulticoreEngine, MulticoreOutcome};
+pub use multicore::{shard_ops, MulticoreConfig, MulticoreEngine, MulticoreOutcome, WorkerPanic};
 pub use runtime::{QuantumSizing, RuntimeConfig, RuntimeStats, RuntimeTiming};
 pub use stats::{CoherenceStats, MulticoreStats, SimStats};
 pub use trace::TraceOp;

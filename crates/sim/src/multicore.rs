@@ -56,6 +56,8 @@ use crate::stats::{MulticoreStats, SimStats};
 use crate::trace::TraceOp;
 use crate::tracepack::{PackDecoder, TracePack};
 use califorms_core::{CaliformsException, CformInstruction, ExceptionMask};
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -408,17 +410,91 @@ struct WorkerTask<'p> {
     l1: CoreL1,
 }
 
+/// A panic raised on a bound-phase worker thread, surfaced by the
+/// `try_run*` entry points as an error naming the offending core instead
+/// of wedging the quantum barrier (the pre-fix behaviour: the panicking
+/// worker never reported done, so the main thread and the surviving
+/// workers hung at the barrier forever).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Core whose replay panicked.
+    pub core: usize,
+    /// Best-effort panic message (`String`/`&str` payloads; a placeholder
+    /// otherwise).
+    pub message: String,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker thread for core {} panicked: {}",
+            self.core, self.message
+        )
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Extracts a displayable message from a caught panic payload.
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one core's bound phase under `catch_unwind`, recording any panic
+/// in `panics` under `core` — shared by the worker loop and the inline
+/// single-core path so the two cannot drift.
+fn run_task_caught(
+    core: usize,
+    task: &mut WorkerTask<'_>,
+    quantum_end: f64,
+    panics: &Mutex<Vec<WorkerPanic>>,
+) {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        task.replay.run_quantum_local(&mut task.l1, quantum_end);
+    }));
+    if let Err(payload) = result {
+        panics
+            .lock()
+            .expect("panic log poisoned")
+            .push(WorkerPanic {
+                core,
+                message: panic_message(payload.as_ref()),
+            });
+    }
+}
+
 /// The persistent bound-phase worker loop: park at the barrier, run the
 /// lent task for the released quantum (up to the first op needing a
 /// coherence transaction), report done; repeat until stopped.
-fn worker_loop(barrier: &QuantumBarrier, slot: &Mutex<Option<WorkerTask<'_>>>) {
+///
+/// The task is *taken out of* the slot while it runs so a panic inside
+/// the replay cannot poison the slot mutex; the panic is caught, recorded
+/// in `panics` under this worker's core id, and the barrier is still
+/// notified — the main thread aborts the run with an `Err` instead of
+/// waiting forever for a completion that will never come.
+fn worker_loop(
+    core: usize,
+    barrier: &QuantumBarrier,
+    slot: &Mutex<Option<WorkerTask<'_>>>,
+    panics: &Mutex<Vec<WorkerPanic>>,
+) {
     let mut seen = 0u64;
     while let Some(quantum_end) = barrier.wait_for_quantum(&mut seen) {
-        let mut g = slot.lock().expect("worker slot poisoned");
-        if let Some(task) = g.as_mut() {
-            task.replay.run_quantum_local(&mut task.l1, quantum_end);
+        let task = slot.lock().expect("worker slot poisoned").take();
+        if let Some(mut task) = task {
+            run_task_caught(core, &mut task, quantum_end, panics);
+            // Put the task back even after a panic (its state may be
+            // mid-op, but the run is about to abort and only needs the
+            // pieces accounted for).
+            *slot.lock().expect("worker slot poisoned") = Some(task);
         }
-        drop(g);
         barrier.worker_done();
     }
 }
@@ -546,8 +622,25 @@ impl MulticoreEngine {
     ///
     /// # Panics
     ///
-    /// Panics unless `shards.len()` equals the configured core count.
+    /// Panics unless `shards.len()` equals the configured core count, or
+    /// (on the main thread, with a [`WorkerPanic`] message) if a worker
+    /// panicked — use [`Self::try_run`] to handle that as an error.
     pub fn run(self, shards: Vec<Vec<TraceOp>>) -> MulticoreOutcome {
+        self.try_run(shards).unwrap_or_else(|p| panic!("{p}"))
+    }
+
+    /// Like [`Self::run`], but a panic on a worker thread is surfaced as
+    /// an `Err` naming the offending core instead of wedging the quantum
+    /// barrier (or re-panicking).
+    ///
+    /// # Errors
+    ///
+    /// [`WorkerPanic`] if a core's replay panicked.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `shards.len()` equals the configured core count.
+    pub fn try_run(self, shards: Vec<Vec<TraceOp>>) -> Result<MulticoreOutcome, WorkerPanic> {
         assert_eq!(
             shards.len(),
             self.cfg.cores,
@@ -557,7 +650,7 @@ impl MulticoreEngine {
             .into_iter()
             .map(|ops| ShardSource::Slice { ops, pos: 0 })
             .collect();
-        self.run_sources(sources)
+        self.run_sources(sources).map(|(outcome, _)| outcome)
     }
 
     /// Replays a single packed trace, sharding it across the configured
@@ -571,8 +664,35 @@ impl MulticoreEngine {
     /// # Panics
     ///
     /// Panics on a corrupt pack (packs built by [`TracePack::from_ops`]
-    /// or validated by [`TracePack::from_bytes`] are always well-formed).
+    /// or validated by [`TracePack::from_bytes`] are always well-formed),
+    /// or with a [`WorkerPanic`] message if a worker panicked.
     pub fn run_pack(self, pack: &TracePack) -> MulticoreOutcome {
+        self.try_run_pack(pack).unwrap_or_else(|p| panic!("{p}"))
+    }
+
+    /// Like [`Self::run_pack`], but a worker-thread panic is surfaced as
+    /// an `Err` naming the offending core.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkerPanic`] if a core's replay panicked.
+    pub fn try_run_pack(self, pack: &TracePack) -> Result<MulticoreOutcome, WorkerPanic> {
+        self.try_run_pack_with_state(pack)
+            .map(|(outcome, _)| outcome)
+    }
+
+    /// [`Self::try_run_pack`] that additionally hands back the final
+    /// [`CoherentHierarchy`], so callers (the `califorms-oracle`
+    /// differential harness) can diff the machine's final memory and
+    /// blacklist state byte-for-byte against a reference model.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkerPanic`] if a core's replay panicked.
+    pub fn try_run_pack_with_state(
+        self,
+        pack: &TracePack,
+    ) -> Result<(MulticoreOutcome, CoherentHierarchy), WorkerPanic> {
         let cores = self.cfg.cores as u64;
         let sources = (0..cores)
             .map(|lane| ShardSource::Pack {
@@ -594,9 +714,24 @@ impl MulticoreEngine {
     ///
     /// # Panics
     ///
-    /// Panics unless `packs.len()` equals the configured core count, or
-    /// on a corrupt pack.
+    /// Panics unless `packs.len()` equals the configured core count, on
+    /// a corrupt pack, or with a [`WorkerPanic`] message if a worker
+    /// panicked.
     pub fn run_packs(self, packs: &[TracePack]) -> MulticoreOutcome {
+        self.try_run_packs(packs).unwrap_or_else(|p| panic!("{p}"))
+    }
+
+    /// Like [`Self::run_packs`], but a worker-thread panic is surfaced as
+    /// an `Err` naming the offending core.
+    ///
+    /// # Errors
+    ///
+    /// [`WorkerPanic`] if a core's replay panicked.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `packs.len()` equals the configured core count.
+    pub fn try_run_packs(self, packs: &[TracePack]) -> Result<MulticoreOutcome, WorkerPanic> {
         assert_eq!(packs.len(), self.cfg.cores, "one pack per configured core");
         let sources = packs
             .iter()
@@ -609,12 +744,15 @@ impl MulticoreEngine {
                 head: 0,
             })
             .collect();
-        self.run_sources(sources)
+        self.run_sources(sources).map(|(outcome, _)| outcome)
     }
 
     /// The shared run loop: persistent workers (multi-core only),
     /// quantum barrier, batched weave, optional adaptive quantum.
-    fn run_sources(mut self, sources: Vec<ShardSource<'_>>) -> MulticoreOutcome {
+    fn run_sources(
+        mut self,
+        sources: Vec<ShardSource<'_>>,
+    ) -> Result<(MulticoreOutcome, CoherentHierarchy), WorkerPanic> {
         let n = self.cfg.cores;
         let l1d_latency = self.cfg.hierarchy.l1d_latency;
         let core_cfg = self.cfg.core;
@@ -633,12 +771,14 @@ impl MulticoreEngine {
         let use_threads = n > 1;
         let barrier = QuantumBarrier::new();
         let slots: Vec<Mutex<Option<WorkerTask<'_>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let panics: Mutex<Vec<WorkerPanic>> = Mutex::new(Vec::new());
 
-        std::thread::scope(|scope| {
+        let run_result: Result<(), WorkerPanic> = std::thread::scope(|scope| {
             if use_threads {
-                for slot in &slots {
+                for (core, slot) in slots.iter().enumerate() {
                     let barrier = &barrier;
-                    scope.spawn(move || worker_loop(barrier, slot));
+                    let panics = &panics;
+                    scope.spawn(move || worker_loop(core, barrier, slot, panics));
                 }
             }
 
@@ -674,7 +814,7 @@ impl MulticoreEngine {
                 } else {
                     let mut g = slots[0].lock().expect("worker slot poisoned");
                     let task = g.as_mut().expect("task was just lent");
-                    task.replay.run_quantum_local(&mut task.l1, quantum_end);
+                    run_task_caught(0, task, quantum_end, &panics);
                 }
                 let t2 = Instant::now();
 
@@ -690,14 +830,47 @@ impl MulticoreEngine {
                 }
                 let t3 = Instant::now();
 
-                // Serial (weave) phase: deterministic round-robin.
+                // A worker panic aborts the run *before* the weave: the
+                // panicking core's cursor is mid-op, so continuing would
+                // simulate garbage. Stop the barrier first so the
+                // surviving workers exit and the scope can join them.
+                let worker_panic = {
+                    let mut g = panics.lock().expect("panic log poisoned");
+                    g.sort_by_key(|p| p.core);
+                    g.first().cloned()
+                };
+                if let Some(p) = worker_panic {
+                    barrier.stop();
+                    return Err(p);
+                }
+
+                // Serial (weave) phase: deterministic round-robin. An
+                // engine panic here (e.g. an op that only ever reaches
+                // the weave, like a misaligned CFORM-NT) is part of the
+                // `try_run*` error contract too: catch it per turn,
+                // stop the barrier so the scope can join the parked
+                // workers, and surface it as the offending core's
+                // `WorkerPanic`.
                 let events_before = self.hierarchy.cross_core_events();
                 loop {
                     let mut progressed = false;
                     for slot in replays.iter_mut() {
                         let mut core = slot.take().expect("replay present between quanta");
-                        progressed |= self.weave_turn(&mut core, quantum_end, &mut rt);
+                        let turn = catch_unwind(AssertUnwindSafe(|| {
+                            self.weave_turn(&mut core, quantum_end, &mut rt)
+                        }));
+                        let core_id = core.id;
                         *slot = Some(core);
+                        match turn {
+                            Ok(p) => progressed |= p,
+                            Err(payload) => {
+                                barrier.stop();
+                                return Err(WorkerPanic {
+                                    core: core_id,
+                                    message: panic_message(payload.as_ref()),
+                                });
+                            }
+                        }
                     }
                     if !progressed {
                         break;
@@ -746,13 +919,15 @@ impl MulticoreEngine {
                 }
             }
             barrier.stop();
+            Ok(())
         });
+        run_result?;
 
         let cores = replays
             .into_iter()
             .map(|r| r.expect("replay present at finish"))
             .collect();
-        self.finish(cores, rt, timing)
+        Ok(self.finish(cores, rt, timing))
     }
 
     fn finish(
@@ -760,7 +935,7 @@ impl MulticoreEngine {
         cores: Vec<CoreReplay<'_>>,
         rt: RuntimeStats,
         timing: RuntimeTiming,
-    ) -> MulticoreOutcome {
+    ) -> (MulticoreOutcome, CoherentHierarchy) {
         let mut per_core = Vec::with_capacity(cores.len());
         let mut exceptions = Vec::with_capacity(cores.len());
         let mut combined = SimStats::default();
@@ -789,7 +964,7 @@ impl MulticoreEngine {
             exceptions.push(core.exceptions.clone());
         }
         self.hierarchy.export_stats(&mut combined);
-        MulticoreOutcome {
+        let outcome = MulticoreOutcome {
             stats: MulticoreStats {
                 per_core,
                 combined,
@@ -797,7 +972,8 @@ impl MulticoreEngine {
             },
             exceptions,
             timing,
-        }
+        };
+        (outcome, self.hierarchy)
     }
 }
 
@@ -967,6 +1143,77 @@ mod tests {
     #[should_panic(expected = "one shard per configured core")]
     fn shard_count_mismatch_panics() {
         engine(2).run(vec![vec![]]);
+    }
+
+    /// A panicking worker used to leave the quantum barrier waiting for a
+    /// completion that never came, hanging the run; it must now surface
+    /// as an `Err` naming the offending core.
+    #[test]
+    fn worker_panic_surfaces_as_err_with_core_id() {
+        // A misaligned CFORM target panics in `CformInstruction::new`
+        // inside core 1's bound phase.
+        let shards = vec![
+            vec![TraceOp::Exec(10), TraceOp::Exec(10)],
+            vec![TraceOp::Cform {
+                line_addr: 0x1001,
+                attrs: 1,
+                mask: 1,
+            }],
+        ];
+        let err = engine(2).try_run(shards).unwrap_err();
+        assert_eq!(err.core, 1);
+        assert!(
+            err.message.contains("aligned"),
+            "panic message is preserved: {}",
+            err.message
+        );
+    }
+
+    /// A panic on the main-thread weave path is part of the same error
+    /// contract: a misaligned `CFORM-NT` never runs in the bound phase
+    /// (non-temporal CFORMs are always coherence transactions), so its
+    /// alignment assert fires inside the weave — and must come back as
+    /// `Err` with the woven core's id, not unwind past the barrier.
+    #[test]
+    fn weave_phase_panic_surfaces_as_err_with_core_id() {
+        let shards = vec![
+            vec![TraceOp::Exec(10)],
+            vec![TraceOp::CformNt {
+                line_addr: 0x1001,
+                attrs: 1,
+                mask: 1,
+            }],
+        ];
+        let err = engine(2).try_run(shards).unwrap_err();
+        assert_eq!(err.core, 1);
+        assert!(err.message.contains("aligned"), "{}", err.message);
+    }
+
+    /// The inline single-core bound phase takes the same catch path.
+    #[test]
+    fn single_core_panic_surfaces_as_err() {
+        let shards = vec![vec![TraceOp::Cform {
+            line_addr: 0x77,
+            attrs: 1,
+            mask: 1,
+        }]];
+        let err = engine(1).try_run(shards).unwrap_err();
+        assert_eq!(err.core, 0);
+    }
+
+    /// The panicking `run` wrapper re-panics on the main thread (instead
+    /// of hanging) with the core id in the message.
+    #[test]
+    #[should_panic(expected = "worker thread for core 0 panicked")]
+    fn run_wrapper_repanics_with_core_id() {
+        engine(2).run(vec![
+            vec![TraceOp::Cform {
+                line_addr: 0x33,
+                attrs: 1,
+                mask: 1,
+            }],
+            vec![TraceOp::Exec(1)],
+        ]);
     }
 
     #[test]

@@ -23,6 +23,9 @@
 //! * [`security`] — attack simulations and the derandomisation math.
 //! * [`baselines`] — REST / ADI / MPX comparison models and the
 //!   qualitative matrices of Tables 4–6.
+//! * [`oracle`] — the cache-free differential reference model, the
+//!   deterministic trace fuzzer and the divergence shrinker (DESIGN.md
+//!   §11).
 //!
 //! See `examples/quickstart.rs` for a guided tour and `DESIGN.md` for the
 //! full system inventory.
@@ -58,6 +61,7 @@ pub use califorms_alloc as alloc;
 pub use califorms_baselines as baselines;
 pub use califorms_core as core;
 pub use califorms_layout as layout;
+pub use califorms_oracle as oracle;
 pub use califorms_security as security;
 pub use califorms_sim as sim;
 pub use califorms_vlsi as vlsi;

@@ -1,0 +1,33 @@
+//! Replays every committed regression pack in `corpus/` through the
+//! optimized simulator stacks and the differential oracle: all packs
+//! must agree byte-for-byte on every configuration they target (see
+//! `corpus/README.md`).
+
+use califorms::oracle::corpus::replay_pack_file;
+
+#[test]
+fn every_corpus_pack_agrees_with_the_oracle() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("corpus");
+    let mut packs = 0usize;
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("corpus/ exists")
+        .map(|e| e.expect("readable corpus entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "cftp"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        packs += 1;
+        let results = replay_pack_file(&path)
+            .unwrap_or_else(|e| panic!("{}: unreadable: {e}", path.display()));
+        assert!(!results.is_empty());
+        for (cfg, divergence) in results {
+            assert!(
+                divergence.is_none(),
+                "{} ({cfg}): {}",
+                path.display(),
+                divergence.unwrap()
+            );
+        }
+    }
+    assert!(packs >= 5, "corpus is populated (found {packs} packs)");
+}

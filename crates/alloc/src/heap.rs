@@ -1,8 +1,9 @@
 //! The clean-before-use, quarantining heap allocator model.
 
+use califorms_core::LineMap;
 use califorms_layout::CaliformedLayout;
 use califorms_sim::TraceOp;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// What `free` califorms (Section 6.1 vs the Section 8.2 measurement).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -113,7 +114,10 @@ pub struct CaliformsHeap {
     bump: u64,
     free_list: Vec<FreeBlock>,
     quarantine: VecDeque<FreeBlock>,
-    live: HashMap<u64, LiveAllocation>,
+    // Keyed by block base address; a `LineMap` (deterministic hasher) so
+    // no future iteration over live allocations can leak per-process
+    // RandomState order into emitted trace ops (DESIGN.md §12).
+    live: LineMap<LiveAllocation>,
     stats: HeapStats,
 }
 
@@ -127,7 +131,7 @@ impl CaliformsHeap {
             bump: base,
             free_list: Vec::new(),
             quarantine: VecDeque::new(),
-            live: HashMap::new(),
+            live: LineMap::default(),
             stats: HeapStats::default(),
         }
     }

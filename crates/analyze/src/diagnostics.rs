@@ -1,0 +1,145 @@
+//! Findings, rustc-style human rendering, and the machine-readable JSON
+//! report CI uploads as an artifact.
+
+use serde::Serialize;
+
+/// One lint finding, anchored to a file:line:col span.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Finding {
+    /// Lint name (kebab-case, e.g. `nondet-map`).
+    pub lint: String,
+    /// Repo-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// One-sentence statement of the violation.
+    pub message: String,
+    /// The offending source line, verbatim.
+    pub snippet: String,
+    /// Lint-specific remediation hint.
+    pub help: String,
+}
+
+impl Finding {
+    /// Renders the finding as a rustc-style diagnostic block.
+    pub fn render(&self) -> String {
+        let gutter = self.line.to_string().len().max(2);
+        let mut out = String::new();
+        out.push_str(&format!("error[{}]: {}\n", self.lint, self.message));
+        out.push_str(&format!(
+            "{:gutter$}--> {}:{}:{}\n",
+            "", self.path, self.line, self.col
+        ));
+        out.push_str(&format!("{:gutter$} |\n", ""));
+        out.push_str(&format!(
+            "{:<gutter$} | {}\n",
+            self.line,
+            self.snippet.trim_end()
+        ));
+        let caret_pad = (self.col as usize).saturating_sub(1);
+        out.push_str(&format!("{:gutter$} | {:caret_pad$}^\n", "", ""));
+        out.push_str(&format!("{:gutter$} = help: {}\n", "", self.help));
+        out
+    }
+}
+
+/// A suppression that matched a finding.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct AppliedSuppression {
+    /// Lint name the directive names.
+    pub lint: String,
+    /// Repo-relative path of the directive.
+    pub path: String,
+    /// 1-based line of the directive comment.
+    pub line: u32,
+    /// The justification after the colon.
+    pub reason: String,
+}
+
+/// The whole run's result — serialized to JSON for the CI artifact.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Tool version (crate version at compile time).
+    pub version: String,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: u64,
+    /// Surviving findings, in (path, line) order.
+    pub findings: Vec<Finding>,
+    /// Suppressions that absorbed a finding, in (path, line) order.
+    pub suppressions: Vec<AppliedSuppression>,
+    /// `findings.is_empty()` — the CI gate.
+    pub clean: bool,
+}
+
+impl Report {
+    /// Assembles a report from scan results.
+    pub fn new(
+        files_scanned: u64,
+        findings: Vec<Finding>,
+        suppressions: Vec<AppliedSuppression>,
+    ) -> Self {
+        Self {
+            version: env!("CARGO_PKG_VERSION").to_string(),
+            files_scanned,
+            clean: findings.is_empty(),
+            findings,
+            suppressions,
+        }
+    }
+
+    /// Renders every finding plus a one-line summary.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&f.render());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{} file{} scanned: {} finding{}, {} suppressed\n",
+            self.files_scanned,
+            if self.files_scanned == 1 { "" } else { "s" },
+            self.findings.len(),
+            if self.findings.len() == 1 { "" } else { "s" },
+            self.suppressions.len(),
+        ));
+        out
+    }
+
+    /// Serializes the report as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report is serialisable")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_places_the_caret() {
+        let f = Finding {
+            lint: "nondet-map".into(),
+            path: "crates/sim/src/os.rs".into(),
+            line: 33,
+            col: 13,
+            message: "default-hasher HashMap".into(),
+            snippet: "    device: HashMap<u64, u64>,".into(),
+            help: "use LineMap".into(),
+        };
+        let r = f.render();
+        assert!(r.contains("error[nondet-map]"));
+        assert!(r.contains("--> crates/sim/src/os.rs:33:13"));
+        let caret_line = r.lines().find(|l| l.contains('^')).unwrap();
+        assert_eq!(caret_line.find('^').unwrap(), "   | ".len() + 12);
+    }
+
+    #[test]
+    fn report_json_has_the_gate_fields() {
+        let rep = Report::new(3, vec![], vec![]);
+        let j = rep.to_json();
+        assert!(j.contains("\"clean\": true"));
+        assert!(j.contains("\"files_scanned\": 3"));
+    }
+}

@@ -1,0 +1,51 @@
+//! # califorms-analyze
+//!
+//! Static analysis and concurrency model checking for the Califorms
+//! workspace — the tooling that turns the repo's central invariant,
+//! *same seed ⇒ bit-identical results across every core count, quantum
+//! size and weave batch*, from a dynamically-tested property (the
+//! `califorms-oracle` differential harness catches violations after they
+//! ship) into a structurally-enforced one (DESIGN.md §12).
+//!
+//! Two subsystems:
+//!
+//! * **The workspace lint pass** ([`lint`], over a lightweight Rust
+//!   [`tokenizer`]) enforces repo-specific determinism invariants on
+//!   `crates/*/src`: no default-hasher `HashMap`/`HashSet` in
+//!   result-bearing crates, no host timing or OS randomness in
+//!   simulated-result paths, no thread spawns outside the parallel
+//!   runtime, no bare `unwrap`/`expect` on the worker-loop hot path,
+//!   `#![forbid(unsafe_code)]` in every crate root, and no iteration
+//!   over nondeterministic maps. Findings carry rustc-style file:line
+//!   spans ([`diagnostics`]), render as human diagnostics or a
+//!   machine-readable JSON report, and can be suppressed inline with
+//!   `// analyze::allow(<lint-name>): <reason>`.
+//! * **The concurrency model checker** ([`sched`]) is a loom-style
+//!   deterministic virtual scheduler with shim `Mutex`/`Condvar`/atomic
+//!   types mirroring the `std::sync` API, a DFS bounded-preemption
+//!   explorer over all interleavings of small protocol models, and a
+//!   seeded-random large-schedule mode. [`sched::models`] holds faithful
+//!   state-machine models of the `QuantumBarrier` epoch protocol and the
+//!   worker-slot task handoff from `califorms-sim::multicore`, checked
+//!   for deadlock, lost wakeups and epoch monotonicity across every
+//!   schedule up to the bound.
+//!
+//! CI entry point: `cargo run -p califorms-analyze -- --check` (lints the
+//! workspace, exits non-zero on findings) and `-- --sched` (exhaustive
+//! protocol-model pass, including the broken variants that prove the
+//! detectors fire).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod diagnostics;
+pub mod lint;
+pub mod sched;
+pub mod tokenizer;
+pub mod workspace;
+
+pub use config::LintConfig;
+pub use diagnostics::{Finding, Report};
+pub use lint::{lint_source, SourceContext};
+pub use workspace::scan_workspace;

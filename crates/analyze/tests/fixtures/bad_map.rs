@@ -1,0 +1,12 @@
+//! Fixture: default-hasher maps in a result-bearing crate.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Tracker {
+    pub by_line: HashMap<u64, u32>,
+    pub seen: HashSet<u64>,
+}
+
+pub fn build() -> HashMap<u64, u32, std::collections::hash_map::RandomState> {
+    HashMap::new()
+}

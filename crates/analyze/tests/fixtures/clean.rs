@@ -1,0 +1,14 @@
+//! Fixture: a clean result-bearing crate root — deterministic hasher,
+//! full three-parameter map type, forbid attribute present.
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+use std::hash::BuildHasherDefault;
+
+pub struct LineHasher(u64);
+
+pub type LineMap<V> = HashMap<u64, V, BuildHasherDefault<LineHasher>>;
+
+pub fn sum(map: &LineMap<u64>) -> u64 {
+    map.values().sum()
+}

@@ -1,0 +1,8 @@
+//! Fixture: host clock and OS entropy in a simulated-result path.
+
+pub fn stamp() -> u64 {
+    let t = Instant::now();
+    let s = SystemTime::now();
+    let r = thread_rng().next_u64();
+    t.elapsed().as_nanos() as u64 ^ r
+}

@@ -1,0 +1,11 @@
+//! Fixture: iterating a default-hasher map.
+
+pub fn total() -> u64 {
+    let mut counts = HashMap::new();
+    counts.insert(1u64, 2u64);
+    let mut sum = 0;
+    for k in counts.keys() {
+        sum += *k;
+    }
+    sum
+}

@@ -1,0 +1,3 @@
+//! Fixture: crate root missing the forbid(unsafe_code) attribute.
+
+pub fn nothing() {}

@@ -1,0 +1,8 @@
+//! Fixture: suppression directives, one valid and one malformed.
+
+pub struct Cache {
+    // analyze::allow(nondet-map): scratch map, never iterated in results
+    pub scratch: HashMap<u64, u32>,
+    // analyze::allow(nondet-map)
+    pub other: HashMap<u64, u32>,
+}

@@ -1,0 +1,54 @@
+//! The real workspace must be lint-clean: `--check` in CI exits zero
+//! because this property holds. If a change trips a lint, either fix it
+//! or add an inline `// analyze::allow(<lint>): <reason>` with a real
+//! justification (which will show up in `suppressions` here).
+
+use califorms_analyze::config::LintConfig;
+use califorms_analyze::workspace::scan_workspace;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root resolves")
+}
+
+#[test]
+fn real_workspace_is_lint_clean() {
+    let report = scan_workspace(&repo_root(), &LintConfig::default()).expect("scan");
+    let rendered = report.render_human();
+    assert!(report.clean, "workspace has lint findings:\n{rendered}");
+    assert!(
+        report.files_scanned >= 90,
+        "expected the full crates/*/src tree, saw {} files",
+        report.files_scanned
+    );
+}
+
+#[test]
+fn workspace_suppressions_are_the_known_model_spawns() {
+    let report = scan_workspace(&repo_root(), &LintConfig::default()).expect("scan");
+    // The sched model builders spawn model threads under the virtual
+    // scheduler; those two sites carry inline justifications.
+    assert_eq!(
+        report.suppressions.len(),
+        2,
+        "unexpected suppression set: {:?}",
+        report.suppressions
+    );
+    for s in &report.suppressions {
+        assert_eq!(s.lint, "thread-spawn");
+        assert_eq!(s.path, "crates/analyze/src/sched/models.rs");
+        assert!(!s.reason.is_empty());
+    }
+}
+
+#[test]
+fn json_report_round_trips_the_gate_fields() {
+    let report = scan_workspace(&repo_root(), &LintConfig::default()).expect("scan");
+    let json = report.to_json();
+    assert!(json.contains("\"clean\": true"));
+    assert!(json.contains("\"files_scanned\""));
+    assert!(json.contains("crates/analyze/src/sched/models.rs"));
+}

@@ -8,6 +8,8 @@
 //! 4. **SIMD/vector policy** — false-positive rates of the Appendix B
 //!    options on a span-straddling sweep.
 
+#![forbid(unsafe_code)]
+
 use califorms_alloc::{AllocatorConfig, CaliformsHeap};
 use califorms_layout::{InsertionPolicy, StructDef};
 use califorms_sim::vector::{vector_load, VectorMode};

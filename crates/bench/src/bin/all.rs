@@ -1,6 +1,8 @@
 //! Runs every experiment at a reduced scale — a one-shot smoke pass over
 //! the full evaluation (the per-figure binaries are the full-scale runs).
 
+#![forbid(unsafe_code)]
+
 use califorms_bench::{
     fig10, fig11_series, fig12_series, fig3, fig4, mean, policy_figure, render_policy_rows,
     render_slowdowns, series_average,

@@ -4,6 +4,8 @@
 //! selection covers (working sets across L1/L2/L3/DRAM, compute-bound to
 //! latency-bound, malloc-light to malloc-intensive).
 
+#![forbid(unsafe_code)]
+
 use califorms_sim::HierarchyConfig;
 use califorms_workloads::{fig10_benchmarks, generate, run_workload, WorkloadConfig};
 

@@ -4,6 +4,8 @@
 //! Paper reference: 0.24 % (hmmer) – 1.37 % (xalancbmk), average 0.83 %.
 //! Also prints the simulated machine's Table 3 configuration.
 
+#![forbid(unsafe_code)]
+
 use califorms_bench::{fig10, mean, render_slowdowns, results_dir, write_json, DEFAULT_STEADY_OPS};
 use califorms_sim::HierarchyConfig;
 

@@ -5,6 +5,8 @@
 //! Paper reference: full-without-CFORM averages 5.5 %/5.6 %/6.5 %;
 //! opportunistic+CFORM 7.9 %; full+CFORM up to 14.0–14.2 %.
 
+#![forbid(unsafe_code)]
+
 use califorms_bench::{
     fig11_series, policy_figure, render_policy_rows, results_dir, series_average, write_json,
     DEFAULT_STEADY_OPS,

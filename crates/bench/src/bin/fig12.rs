@@ -4,6 +4,8 @@
 //! Paper reference: ~0.2 % average without `CFORM`s, 1.5–2.0 % with; only
 //! gobmk (16.1 %) and perlbench (7.2 %) exceed 5 %.
 
+#![forbid(unsafe_code)]
+
 use califorms_bench::{
     fig12_series, policy_figure, render_policy_rows, results_dir, series_average, write_json,
     DEFAULT_STEADY_OPS,

@@ -4,6 +4,8 @@
 //! Paper reference: 45.7 % of SPEC structs and 41.0 % of V8 structs have
 //! at least one byte of padding; densities cluster in the top bin.
 
+#![forbid(unsafe_code)]
+
 use califorms_bench::{fig3, results_dir, write_json};
 
 fn main() {

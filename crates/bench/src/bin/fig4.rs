@@ -4,6 +4,8 @@
 //!
 //! Paper reference: 3.0 % at 1 B rising monotonically to 7.6 % at 7 B.
 
+#![forbid(unsafe_code)]
+
 use califorms_bench::{fig4, render_slowdowns, results_dir, write_json, DEFAULT_STEADY_OPS};
 
 fn main() {

@@ -33,6 +33,8 @@
 //!   the L1 security-byte mask when diffing single-core state (must
 //!   make the fuzzer fail; demonstrates the harness has teeth).
 
+#![forbid(unsafe_code)]
+
 use califorms_oracle::corpus::{pack_file_name, replay_pack_file, write_pack};
 use califorms_oracle::diff::{diff_pack, DiffConfig, Divergence, FaultInjection};
 use califorms_oracle::fuzz::{case_seed, generate_case, FuzzCase};

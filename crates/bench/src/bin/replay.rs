@@ -44,6 +44,8 @@
 //! `cargo run --release --bin replay [--smoke] [--check] [--cores 2,4]
 //!  [--quantum N] [--adaptive] [steady_ops]`
 
+#![forbid(unsafe_code)]
+
 use califorms_bench::legacy_replay::run_legacy;
 use califorms_bench::write_json;
 use califorms_sim::multicore::shard_ops;

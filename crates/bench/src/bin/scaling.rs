@@ -23,6 +23,8 @@
 //! `target/experiment-results/scaling.json` and is uploaded as a CI
 //! artifact.
 
+#![forbid(unsafe_code)]
+
 use califorms_bench::{results_dir, write_json};
 use califorms_sim::{HierarchyConfig, QuantumSizing};
 use califorms_workloads::{generate_mt, mt_config, run_mt_outcome, MtPattern, MtWorkloadConfig};

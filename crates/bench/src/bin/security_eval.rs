@@ -2,6 +2,8 @@
 //! (closed form + Monte-Carlo via the executable attacks) and the attack
 //! scenario suite run end to end against the simulated machine.
 
+#![forbid(unsafe_code)]
+
 use califorms_layout::InsertionPolicy;
 use califorms_security::attacks;
 use califorms_security::probability::{

@@ -1,6 +1,8 @@
 //! Table 1: the `CFORM` instruction K-map, verified exhaustively against
 //! the implementation and printed.
 
+#![forbid(unsafe_code)]
+
 use califorms_core::{CaliformedLine, CformInstruction};
 
 fn cell(initially_security: bool, set: bool, allow: bool) -> &'static str {

@@ -2,6 +2,8 @@
 //! (califorms-bitvector) plus the fill/spill modules — the analytic model
 //! printed next to the paper's 65 nm synthesis numbers.
 
+#![forbid(unsafe_code)]
+
 use califorms_vlsi::tables::{render_comparison, table2};
 use califorms_vlsi::Tech;
 

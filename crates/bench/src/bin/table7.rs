@@ -2,6 +2,8 @@
 //! 1 B of metadata per line — modelled and printed next to the paper's
 //! synthesis results.
 
+#![forbid(unsafe_code)]
+
 use califorms_vlsi::l1_model::{L1Design, L1Variant};
 use califorms_vlsi::tables::{render_comparison, table7};
 use califorms_vlsi::Tech;

@@ -3,6 +3,8 @@
 //! same attack suite run against the REST / ADI / MPX models and
 //! Califorms.
 
+#![forbid(unsafe_code)]
+
 use califorms_baselines::comparison::{
     detection_matrix, render_table4, table5, table6, AttackKind, Detection,
 };

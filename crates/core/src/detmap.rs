@@ -1,0 +1,90 @@
+//! Deterministic hash maps for result-bearing state.
+//!
+//! `std::collections::HashMap`'s default `RandomState` hasher is seeded
+//! per process, so its iteration order differs between two runs of the
+//! same program. Any map whose contents feed simulated results is one
+//! `.iter()` away from leaking that order into stats or memory state and
+//! breaking the repo's core invariant — *same seed ⇒ bit-identical
+//! results across every core count, quantum size and weave batch*
+//! (DESIGN.md §12). Result-bearing crates therefore use [`LineMap`] /
+//! [`LineSet`], whose [`LineHasher`] is a pure function of the key: the
+//! bucket layout, and hence the iteration order, is a deterministic
+//! function of the insertion/removal sequence alone, identical across
+//! processes and hosts.
+//!
+//! This is enforced statically: the `nondet-map` lint in
+//! `califorms-analyze` rejects default-hasher `HashMap`/`HashSet` in the
+//! result-bearing crates (`core`, `sim`, `alloc`, `oracle`).
+//!
+//! The hasher originated as the replay-hot-path directory/DRAM hasher in
+//! `califorms-sim::hierarchy` (which re-exports these names) and was
+//! lifted here so every crate in the workspace can reach it.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A fast, deterministic hasher for line-address keys (multiply-xor over
+/// the golden ratio, Fx-style). The directory shards and the DRAM maps
+/// sit on the replay miss path, where SipHash's per-lookup cost is pure
+/// overhead: keys are internal `u64` line addresses, not attacker-chosen
+/// input, so HashDoS resistance buys nothing here — and the fixed seed is
+/// what makes iteration order reproducible across processes.
+#[derive(Debug, Default, Clone)]
+pub struct LineHasher(u64);
+
+impl Hasher for LineHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        let h = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 32);
+    }
+}
+
+/// A `HashMap` keyed by line/page address with the deterministic fast
+/// hasher. Iteration order is a pure function of the insertion/removal
+/// sequence — identical across fresh processes.
+pub type LineMap<V> = HashMap<u64, V, BuildHasherDefault<LineHasher>>;
+
+/// The set counterpart of [`LineMap`].
+pub type LineSet = HashSet<u64, BuildHasherDefault<LineHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hasher_is_a_pure_function_of_the_key() {
+        let hash = |v: u64| {
+            let mut h = LineHasher::default();
+            h.write_u64(v);
+            h.finish()
+        };
+        assert_eq!(hash(0x1234), hash(0x1234));
+        assert_ne!(hash(0x1234), hash(0x1240));
+    }
+
+    #[test]
+    fn iteration_order_depends_only_on_the_op_sequence() {
+        let build = || {
+            let mut m: LineMap<u32> = LineMap::default();
+            for i in 0..257u64 {
+                m.insert(i * 64, i as u32);
+            }
+            m.remove(&(13 * 64));
+            m.keys().copied().collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+}

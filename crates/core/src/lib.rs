@@ -43,6 +43,7 @@ pub mod bitvector1;
 pub mod bitvector4;
 pub mod cform;
 pub mod convert;
+pub mod detmap;
 pub mod error;
 pub mod exception;
 pub mod hwlogic;
@@ -51,6 +52,7 @@ pub mod sentinel;
 
 pub use cform::{CformInstruction, CformOutcome};
 pub use convert::{fill, spill};
+pub use detmap::{LineHasher, LineMap, LineSet};
 pub use error::{CoreError, Result};
 pub use exception::{AccessKind, CaliformsException, ExceptionKind, ExceptionMask};
 pub use line::{range_mask, CaliformedLine, LINE_BYTES};

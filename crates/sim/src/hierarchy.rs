@@ -27,39 +27,11 @@ use califorms_core::{
     fill, range_mask, spill, AccessKind, CaliformsException, CformInstruction, CoreError,
     ExceptionKind, L1Line, L2Line,
 };
-use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
-
-/// A fast, deterministic hasher for line-address keys (multiply-xor over
-/// the golden ratio, Fx-style). The directory shards and the DRAM maps
-/// sit on the replay miss path, where SipHash's per-lookup cost is pure
-/// overhead: keys are internal `u64` line addresses, not attacker-chosen
-/// input, so HashDoS resistance buys nothing here.
-#[derive(Debug, Default, Clone)]
-pub struct LineHasher(u64);
-
-impl Hasher for LineHasher {
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    #[inline]
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        }
-    }
-
-    #[inline]
-    fn write_u64(&mut self, v: u64) {
-        let h = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        self.0 = h ^ (h >> 32);
-    }
-}
-
-/// A `HashMap` keyed by line address with the deterministic fast hasher.
-pub type LineMap<V> = HashMap<u64, V, BuildHasherDefault<LineHasher>>;
+/// The deterministic line-address hasher and map, lifted to
+/// `califorms-core::detmap` so every result-bearing crate can use them;
+/// re-exported here because the hierarchy is where they originated and
+/// most sim-internal users import them from this module.
+pub use califorms_core::{LineHasher, LineMap};
 
 /// Hierarchy geometry and latency configuration.
 #[derive(Debug, Clone, Copy, PartialEq)]

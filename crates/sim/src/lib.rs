@@ -55,7 +55,7 @@ pub mod vector;
 pub use coherence::{CoherenceConfig, CoherentHierarchy, Mesi};
 pub use cpu::CoreConfig;
 pub use engine::{Engine, SimOutcome};
-pub use hierarchy::{Hierarchy, HierarchyConfig};
+pub use hierarchy::{Hierarchy, HierarchyConfig, LineHasher, LineMap};
 pub use multicore::{shard_ops, MulticoreConfig, MulticoreEngine, MulticoreOutcome, WorkerPanic};
 pub use runtime::{QuantumSizing, RuntimeConfig, RuntimeStats, RuntimeTiming};
 pub use stats::{CoherenceStats, MulticoreStats, SimStats};

@@ -49,7 +49,7 @@ use crate::cpu::CoreConfig;
 use crate::engine::with_store_data;
 use crate::hierarchy::{HierarchyConfig, MemResult};
 use crate::runtime::{
-    QuantumBarrier, QuantumSizing, RuntimeConfig, RuntimeStats, RuntimeTiming,
+    lock_recover, QuantumBarrier, QuantumSizing, RuntimeConfig, RuntimeStats, RuntimeTiming,
     ADAPTIVE_SHRINK_THRESHOLD,
 };
 use crate::stats::{MulticoreStats, SimStats};
@@ -460,13 +460,14 @@ fn run_task_caught(
         task.replay.run_quantum_local(&mut task.l1, quantum_end);
     }));
     if let Err(payload) = result {
-        panics
-            .lock()
-            .expect("panic log poisoned")
-            .push(WorkerPanic {
-                core,
-                message: panic_message(payload.as_ref()),
-            });
+        // `lock_recover`: even if the log mutex was poisoned by an
+        // earlier panic, this panic must still be recorded — nesting a
+        // "panic log poisoned" panic here would unwind past the barrier
+        // notification below and wedge the run.
+        lock_recover(panics).push(WorkerPanic {
+            core,
+            message: panic_message(payload.as_ref()),
+        });
     }
 }
 
@@ -487,13 +488,18 @@ fn worker_loop(
 ) {
     let mut seen = 0u64;
     while let Some(quantum_end) = barrier.wait_for_quantum(&mut seen) {
-        let task = slot.lock().expect("worker slot poisoned").take();
+        // `lock_recover` throughout: a poisoned slot means another thread
+        // panicked mid-handoff; that root cause is (or is about to be)
+        // recorded in the panic log and surfaced as a `WorkerPanic`, and
+        // a nested "worker slot poisoned" panic here would skip the
+        // `worker_done` below and hang the barrier forever.
+        let task = lock_recover(slot).take();
         if let Some(mut task) = task {
             run_task_caught(core, &mut task, quantum_end, panics);
             // Put the task back even after a panic (its state may be
             // mid-op, but the run is about to abort and only needs the
             // pieces accounted for).
-            *slot.lock().expect("worker slot poisoned") = Some(task);
+            *lock_recover(slot) = Some(task);
         }
         barrier.worker_done();
     }
@@ -803,7 +809,7 @@ impl MulticoreEngine {
                         replay: replays[c].take().expect("replay present between quanta"),
                         l1: self.hierarchy.take_l1(c),
                     };
-                    *slot.lock().expect("worker slot poisoned") = Some(task);
+                    *lock_recover(slot) = Some(task);
                 }
 
                 // Parallel (bound) phase.
@@ -812,21 +818,27 @@ impl MulticoreEngine {
                     barrier.release(n, quantum_end);
                     barrier.wait_all_done();
                 } else {
-                    let mut g = slots[0].lock().expect("worker slot poisoned");
+                    let mut g = lock_recover(&slots[0]);
                     let task = g.as_mut().expect("task was just lent");
                     run_task_caught(0, task, quantum_end, &panics);
                 }
                 let t2 = Instant::now();
 
-                // Reclaim the machine for the weave.
+                // Reclaim the machine for the weave. An empty slot (the
+                // worker failed to return its task — only reachable
+                // through a handoff bug or a panic between take and
+                // put-back) is tolerated here and surfaced as a
+                // `WorkerPanic` below, after the panic log has been
+                // consulted for the likelier root cause.
+                let mut missing_slot: Option<usize> = None;
                 for (c, slot) in slots.iter().enumerate() {
-                    let task = slot
-                        .lock()
-                        .expect("worker slot poisoned")
-                        .take()
-                        .expect("worker returned the task");
-                    self.hierarchy.put_l1(c, task.l1);
-                    replays[c] = Some(task.replay);
+                    match lock_recover(slot).take() {
+                        Some(task) => {
+                            self.hierarchy.put_l1(c, task.l1);
+                            replays[c] = Some(task.replay);
+                        }
+                        None => missing_slot = missing_slot.or(Some(c)),
+                    }
                 }
                 let t3 = Instant::now();
 
@@ -835,13 +847,22 @@ impl MulticoreEngine {
                 // simulate garbage. Stop the barrier first so the
                 // surviving workers exit and the scope can join them.
                 let worker_panic = {
-                    let mut g = panics.lock().expect("panic log poisoned");
+                    let mut g = lock_recover(&panics);
                     g.sort_by_key(|p| p.core);
                     g.first().cloned()
                 };
                 if let Some(p) = worker_panic {
                     barrier.stop();
                     return Err(p);
+                }
+                if let Some(core) = missing_slot {
+                    barrier.stop();
+                    return Err(WorkerPanic {
+                        core,
+                        message: "worker slot empty after the bound phase \
+                                  (worker did not return its task)"
+                            .to_string(),
+                    });
                 }
 
                 // Serial (weave) phase: deterministic round-robin. An
@@ -1220,5 +1241,53 @@ mod tests {
     #[should_panic(expected = "one pack per configured core")]
     fn pack_count_mismatch_panics() {
         engine(2).run_packs(&[TracePack::from_ops(std::iter::empty())]);
+    }
+
+    /// A poisoned worker slot must not take down the worker loop with a
+    /// nested "worker slot poisoned" panic: pre-fix, the worker died
+    /// before calling `worker_done`, so `wait_all_done` here hung
+    /// forever; now the loop recovers the guard, finds the slot empty,
+    /// and still reports done.
+    #[test]
+    fn worker_loop_survives_a_poisoned_slot() {
+        let barrier = QuantumBarrier::new();
+        let slot: Mutex<Option<WorkerTask<'static>>> = Mutex::new(None);
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _g = slot.lock().unwrap();
+            panic!("poison the slot");
+        }));
+        assert!(slot.is_poisoned());
+        let panics: Mutex<Vec<WorkerPanic>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            scope.spawn(|| worker_loop(0, &barrier, &slot, &panics));
+            barrier.release(1, 10_000.0);
+            barrier.wait_all_done();
+            barrier.stop();
+        });
+        assert!(
+            lock_recover(&panics).is_empty(),
+            "an empty poisoned slot is not itself a worker panic"
+        );
+    }
+
+    /// A panic in the replay must land in the panic log even when the log
+    /// mutex is already poisoned (e.g. by a concurrently panicking
+    /// sibling) — the recorded entry is what `try_run*` surfaces as the
+    /// `WorkerPanic` error instead of a nested panic.
+    #[test]
+    fn panic_log_records_through_poison() {
+        let panics: Mutex<Vec<WorkerPanic>> = Mutex::new(Vec::new());
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            let _g = panics.lock().unwrap();
+            panic!("poison the log");
+        }));
+        assert!(panics.is_poisoned());
+        lock_recover(&panics).push(WorkerPanic {
+            core: 3,
+            message: "late arrival".into(),
+        });
+        let g = lock_recover(&panics);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].core, 3);
     }
 }

@@ -14,10 +14,9 @@
 //!   filesystem, socket): the exported copy carries zeros in security-byte
 //!   positions and the metadata never leaves the machine.
 
-use crate::hierarchy::Hierarchy;
+use crate::hierarchy::{Hierarchy, LineMap};
 use crate::{line_base, LINE_BYTES};
 use califorms_core::{fill, L2Line};
-use std::collections::HashMap;
 
 /// Page size: 4 KB = 64 cache lines.
 pub const PAGE_BYTES: u64 = 4096;
@@ -26,14 +25,23 @@ pub const LINES_PER_PAGE: u64 = PAGE_BYTES / LINE_BYTES;
 
 /// The kernel's swap state: page payloads on the (simulated) swap device
 /// plus the reserved-region metadata words.
+///
+/// # Determinism invariant
+///
+/// Both maps use the deterministic [`LineMap`] hasher, **not** the
+/// default per-process-seeded `RandomState`: their iteration order (and
+/// therefore anything derived from it, like [`Self::swapped_page_addrs`]
+/// or a future swap-storm/stats path) is a pure function of the
+/// swap-out/swap-in sequence, identical across fresh processes. The
+/// `nondet-map` lint in `califorms-analyze` enforces this structurally.
 #[derive(Debug, Default)]
 pub struct SwapManager {
     /// Swap device: page base → 64 line payloads (raw bytes only — no
     /// metadata bit, that's the point).
-    device: HashMap<u64, Vec<[u8; LINE_BYTES as usize]>>,
+    device: LineMap<Vec<[u8; LINE_BYTES as usize]>>,
     /// Reserved kernel region: page base → one 64-bit word, bit `i` =
     /// *line i of the page is califormed*.
-    metadata: HashMap<u64, u64>,
+    metadata: LineMap<u64>,
 }
 
 impl SwapManager {
@@ -51,6 +59,17 @@ impl SwapManager {
     /// (8 B per swapped page — the Section 6.3 accounting).
     pub fn metadata_bytes(&self) -> usize {
         self.metadata.len() * 8
+    }
+
+    /// Base addresses of the currently swapped-out pages, in the swap
+    /// device's map-iteration order. Because the device is a [`LineMap`],
+    /// that order is a deterministic function of the swap-out/swap-in
+    /// sequence — the same across fresh processes — so callers (swap-storm
+    /// workloads, kernel stats) may iterate it without perturbing
+    /// bit-identical results (`crates/sim/tests/os_determinism.rs` checks
+    /// this across processes).
+    pub fn swapped_page_addrs(&self) -> Vec<u64> {
+        self.device.keys().copied().collect()
     }
 
     /// Swaps a page out: every line is first written back from the caches,

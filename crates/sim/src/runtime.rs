@@ -21,7 +21,25 @@
 //!   runs its bound phase and reports done; nobody creates or joins a
 //!   thread between quanta.
 
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// Locks `m`, recovering the guard if the mutex is poisoned instead of
+/// propagating a nested panic.
+///
+/// Mutex poisoning means *some* thread panicked while holding the lock.
+/// In the parallel runtime that original panic is always captured
+/// independently (the worker loop runs the replay under `catch_unwind`
+/// and records it in the panic log, and the weave catches per turn), so
+/// the run is already aborting and will surface the root cause as a
+/// [`crate::multicore::WorkerPanic`]. Panicking *again* on the poison
+/// flag would replace that precise error with a generic "poisoned"
+/// message — or, on a worker thread, wedge the quantum barrier. The data
+/// behind these locks (barrier counters, `Option` task slots, the panic
+/// log `Vec`) stays structurally valid under any interleaving of the
+/// panic, so recovering the guard is sound.
+pub(crate) fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// How the cycle-quantum length evolves over a run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -162,8 +180,14 @@ impl QuantumBarrier {
     /// Worker side: parks until the main thread publishes an epoch newer
     /// than `*seen` (returning that epoch's `quantum_end`) or requests
     /// shutdown (returning `None`).
+    ///
+    /// All barrier methods recover from a poisoned state mutex via
+    /// [`lock_recover`]: a poison flag here means another thread already
+    /// panicked (and that panic is surfaced as a `WorkerPanic` by the
+    /// engine), so a nested "barrier poisoned" panic would only obscure
+    /// the root cause and wedge the surviving workers.
     pub(crate) fn wait_for_quantum(&self, seen: &mut u64) -> Option<f64> {
-        let mut g = self.state.lock().expect("barrier poisoned");
+        let mut g = lock_recover(&self.state);
         loop {
             if g.stop {
                 return None;
@@ -172,13 +196,13 @@ impl QuantumBarrier {
                 *seen = g.epoch;
                 return Some(g.quantum_end);
             }
-            g = self.start.wait(g).expect("barrier poisoned");
+            g = self.start.wait(g).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Worker side: reports the bound phase complete for this epoch.
     pub(crate) fn worker_done(&self) {
-        let mut g = self.state.lock().expect("barrier poisoned");
+        let mut g = lock_recover(&self.state);
         g.running -= 1;
         if g.running == 0 {
             self.done.notify_all();
@@ -188,7 +212,7 @@ impl QuantumBarrier {
     /// Main side: releases `workers` workers into a bound phase bounded
     /// by `quantum_end`.
     pub(crate) fn release(&self, workers: usize, quantum_end: f64) {
-        let mut g = self.state.lock().expect("barrier poisoned");
+        let mut g = lock_recover(&self.state);
         g.epoch += 1;
         g.quantum_end = quantum_end;
         g.running = workers;
@@ -198,15 +222,15 @@ impl QuantumBarrier {
 
     /// Main side: blocks until every released worker reported done.
     pub(crate) fn wait_all_done(&self) {
-        let mut g = self.state.lock().expect("barrier poisoned");
+        let mut g = lock_recover(&self.state);
         while g.running > 0 {
-            g = self.done.wait(g).expect("barrier poisoned");
+            g = self.done.wait(g).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Main side: shuts the worker loops down.
     pub(crate) fn stop(&self) {
-        let mut g = self.state.lock().expect("barrier poisoned");
+        let mut g = lock_recover(&self.state);
         g.stop = true;
         drop(g);
         self.start.notify_all();
@@ -223,6 +247,40 @@ mod tests {
         let cfg = RuntimeConfig::default();
         assert_eq!(cfg.quantum_sizing, QuantumSizing::Fixed);
         assert_eq!(cfg.weave_batch, RuntimeConfig::DEFAULT_WEAVE_BATCH);
+    }
+
+    #[test]
+    fn lock_recover_yields_the_guard_of_a_poisoned_mutex() {
+        let m = Mutex::new(7u64);
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = m.lock().unwrap();
+            panic!("poison while holding");
+        }));
+        assert!(m.is_poisoned());
+        let mut g = lock_recover(&m);
+        *g += 1;
+        drop(g);
+        assert_eq!(*lock_recover(&m), 8);
+    }
+
+    /// A barrier whose state mutex was poisoned by a panicking holder must
+    /// keep functioning (the original panic is surfaced elsewhere as a
+    /// `WorkerPanic`); pre-fix, every subsequent barrier call re-panicked
+    /// with "barrier poisoned", replacing the root cause.
+    #[test]
+    fn barrier_survives_a_poisoned_state_mutex() {
+        let barrier = QuantumBarrier::new();
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _g = barrier.state.lock().unwrap();
+            panic!("worker died while holding the barrier");
+        }));
+        assert!(barrier.state.is_poisoned());
+        // Every entry point still completes instead of nesting a panic.
+        barrier.release(0, 10_000.0);
+        barrier.wait_all_done();
+        barrier.stop();
+        let mut seen = 0u64;
+        assert_eq!(barrier.wait_for_quantum(&mut seen), None, "stop wins");
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub struct LintConfig {
 impl Default for LintConfig {
     fn default() -> Self {
         Self {
-            result_bearing_crates: vec!["core", "sim", "alloc", "oracle"],
+            result_bearing_crates: vec!["core", "sim", "alloc", "oracle", "telemetry"],
             host_time_allow: vec![
                 // RuntimeTiming measures host wall-clock for the perf
                 // report only; simulated results never read it.
@@ -41,6 +41,11 @@ impl Default for LintConfig {
                 "crates/sim/src/multicore.rs",
                 // Bench harness timing is host-side by definition.
                 "crates/bench/src/lib.rs",
+                // The telemetry span clock is host time by design; it
+                // feeds only the Perfetto timeline, never counters —
+                // which is why span.rs alone is allowlisted while the
+                // rest of the telemetry crate stays under the lint.
+                "crates/telemetry/src/span.rs",
             ],
             spawn_allow: vec![
                 "crates/sim/src/runtime.rs",

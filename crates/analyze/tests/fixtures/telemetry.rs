@@ -1,0 +1,7 @@
+//! Fixture: a telemetry-style span timer. Legal in the allowlisted
+//! span-clock module, a `host-time` violation anywhere else in the
+//! telemetry crate (counters must stay deterministic).
+
+pub fn span_start() -> Instant {
+    Instant::now()
+}

@@ -90,6 +90,27 @@ fn host_time_is_allowed_in_the_runtime_timing_modules() {
 }
 
 #[test]
+fn telemetry_span_clock_is_allowed_only_in_the_span_module() {
+    // The span clock's home module is allowlisted host time...
+    let out = lint_fixture("telemetry.rs", "crates/telemetry/src/span.rs");
+    assert!(
+        out.findings.is_empty(),
+        "span module is allowlisted: {:?}",
+        spans(&out)
+    );
+    // ...but the same timer in the counter path still trips the lint:
+    // counters are result-bearing and must never read host time.
+    let out = lint_fixture("telemetry.rs", "crates/telemetry/src/counters.rs");
+    assert_eq!(
+        spans(&out),
+        vec![
+            ("host-time".to_string(), 5, 24), // Instant return type
+            ("host-time".to_string(), 6, 5),  // Instant::now()
+        ]
+    );
+}
+
+#[test]
 fn stray_spawn_flags_both_spawn_forms() {
     let out = lint_fixture("stray_spawn.rs", "crates/trace/src/fixture.rs");
     assert_eq!(

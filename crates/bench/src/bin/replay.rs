@@ -40,14 +40,25 @@
 //! (disjoint or read-mostly) is at least 1.0x legacy single-core
 //! throughput — the CI scaling gate.
 //!
+//! With `--telemetry` (implied by `--metrics-out`/`--trace-out`), the
+//! highest-core-count shared-stream packed replay is re-run instrumented:
+//! its counter/latency summary plus the per-core weave wall-clock and
+//! per-shard batched/contended split go to stdout, the counter snapshot +
+//! histograms to `--metrics-out PATH`, and the per-core bound/weave/
+//! barrier span timeline as Chrome trace-event JSON to `--trace-out PATH`
+//! (open in <https://ui.perfetto.dev>). `--telemetry-check` gates that
+//! two instrumented runs produce byte-identical counter snapshots and
+//! that telemetry costs ≤ 3% on the best-of-3 read-mostly packed row.
+//!
 //! Usage:
 //! `cargo run --release --bin replay [--smoke] [--check] [--cores 2,4]
-//!  [--quantum N] [--adaptive] [steady_ops]`
+//!  [--quantum N] [--adaptive] [--telemetry] [--metrics-out PATH]
+//!  [--trace-out PATH] [--telemetry-check] [steady_ops]`
 
 #![forbid(unsafe_code)]
 
 use califorms_bench::legacy_replay::run_legacy;
-use califorms_bench::write_json;
+use califorms_bench::{render_telemetry_summary, write_json};
 use califorms_sim::multicore::shard_ops;
 use califorms_sim::{
     Engine, MulticoreConfig, MulticoreEngine, MulticoreOutcome, TraceOp, TracePack,
@@ -111,7 +122,7 @@ fn positional_number(args: &[String]) -> Option<usize> {
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
-        if a == "--cores" || a == "--quantum" {
+        if a == "--cores" || a == "--quantum" || a == "--metrics-out" || a == "--trace-out" {
             i += 2; // skip the flag and its value
             continue;
         }
@@ -172,6 +183,7 @@ fn mc_identical(a: &MulticoreOutcome, b: &MulticoreOutcome) -> bool {
     a.stats.combined == b.stats.combined
         && a.stats.per_core == b.stats.per_core
         && a.stats.runtime == b.stats.runtime
+        && a.stats.weave == b.stats.weave
         && a.exceptions == b.exceptions
 }
 
@@ -195,6 +207,11 @@ fn main() {
     let quantum: f64 = flag_value("--quantum")
         .map(|v| v.parse().expect("--quantum takes a cycle count"))
         .unwrap_or(10_000.0);
+    let metrics_out = flag_value("--metrics-out");
+    let trace_out = flag_value("--trace-out");
+    let telemetry =
+        args.iter().any(|a| a == "--telemetry") || metrics_out.is_some() || trace_out.is_some();
+    let telemetry_check = args.iter().any(|a| a == "--telemetry-check");
     let steady_ops = positional_number(&args).unwrap_or(if smoke { 100_000 } else { 2_000_000 });
 
     let mc_config = |cores: usize| {
@@ -462,6 +479,43 @@ fn main() {
         push(row);
     }
 
+    // --- Telemetry (opt-in): the highest-core-count shared-stream packed
+    // replay re-run instrumented, with the span timeline and counter
+    // snapshot exported. Bit-identity against the uninstrumented run is
+    // asserted before anything is written. ---
+    if telemetry {
+        let cores = *core_counts.iter().max().expect("--cores is non-empty");
+        let (tel_out, tel_elapsed) =
+            time(|| MulticoreEngine::new(mc_config(cores).with_telemetry()).run_pack(&pack));
+        let base = MulticoreEngine::new(mc_config(cores)).run_pack(&pack);
+        let identical = mc_identical(&tel_out, &base);
+        assert!(identical, "telemetry must not perturb simulation results");
+        let row = mc_row(
+            "mc_shared_tel",
+            cores,
+            total_ops,
+            tel_elapsed,
+            legacy_mops,
+            identical,
+            &tel_out,
+        );
+        push(row);
+        let report = tel_out.telemetry.as_ref().expect("telemetry was enabled");
+        println!();
+        print!(
+            "{}",
+            render_telemetry_summary(report, &tel_out.stats, &tel_out.timing)
+        );
+        if let Some(path) = &metrics_out {
+            std::fs::write(path, report.metrics_json()).expect("write --metrics-out");
+            println!("metrics JSON written to {path}");
+        }
+        if let Some(path) = &trace_out {
+            std::fs::write(path, report.trace_json()).expect("write --trace-out");
+            println!("Perfetto trace written to {path} (open in https://ui.perfetto.dev)");
+        }
+    }
+
     let report = ReplayReport {
         workload: w.name.clone(),
         policy: "intelligent 1-7B +CFORM".to_string(),
@@ -479,6 +533,59 @@ fn main() {
     println!(
         "packed_batched vs legacy_iter: {packed_speedup:.2}x — JSON written to BENCH_replay.json"
     );
+
+    if telemetry_check {
+        let cores = *core_counts.iter().min().expect("--cores is non-empty");
+        // Counter determinism: two instrumented runs of the same pack
+        // must hand back byte-identical snapshots.
+        let snap = |_: usize| {
+            MulticoreEngine::new(mc_config(cores).with_telemetry())
+                .run_pack(&pack)
+                .telemetry
+                .expect("telemetry was enabled")
+                .counters
+                .to_bytes()
+        };
+        if snap(0) != snap(1) {
+            eprintln!("FAIL: telemetry counter snapshots differ across identical runs");
+            std::process::exit(1);
+        }
+        // Overhead: telemetry on the read-mostly packed row (the shape
+        // where per-op cost shows up) must stay within 3% of disabled,
+        // best of 3 each to shed host noise.
+        let rm = generate_mt(&MtWorkloadConfig {
+            pattern: MtPattern::SharedTableHot,
+            cores,
+            ops_per_core: steady_ops,
+            seed: 7,
+            califormed: true,
+        });
+        let rm_packs = rm.to_packs();
+        let best_of_3 = |tel: bool| -> f64 {
+            (0..3)
+                .map(|_| {
+                    let cfg = if tel {
+                        mc_config(cores).with_telemetry()
+                    } else {
+                        mc_config(cores)
+                    };
+                    time(|| MulticoreEngine::new(cfg).run_packs(&rm_packs)).1
+                })
+                .fold(f64::INFINITY, f64::min)
+        };
+        let off = best_of_3(false);
+        let on = best_of_3(true);
+        let overhead = on / off - 1.0;
+        println!(
+            "telemetry-check: snapshots byte-identical; read-mostly overhead \
+             {:+.2}% (on {on:.3}s vs off {off:.3}s, gate ≤ 3%)",
+            overhead * 100.0
+        );
+        if overhead > 0.03 {
+            eprintln!("FAIL: telemetry overhead above the 3% gate");
+            std::process::exit(1);
+        }
+    }
 
     if check {
         // The scaling tripwire: a real multicore-runtime regression drags

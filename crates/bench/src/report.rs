@@ -57,6 +57,47 @@ pub fn render_policy_rows(title: &str, rows: &[PolicyRow]) -> String {
     out
 }
 
+/// Renders one instrumented multicore run for bench stdout: the
+/// telemetry counter/latency summary, the per-core weave wall-clock
+/// breakdown that replaces the old aggregate `weave_s`, and the
+/// batched/contended transaction split per directory shard.
+pub fn render_telemetry_summary(
+    report: &califorms_telemetry::TelemetryReport,
+    stats: &califorms_sim::MulticoreStats,
+    timing: &califorms_sim::RuntimeTiming,
+) -> String {
+    let mut out = report.summary();
+    let wb = &timing.weave_breakdown;
+    if !wb.per_core_s.is_empty() {
+        let per_core: Vec<String> = wb
+            .per_core_s
+            .iter()
+            .enumerate()
+            .map(|(c, s)| format!("core{c} {s:.3}s"))
+            .collect();
+        out.push_str(&format!(
+            "  weave wall-clock by core: {} (total {:.3}s over {} quanta sampled{})\n",
+            per_core.join(", "),
+            timing.weave_s,
+            wb.per_quantum_s.len(),
+            if wb.quantum_samples_dropped > 0 {
+                format!(", {} dropped", wb.quantum_samples_dropped)
+            } else {
+                String::new()
+            },
+        ));
+    }
+    for (b, sh) in stats.weave.per_shard.iter().enumerate() {
+        if sh.transactions > 0 {
+            out.push_str(&format!(
+                "  shard {b}: {} weave txns ({} batched, {} contended)\n",
+                sh.transactions, sh.batched, sh.contended,
+            ));
+        }
+    }
+    out
+}
+
 /// Writes any serialisable result next to the binary's stdout report, so
 /// EXPERIMENTS.md numbers stay reproducible.
 pub fn write_json<T: Serialize>(path: impl AsRef<Path>, value: &T) -> std::io::Result<()> {

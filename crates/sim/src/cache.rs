@@ -114,6 +114,22 @@ impl<V> SetAssocCache<V> {
         self.sets.len() * self.ways * LINE_BYTES as usize
     }
 
+    /// Capacity in lines (the telemetry occupancy denominator).
+    pub fn capacity_lines(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// Fraction of line slots occupied, in `[0, 1]` (0 for a detached
+    /// stand-in cache, which has no sets).
+    pub fn occupancy(&self) -> f64 {
+        let cap = self.capacity_lines();
+        if cap == 0 {
+            0.0
+        } else {
+            self.resident_lines() as f64 / cap as f64
+        }
+    }
+
     fn index(&self, line_addr: u64) -> (usize, u64) {
         let line_no = line_addr / LINE_BYTES;
         let set = (line_no as usize) & (self.sets.len() - 1);

@@ -133,6 +133,16 @@ impl CoreL1 {
         self.cache.stats
     }
 
+    /// Lines currently resident (telemetry occupancy numerator).
+    pub fn resident_lines(&self) -> usize {
+        self.cache.resident_lines()
+    }
+
+    /// Line-slot capacity (telemetry occupancy denominator).
+    pub fn capacity_lines(&self) -> usize {
+        self.cache.capacity_lines()
+    }
+
     /// Whether all lines covered by `[addr, addr + len)` are resident
     /// (`write` additionally requires M or E on each).
     fn servable_locally(&self, addr: u64, len: usize, write: bool) -> bool {
@@ -357,6 +367,34 @@ pub(crate) struct BankExt {
     spills: u64,
     /// L2→L1 fill conversions of califormed lines out of this bank.
     fills: u64,
+    /// Weave transactions whose line lives in this shard.
+    weave_transactions: u64,
+    /// Of those, transactions that rode an earlier transaction's turn.
+    weave_batched: u64,
+    /// Of those, transactions that involved another core.
+    weave_contended: u64,
+}
+
+/// Public snapshot of one directory shard's counters — the per-shard
+/// telemetry lanes ([`CoherentHierarchy::coherence_totals`] sums the
+/// lookup/upgrade columns away; the weave split used to be one global
+/// total in [`crate::runtime::RuntimeStats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DirectoryShardStats {
+    /// Directory consultations against this shard.
+    pub lookups: u64,
+    /// S→M upgrades resolved through this shard.
+    pub upgrades: u64,
+    /// L1→L2 spill conversions of califormed lines into this shard's bank.
+    pub spills: u64,
+    /// L2→L1 fill conversions of califormed lines out of this shard's bank.
+    pub fills: u64,
+    /// Weave transactions whose line lives in this shard.
+    pub weave_transactions: u64,
+    /// Of those, transactions that rode an earlier transaction's turn.
+    pub weave_batched: u64,
+    /// Of those, transactions that involved another core.
+    pub weave_contended: u64,
 }
 
 /// The multi-core hierarchy: N per-core L1Ds kept coherent by a MESI
@@ -498,6 +536,39 @@ impl CoherentHierarchy {
     /// — both purely simulated state.
     pub(crate) fn cross_core_events(&self) -> u64 {
         self.coherence.invalidations + self.coherence.cache_to_cache_transfers
+    }
+
+    /// Attributes one weave transaction on `line_addr` to the directory
+    /// shard holding the line (called by the weave after each committed
+    /// transaction; purely simulated state, so the split is
+    /// deterministic).
+    pub(crate) fn note_weave_txn(&mut self, line_addr: u64, batched: bool, contended: bool) {
+        let ext = &mut self.exts[self.shared.bank_of(line_addr)];
+        ext.weave_transactions += 1;
+        ext.weave_batched += u64::from(batched);
+        ext.weave_contended += u64::from(contended);
+    }
+
+    /// Per-shard directory counters (telemetry and the weave breakdown).
+    pub fn shard_stats(&self) -> Vec<DirectoryShardStats> {
+        self.exts
+            .iter()
+            .map(|e| DirectoryShardStats {
+                lookups: e.lookups,
+                upgrades: e.upgrades,
+                spills: e.spills,
+                fills: e.fills,
+                weave_transactions: e.weave_transactions,
+                weave_batched: e.weave_batched,
+                weave_contended: e.weave_contended,
+            })
+            .collect()
+    }
+
+    /// Per-bank shared-level counters (delegates to
+    /// [`SharedLevels::bank_stats`]).
+    pub fn bank_level_stats(&self) -> Vec<crate::hierarchy::BankLevelStats> {
+        self.shared.bank_stats()
     }
 
     /// Spills `line` back into `bank` (running the real

@@ -169,6 +169,57 @@ impl Engine {
             .expect("validated pack is well-formed")
     }
 
+    /// [`Self::run_pack`] with telemetry: alternating decode/bound spans
+    /// per [`Self::REPLAY_BATCH`]-op batch on one track, plus the
+    /// deterministic counter snapshot (including `decode.*` progress).
+    /// Results are bit-identical to [`Self::run_pack`] — the spans are
+    /// host-time-only output and every counter is derived from the same
+    /// [`SimStats`] the plain path produces.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a corrupt pack — packs built by
+    /// [`TracePack::from_ops`] or validated by [`TracePack::from_bytes`]
+    /// are always well-formed.
+    pub fn run_pack_telemetry(
+        mut self,
+        pack: &TracePack,
+    ) -> (SimOutcome, califorms_telemetry::TelemetryReport) {
+        use califorms_telemetry::{Phase, TelemetryClock, TelemetryReport, TrackRecorder};
+        let clock = TelemetryClock::start();
+        let mut track = TrackRecorder::new(0, clock);
+        let mut dec = pack.decoder();
+        let mut ring = [TraceOp::Exec(0); Self::REPLAY_BATCH];
+        loop {
+            let decode_start = track.start();
+            let n = dec
+                .next_batch(&mut ring)
+                .expect("validated pack is well-formed");
+            if n == 0 {
+                break;
+            }
+            track.record_since(Phase::Decode, 0, decode_start);
+            let exec_start = track.start();
+            for &op in &ring[..n] {
+                self.step(op);
+            }
+            track.record_since(Phase::Bound, 0, exec_start);
+        }
+        let decode = Some((dec.ops_read(), dec.bytes_consumed()));
+        let outcome = self.finish();
+        let counters = crate::telemetry::single_core_counters(&outcome.stats, decode).snapshot();
+        let dropped_spans = track.dropped();
+        let (spans, _) = track.into_parts();
+        let report = TelemetryReport {
+            counters,
+            spans,
+            track_names: vec![(0, "core 0".to_string())],
+            dropped_spans,
+            ..TelemetryReport::default()
+        };
+        (outcome, report)
+    }
+
     /// Streaming variant of [`Self::run_pack`]: replays a pack from any
     /// `io::Read` source (e.g. a multi-gigabyte pack file) in constant
     /// memory through the reader's internal refill buffer.
@@ -385,6 +436,33 @@ mod tests {
         let b = Engine::westmere().run(trace);
         assert_eq!(a.stats.cycles, b.stats.cycles);
         assert_eq!(a.stats.l1d, b.stats.l1d);
+    }
+
+    #[test]
+    fn telemetry_replay_is_bit_identical_and_reports_decode_progress() {
+        use califorms_telemetry::Phase;
+        let trace: Vec<TraceOp> = (0..3000)
+            .map(|i| TraceOp::Load {
+                addr: (i * 4099) % 65536,
+                size: 8,
+            })
+            .collect();
+        let pack = TracePack::from_ops(trace.iter().copied());
+        let plain = Engine::westmere().run_pack(&pack);
+        let (out, report) = Engine::westmere().run_pack_telemetry(&pack);
+        assert_eq!(out.stats, plain.stats);
+        assert_eq!(out.exceptions, plain.exceptions);
+        assert_eq!(
+            report.counters.total("decode.ops"),
+            Some(trace.len() as u64)
+        );
+        assert_eq!(
+            report.counters.total("core.cycles_fp_bits"),
+            Some(plain.stats.cycles.to_bits())
+        );
+        assert!(report.spans.iter().any(|s| s.phase == Phase::Decode));
+        assert!(report.spans.iter().any(|s| s.phase == Phase::Bound));
+        assert_eq!(report.dropped_spans, 0);
     }
 
     #[test]

@@ -336,6 +336,22 @@ impl LevelBank {
     }
 }
 
+/// One bank's shared-level counters, snapshot for telemetry (the
+/// per-shard axis [`SharedLevels::export_stats`] sums away).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BankLevelStats {
+    /// This bank's L2 slice counters.
+    pub l2: crate::stats::CacheStats,
+    /// This bank's L3 slice counters.
+    pub l3: crate::stats::CacheStats,
+    /// Main-memory line fetches through this bank.
+    pub dram_accesses: u64,
+    /// Lines currently resident in the L2 slice.
+    pub l2_resident_lines: u64,
+    /// Lines currently resident in the L3 slice.
+    pub l3_resident_lines: u64,
+}
+
 /// The shared, sentinel-format levels below the L1 boundary: L2 → L3 →
 /// DRAM, internally sharded into [`LevelBank`]s by line index.
 ///
@@ -452,6 +468,21 @@ impl SharedLevels {
         for bank in &mut self.banks {
             bank.flush();
         }
+    }
+
+    /// Per-bank shared-level counters — the per-shard lanes of the
+    /// telemetry registry (the summed view is [`Self::export_stats`]).
+    pub fn bank_stats(&self) -> Vec<BankLevelStats> {
+        self.banks
+            .iter()
+            .map(|bank| BankLevelStats {
+                l2: bank.l2.stats,
+                l3: bank.l3.stats,
+                dram_accesses: bank.dram_accesses,
+                l2_resident_lines: bank.l2.resident_lines() as u64,
+                l3_resident_lines: bank.l3.resident_lines() as u64,
+            })
+            .collect()
     }
 
     /// Copies the shared-level counters into a stats block (summed over

@@ -30,6 +30,9 @@
 //!   [`stats::SimStats`].
 //! * [`os`] — OS support (Section 6.3): page swap with 8 B-per-page
 //!   metadata preservation, and the un-califorming I/O boundary.
+//! * [`telemetry`] — the bridge to `califorms-telemetry`: deterministic
+//!   counter snapshots of a run, per-shard lanes, and the span-recording
+//!   hooks behind [`multicore::MulticoreConfig::telemetry`].
 //! * [`vector`] — the three Appendix B SIMD/vector-load policies.
 //! * [`dma`] — califorms-aware vs legacy DMA engines (the Section 7.2
 //!   heterogeneous-access hazard).
@@ -48,6 +51,7 @@ pub mod multicore;
 pub mod os;
 pub mod runtime;
 pub mod stats;
+pub mod telemetry;
 pub mod trace;
 pub mod tracepack;
 pub mod vector;

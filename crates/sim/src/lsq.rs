@@ -71,6 +71,22 @@ fn cform_overlaps(line_addr: u64, affected: u64, lo: u64, hi: u64) -> bool {
     false
 }
 
+/// Deterministic LSQ activity counters: pure functions of the op stream,
+/// so they can ride in telemetry snapshots and bit-identity diffs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LsqStats {
+    /// Loads resolved against the queue.
+    pub loads_resolved: u64,
+    /// Loads fully forwarded from an in-flight store.
+    pub forwards: u64,
+    /// Loads stalled on a partial store overlap (replay after drain).
+    pub partial_overlap_stalls: u64,
+    /// Loads zeroed by an in-flight `CFORM` match.
+    pub cform_matches: u64,
+    /// Younger stores flagged against an in-flight `CFORM`.
+    pub store_cform_conflicts: u64,
+}
+
 /// A program-ordered load/store queue.
 ///
 /// Entries live in a `VecDeque` so commit-time retirement
@@ -80,6 +96,7 @@ fn cform_overlaps(line_addr: u64, affected: u64, lo: u64, hi: u64) -> bool {
 #[derive(Debug, Default)]
 pub struct LoadStoreQueue {
     entries: VecDeque<LsqEntry>,
+    stats: LsqStats,
 }
 
 impl LoadStoreQueue {
@@ -115,7 +132,8 @@ impl LoadStoreQueue {
 
     /// Resolves a younger load against the queue: scans from the youngest
     /// older entry, returning the first overlap's verdict.
-    pub fn resolve_load(&self, addr: u64, len: usize) -> ForwardResult {
+    pub fn resolve_load(&mut self, addr: u64, len: usize) -> ForwardResult {
+        self.stats.loads_resolved += 1;
         let lo = addr;
         let hi = addr + len as u64;
         for entry in self.entries.iter().rev() {
@@ -128,8 +146,10 @@ impl LoadStoreQueue {
                     }
                     if slo <= lo && hi <= shi {
                         let start = (lo - slo) as usize;
+                        self.stats.forwards += 1;
                         return ForwardResult::Forwarded(data[start..start + len].to_vec());
                     }
+                    self.stats.partial_overlap_stalls += 1;
                     return ForwardResult::PartialOverlap;
                 }
                 LsqEntry::Cform {
@@ -137,6 +157,7 @@ impl LoadStoreQueue {
                     affected,
                 } => {
                     if cform_overlaps(*line_addr, *affected, lo, hi) {
+                        self.stats.cform_matches += 1;
                         return ForwardResult::CformMatch { data: vec![0; len] };
                     }
                 }
@@ -156,16 +177,25 @@ impl LoadStoreQueue {
     /// [`Self::resolve_load`] did exactly that — its scan stops at the
     /// youngest overlapping store, which is correct for forwarding but
     /// let a store younger than both escape its commit-time mark.)
-    pub fn store_conflicts_with_cform(&self, addr: u64, len: usize) -> bool {
+    pub fn store_conflicts_with_cform(&mut self, addr: u64, len: usize) -> bool {
         let lo = addr;
         let hi = addr + len as u64;
-        self.entries.iter().any(|entry| match entry {
+        let conflict = self.entries.iter().any(|entry| match entry {
             LsqEntry::Cform {
                 line_addr,
                 affected,
             } => cform_overlaps(*line_addr, *affected, lo, hi),
             LsqEntry::Store { .. } => false,
-        })
+        });
+        if conflict {
+            self.stats.store_cform_conflicts += 1;
+        }
+        conflict
+    }
+
+    /// Deterministic activity counters accumulated so far.
+    pub fn stats(&self) -> LsqStats {
+        self.stats
     }
 
     /// Drains the oldest entry (commit). O(1): the queue is a `VecDeque`.
@@ -320,6 +350,25 @@ mod tests {
         assert_eq!(q.resolve_load(0x103C, 6), ForwardResult::NoMatch);
         // Same-length range entirely inside the first line: no match.
         assert_eq!(q.resolve_load(0x1030, 8), ForwardResult::NoMatch);
+    }
+
+    #[test]
+    fn stats_count_each_resolution_kind() {
+        let mut q = LoadStoreQueue::new();
+        q.push_store(0x100, vec![1, 2, 3, 4]);
+        q.push_cform(0x1000, 0xFF);
+        let _ = q.resolve_load(0x100, 4); // forwarded
+        let _ = q.resolve_load(0x102, 4); // partial overlap
+        let _ = q.resolve_load(0x1000, 2); // CFORM match
+        let _ = q.resolve_load(0x9000, 2); // no match
+        assert!(q.store_conflicts_with_cform(0x1000, 4));
+        assert!(!q.store_conflicts_with_cform(0x2000, 4));
+        let s = q.stats();
+        assert_eq!(s.loads_resolved, 4);
+        assert_eq!(s.forwards, 1);
+        assert_eq!(s.partial_overlap_stalls, 1);
+        assert_eq!(s.cform_matches, 1);
+        assert_eq!(s.store_cform_conflicts, 1);
     }
 
     #[test]

@@ -52,10 +52,13 @@ use crate::runtime::{
     lock_recover, QuantumBarrier, QuantumSizing, RuntimeConfig, RuntimeStats, RuntimeTiming,
     ADAPTIVE_SHRINK_THRESHOLD,
 };
-use crate::stats::{MulticoreStats, SimStats};
+use crate::stats::{
+    CoreWeaveStats, MulticoreStats, ShardWeaveStats, SimStats, WeaveBreakdown, WeaveTimingBreakdown,
+};
 use crate::trace::TraceOp;
 use crate::tracepack::{PackDecoder, TracePack};
 use califorms_core::{CaliformsException, CformInstruction, ExceptionMask};
+use califorms_telemetry::{LogHistogram, Phase, TelemetryClock, TelemetryReport, TrackRecorder};
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
@@ -84,6 +87,14 @@ pub struct MulticoreConfig {
     pub core: CoreConfig,
     /// Parallel-runtime knobs (weave batching, quantum sizing).
     pub runtime: RuntimeConfig,
+    /// Record telemetry: per-core phase spans, latency histograms and the
+    /// counter snapshot on [`MulticoreOutcome::telemetry`]. Off by
+    /// default — a disabled run takes no per-op clock reads and allocates
+    /// nothing (the recording hooks are `Option`-gated to a no-op sink).
+    /// Enabling it never perturbs results: spans are host-time-only, and
+    /// every counter in the snapshot is derived from the deterministic
+    /// stats the run produces anyway.
+    pub telemetry: bool,
 }
 
 impl MulticoreConfig {
@@ -97,6 +108,7 @@ impl MulticoreConfig {
             coherence: CoherenceConfig::westmere(),
             core: CoreConfig::westmere(),
             runtime: RuntimeConfig::default(),
+            telemetry: false,
         }
     }
 
@@ -127,6 +139,14 @@ impl MulticoreConfig {
         self.runtime.weave_batch = batch;
         self
     }
+
+    /// Same machine with telemetry recording switched on (spans,
+    /// histograms and the counter snapshot on
+    /// [`MulticoreOutcome::telemetry`]).
+    pub fn with_telemetry(mut self) -> Self {
+        self.telemetry = true;
+        self
+    }
 }
 
 /// Outcome of a multi-core run.
@@ -142,6 +162,9 @@ pub struct MulticoreOutcome {
     /// deliberately *outside* [`Self::stats`] and every bit-identity
     /// comparison.
     pub timing: RuntimeTiming,
+    /// The telemetry report (spans, histograms, counter snapshot);
+    /// `Some` only when [`MulticoreConfig::telemetry`] was set.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 /// Ops a packed shard source decodes ahead into its core-local ring.
@@ -207,6 +230,15 @@ impl ShardSource<'_> {
             ShardSource::Pack { head, .. } => *head += 1,
         }
     }
+
+    /// Decode progress `(ops, bytes)` of a pack lane (`None` for a
+    /// materialised shard) — the `decode.*` telemetry counters.
+    fn decode_progress(&self) -> Option<(u64, u64)> {
+        match self {
+            ShardSource::Slice { .. } => None,
+            ShardSource::Pack { dec, .. } => Some((dec.ops_read(), dec.bytes_consumed())),
+        }
+    }
 }
 
 /// Refills a decoder lane's ring: decode ops, keep those on this lane
@@ -254,6 +286,9 @@ struct CoreReplay<'p> {
     committed: u64,
     exceptions: Vec<CaliformsException>,
     pc: u64,
+    /// Deterministic per-core weave counters (the per-core axis of
+    /// [`WeaveBreakdown`]; bumped on the serial weave path only).
+    weave: CoreWeaveStats,
 }
 
 impl<'p> CoreReplay<'p> {
@@ -273,6 +308,7 @@ impl<'p> CoreReplay<'p> {
             committed: 0,
             exceptions: Vec::new(),
             pc: 0,
+            weave: CoreWeaveStats::default(),
         }
     }
 
@@ -403,11 +439,16 @@ pub fn shard_ops<I: IntoIterator<Item = TraceOp>>(ops: I, cores: usize) -> Vec<V
 
 /// State a worker owns for the duration of one bound phase: the core's
 /// replay cursor and its L1, lent through the worker's mutex slot at
-/// the top of each quantum and reclaimed for the weave.
+/// the top of each quantum and reclaimed for the weave. On telemetry
+/// runs the core's span track rides along so the worker can stamp its
+/// bound span itself; `track` is `None` (a no-op sink — no clock reads,
+/// no writes) when telemetry is off.
 #[derive(Debug)]
 struct WorkerTask<'p> {
     replay: CoreReplay<'p>,
     l1: CoreL1,
+    track: Option<TrackRecorder>,
+    quantum: u64,
 }
 
 /// A panic raised on a bound-phase worker thread, surfaced by the
@@ -436,6 +477,65 @@ impl std::fmt::Display for WorkerPanic {
 
 impl std::error::Error for WorkerPanic {}
 
+/// The cache line a weave transaction operates on — the key of its
+/// directory shard (per-shard weave attribution in [`WeaveBreakdown`]).
+fn txn_line_addr(op: &TraceOp) -> u64 {
+    match *op {
+        TraceOp::Load { addr, .. } | TraceOp::Store { addr, .. } => crate::line_base(addr),
+        TraceOp::Cform { line_addr, .. } | TraceOp::CformNt { line_addr, .. } => line_addr,
+        TraceOp::Exec(..) | TraceOp::MaskPush | TraceOp::MaskPop => {
+            unreachable!("local ops never reach the weave transaction path")
+        }
+    }
+}
+
+/// Host-side telemetry state of one run: the shared clock, one span
+/// track per core (lent to the worker with its task during the bound
+/// phase) plus a `runtime` track for whole-machine phase spans, the
+/// latency histograms, and the host-time weave breakdown accumulators.
+/// Exists only when [`MulticoreConfig::telemetry`] is set — a `None`
+/// run records nothing and reads no clocks.
+struct RunTelemetry {
+    clock: TelemetryClock,
+    tracks: Vec<Option<TrackRecorder>>,
+    runtime_track: TrackRecorder,
+    weave_batch_sizes: LogHistogram,
+    weave_turn_ns: LogHistogram,
+    barrier_wait_ns: LogHistogram,
+    per_core_weave_ns: Vec<u64>,
+    per_quantum_weave_ns: Vec<u64>,
+    quantum_samples_dropped: u64,
+}
+
+impl RunTelemetry {
+    fn new(cores: usize) -> Self {
+        let clock = TelemetryClock::start();
+        Self {
+            clock,
+            tracks: (0..cores)
+                .map(|c| Some(TrackRecorder::new(c as u32, clock)))
+                .collect(),
+            runtime_track: TrackRecorder::new(cores as u32, clock),
+            weave_batch_sizes: LogHistogram::new(),
+            weave_turn_ns: LogHistogram::new(),
+            barrier_wait_ns: LogHistogram::new(),
+            per_core_weave_ns: vec![0; cores],
+            per_quantum_weave_ns: Vec::new(),
+            quantum_samples_dropped: 0,
+        }
+    }
+
+    /// Caps the per-quantum weave samples at
+    /// [`WeaveTimingBreakdown::MAX_QUANTUM_SAMPLES`], counting drops.
+    fn push_quantum_weave(&mut self, ns: u64) {
+        if self.per_quantum_weave_ns.len() < WeaveTimingBreakdown::MAX_QUANTUM_SAMPLES {
+            self.per_quantum_weave_ns.push(ns);
+        } else {
+            self.quantum_samples_dropped += 1;
+        }
+    }
+}
+
 /// Extracts a displayable message from a caught panic payload.
 fn panic_message(payload: &(dyn Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -456,9 +556,19 @@ fn run_task_caught(
     quantum_end: f64,
     panics: &Mutex<Vec<WorkerPanic>>,
 ) {
+    let committed_before = task.replay.committed;
+    let span_start = task.track.as_ref().map(TrackRecorder::start);
     let result = catch_unwind(AssertUnwindSafe(|| {
         task.replay.run_quantum_local(&mut task.l1, quantum_end);
     }));
+    if let (Some(track), Some(start)) = (task.track.as_mut(), span_start) {
+        // Only quanta in which the core actually replayed something get a
+        // bound span — an exhausted core's empty wake-ups would otherwise
+        // bury the timeline in zero-length slices.
+        if task.replay.committed != committed_before {
+            track.record_since(Phase::Bound, task.quantum, start);
+        }
+    }
     if let Err(payload) = result {
         // `lock_recover`: even if the log mutex was poisoned by an
         // earlier panic, this panic must still be recorded — nesting a
@@ -590,6 +700,7 @@ impl MulticoreEngine {
         core: &mut CoreReplay<'_>,
         quantum_end: f64,
         rt: &mut RuntimeStats,
+        batch_sizes: Option<&mut LogHistogram>,
     ) -> bool {
         if core.cycles >= quantum_end || core.done() {
             return false;
@@ -609,17 +720,32 @@ impl MulticoreEngine {
             progressed = true;
             txns += 1;
             rt.weave_transactions += 1;
-            if txns > 1 {
+            core.weave.transactions += 1;
+            let batched = txns > 1;
+            if batched {
                 rt.batched_transactions += 1;
+                core.weave.batched += 1;
             }
-            if self.hierarchy.cross_core_events() != events_before {
+            let contended = self.hierarchy.cross_core_events() != events_before;
+            if contended {
                 rt.contended_transactions += 1;
+                core.weave.contended += 1;
+            }
+            self.hierarchy
+                .note_weave_txn(txn_line_addr(&op), batched, contended);
+            if contended {
                 break;
             }
             core.run_quantum_local(self.hierarchy.l1_mut(core.id), quantum_end);
         }
         if progressed {
             rt.weave_turns += 1;
+            core.weave.turns += 1;
+        }
+        if txns > 0 {
+            if let Some(h) = batch_sizes {
+                h.record(u64::from(txns));
+            }
         }
         progressed
     }
@@ -770,6 +896,9 @@ impl MulticoreEngine {
 
         let mut rt = RuntimeStats::default();
         let mut timing = RuntimeTiming::default();
+        // The no-op sink: `None` unless telemetry was requested, so a
+        // disabled run takes no clock reads and allocates nothing.
+        let mut tel: Option<RunTelemetry> = self.cfg.telemetry.then(|| RunTelemetry::new(n));
 
         // Persistent pool plumbing, created once per run: the barrier,
         // one state slot and one lane flag per core. With one core the
@@ -802,18 +931,21 @@ impl MulticoreEngine {
                     break;
                 }
 
-                // Lend each worker its replay cursor and L1.
+                // Lend each worker its replay cursor, L1 and span track.
                 let t0 = Instant::now();
                 for (c, slot) in slots.iter().enumerate() {
                     let task = WorkerTask {
                         replay: replays[c].take().expect("replay present between quanta"),
                         l1: self.hierarchy.take_l1(c),
+                        track: tel.as_mut().and_then(|t| t.tracks[c].take()),
+                        quantum: rt.quanta,
                     };
                     *lock_recover(slot) = Some(task);
                 }
 
                 // Parallel (bound) phase.
                 let t1 = Instant::now();
+                let t1n = tel.as_ref().map_or(0, |t| t.clock.now_ns());
                 if use_threads {
                     barrier.release(n, quantum_end);
                     barrier.wait_all_done();
@@ -836,11 +968,31 @@ impl MulticoreEngine {
                         Some(task) => {
                             self.hierarchy.put_l1(c, task.l1);
                             replays[c] = Some(task.replay);
+                            if let (Some(t), Some(track)) = (tel.as_mut(), task.track) {
+                                t.tracks[c] = Some(track);
+                            }
                         }
                         None => missing_slot = missing_slot.or(Some(c)),
                     }
                 }
                 let t3 = Instant::now();
+
+                // Per-core barrier spans: from each core's bound-span end
+                // to the reclaim point — the wait the aggregate
+                // `barrier_s` sums away. Cores that recorded no bound
+                // span this quantum (exhausted shard) are skipped: their
+                // last span end predates this quantum's bound phase.
+                if let Some(t) = tel.as_mut() {
+                    for track in t.tracks.iter_mut().flatten() {
+                        match track.last_end_ns() {
+                            Some(wait_start) if wait_start >= t1n => {
+                                let dur = track.record_since(Phase::Barrier, rt.quanta, wait_start);
+                                t.barrier_wait_ns.record(dur);
+                            }
+                            _ => {}
+                        }
+                    }
+                }
 
                 // A worker panic aborts the run *before* the weave: the
                 // panicking core's cursor is mid-op, so continuing would
@@ -873,17 +1025,33 @@ impl MulticoreEngine {
                 // workers, and surface it as the offending core's
                 // `WorkerPanic`.
                 let events_before = self.hierarchy.cross_core_events();
+                let mut quantum_weave_ns = 0u64;
                 loop {
                     let mut progressed = false;
                     for slot in replays.iter_mut() {
                         let mut core = slot.take().expect("replay present between quanta");
+                        let turn_start = tel.as_ref().map(|t| t.clock.now_ns());
+                        let batch_hist = tel.as_mut().map(|t| &mut t.weave_batch_sizes);
                         let turn = catch_unwind(AssertUnwindSafe(|| {
-                            self.weave_turn(&mut core, quantum_end, &mut rt)
+                            self.weave_turn(&mut core, quantum_end, &mut rt, batch_hist)
                         }));
                         let core_id = core.id;
                         *slot = Some(core);
                         match turn {
-                            Ok(p) => progressed |= p,
+                            Ok(p) => {
+                                progressed |= p;
+                                if p {
+                                    if let (Some(t), Some(start)) = (tel.as_mut(), turn_start) {
+                                        let dur = t.clock.now_ns().saturating_sub(start);
+                                        if let Some(track) = t.tracks[core_id].as_mut() {
+                                            track.record(Phase::Weave, rt.quanta, start, dur);
+                                        }
+                                        t.weave_turn_ns.record(dur);
+                                        t.per_core_weave_ns[core_id] += dur;
+                                        quantum_weave_ns += dur;
+                                    }
+                                }
+                            }
                             Err(payload) => {
                                 barrier.stop();
                                 return Err(WorkerPanic {
@@ -902,6 +1070,24 @@ impl MulticoreEngine {
                 timing.barrier_s += (t1 - t0).as_secs_f64() + (t3 - t2).as_secs_f64();
                 timing.bound_s += (t2 - t1).as_secs_f64();
                 timing.weave_s += (t4 - t3).as_secs_f64();
+                if let Some(t) = tel.as_mut() {
+                    // Whole-machine phase spans on the `runtime` track,
+                    // plus this quantum's weave sample.
+                    let bound_ns = (t2 - t1).as_nanos() as u64;
+                    let weave_ns = (t4 - t3).as_nanos() as u64;
+                    let reclaim_ns = (t3 - t2).as_nanos() as u64;
+                    t.runtime_track
+                        .record(Phase::Bound, rt.quanta, t1n, bound_ns);
+                    t.runtime_track
+                        .record(Phase::Barrier, rt.quanta, t1n + bound_ns, reclaim_ns);
+                    t.runtime_track.record(
+                        Phase::Weave,
+                        rt.quanta,
+                        t1n + bound_ns + reclaim_ns,
+                        weave_ns,
+                    );
+                    t.push_quantum_weave(quantum_weave_ns);
+                }
                 rt.quanta += 1;
                 rt.barrier_waits += n as u64;
 
@@ -948,18 +1134,33 @@ impl MulticoreEngine {
             .into_iter()
             .map(|r| r.expect("replay present at finish"))
             .collect();
-        Ok(self.finish(cores, rt, timing))
+        Ok(self.finish(cores, rt, timing, tel))
     }
 
     fn finish(
         self,
         cores: Vec<CoreReplay<'_>>,
         rt: RuntimeStats,
-        timing: RuntimeTiming,
+        mut timing: RuntimeTiming,
+        tel: Option<RunTelemetry>,
     ) -> (MulticoreOutcome, CoherentHierarchy) {
         let mut per_core = Vec::with_capacity(cores.len());
         let mut exceptions = Vec::with_capacity(cores.len());
         let mut combined = SimStats::default();
+        let mut weave = WeaveBreakdown {
+            per_core: Vec::with_capacity(cores.len()),
+            per_shard: self
+                .hierarchy
+                .shard_stats()
+                .iter()
+                .map(|s| ShardWeaveStats {
+                    transactions: s.weave_transactions,
+                    batched: s.weave_batched,
+                    contended: s.weave_contended,
+                })
+                .collect(),
+        };
+        let mut decode = Vec::new();
         for core in &cores {
             let stats = SimStats {
                 cycles: core.cycles,
@@ -983,16 +1184,73 @@ impl MulticoreEngine {
             combined.exceptions_suppressed += stats.exceptions_suppressed;
             per_core.push(stats);
             exceptions.push(core.exceptions.clone());
+            weave.per_core.push(core.weave);
+            if let Some(progress) = core.src.decode_progress() {
+                decode.push(progress);
+            }
         }
         self.hierarchy.export_stats(&mut combined);
+        let stats = MulticoreStats {
+            per_core,
+            combined,
+            runtime: rt,
+            weave,
+        };
+        let telemetry = tel.map(|t| {
+            timing.weave_breakdown = WeaveTimingBreakdown {
+                per_core_s: t
+                    .per_core_weave_ns
+                    .iter()
+                    .map(|&ns| ns as f64 / 1e9)
+                    .collect(),
+                per_quantum_s: t
+                    .per_quantum_weave_ns
+                    .iter()
+                    .map(|&ns| ns as f64 / 1e9)
+                    .collect(),
+                quantum_samples_dropped: t.quantum_samples_dropped,
+            };
+            let counters = crate::telemetry::multicore_counters(
+                &stats,
+                &self.hierarchy.shard_stats(),
+                &self.hierarchy.bank_level_stats(),
+                &decode,
+            )
+            .snapshot();
+            let mut spans = Vec::new();
+            let mut track_names = Vec::new();
+            let mut dropped_spans = 0u64;
+            let tracks = t
+                .tracks
+                .into_iter()
+                .flatten()
+                .chain(std::iter::once(t.runtime_track));
+            for track in tracks {
+                let name = if (track.track() as usize) < cores.len() {
+                    format!("core {}", track.track())
+                } else {
+                    "runtime".to_string()
+                };
+                track_names.push((track.track(), name));
+                dropped_spans += track.dropped();
+                let (events, _) = track.into_parts();
+                spans.extend(events);
+            }
+            TelemetryReport {
+                counters,
+                weave_batch_sizes: t.weave_batch_sizes,
+                spans,
+                track_names,
+                weave_turn_ns: t.weave_turn_ns,
+                barrier_wait_ns: t.barrier_wait_ns,
+                dropped_spans,
+            }
+        });
         let outcome = MulticoreOutcome {
-            stats: MulticoreStats {
-                per_core,
-                combined,
-                runtime: rt,
-            },
+            stats,
             exceptions,
             timing,
+            telemetry,
         };
         (outcome, self.hierarchy)
     }

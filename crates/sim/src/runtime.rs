@@ -126,7 +126,7 @@ pub struct RuntimeStats {
 /// scaling regressions are diagnosable from the JSON artifact. Host time
 /// is inherently scheduling-dependent, so this lives outside
 /// [`RuntimeStats`] and outside every bit-identity comparison.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RuntimeTiming {
     /// Seconds in the parallel (bound) phase: from worker release to the
     /// last worker reporting done.
@@ -136,6 +136,10 @@ pub struct RuntimeTiming {
     /// Seconds of barrier bookkeeping: lending/reclaiming per-core
     /// state through the worker slots around each quantum.
     pub barrier_s: f64,
+    /// Per-core / per-quantum breakdown of [`Self::weave_s`]. Populated
+    /// only on telemetry-enabled runs (empty otherwise — plain runs don't
+    /// pay for per-turn clock reads).
+    pub weave_breakdown: crate::stats::WeaveTimingBreakdown,
 }
 
 /// State published through the quantum barrier.

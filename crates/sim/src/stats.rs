@@ -50,6 +50,71 @@ pub struct CoherenceStats {
     pub directory_lookups: u64,
 }
 
+/// One core's share of the weave phase — a deterministic per-core
+/// breakdown of the global [`crate::runtime::RuntimeStats`] weave
+/// counters (the per-core axis the aggregate `weave_s` hides).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreWeaveStats {
+    /// Weave turns in which this core made progress.
+    pub turns: u64,
+    /// Coherence transactions this core retired in the weave.
+    pub transactions: u64,
+    /// Of those, transactions that rode an earlier transaction's turn.
+    pub batched: u64,
+    /// Of those, transactions that involved another core (and therefore
+    /// ended their turn).
+    pub contended: u64,
+}
+
+/// One directory shard's share of the weave-phase transaction split —
+/// `batched`/`contended` attributed to the shard (bank) holding the
+/// transaction's line, instead of one global total.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardWeaveStats {
+    /// Weave transactions against this shard's lines.
+    pub transactions: u64,
+    /// Of those, transactions that rode an earlier transaction's turn.
+    pub batched: u64,
+    /// Of those, transactions that involved another core.
+    pub contended: u64,
+}
+
+/// Deterministic weave-phase breakdowns: per core and per directory
+/// shard. Each axis sums to the corresponding global
+/// [`crate::runtime::RuntimeStats`] counter, and like them these are
+/// functions of simulated state only — they participate in the
+/// bit-identity comparisons.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WeaveBreakdown {
+    /// Per-core weave activity (index = core id).
+    pub per_core: Vec<CoreWeaveStats>,
+    /// Per-directory-shard transaction split (index = bank/shard id).
+    pub per_shard: Vec<ShardWeaveStats>,
+}
+
+/// Host-time weave breakdown, recorded only on telemetry-enabled runs
+/// (both vectors are empty otherwise: per-turn clock reads are not free,
+/// and plain runs must not pay for them). Host wall-clock is
+/// scheduling-dependent, so this lives with
+/// [`crate::runtime::RuntimeTiming`] on the outcome, *outside* every
+/// bit-identity comparison.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WeaveTimingBreakdown {
+    /// Seconds of weave-turn time attributed to each core.
+    pub per_core_s: Vec<f64>,
+    /// Seconds of weave time per quantum, capped at
+    /// [`Self::MAX_QUANTUM_SAMPLES`] entries.
+    pub per_quantum_s: Vec<f64>,
+    /// Quanta whose samples were dropped after the cap (never silent).
+    pub quantum_samples_dropped: u64,
+}
+
+impl WeaveTimingBreakdown {
+    /// Most per-quantum samples kept (a multi-hour replay must not grow
+    /// the outcome without bound).
+    pub const MAX_QUANTUM_SAMPLES: usize = 1 << 16;
+}
+
 /// Aggregated statistics of a [`crate::multicore::MulticoreEngine`] run.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct MulticoreStats {
@@ -65,6 +130,9 @@ pub struct MulticoreStats {
     /// contended transactions). Deterministic — they participate in
     /// bit-identity comparisons like every other counter here.
     pub runtime: crate::runtime::RuntimeStats,
+    /// Deterministic per-core / per-shard weave breakdowns of the
+    /// [`Self::runtime`] totals.
+    pub weave: WeaveBreakdown,
 }
 
 impl MulticoreStats {

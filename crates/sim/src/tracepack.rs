@@ -607,6 +607,7 @@ impl TracePack {
             },
             last_addr: 0,
             done: false,
+            ops_read: 0,
         }
     }
 
@@ -635,6 +636,7 @@ pub struct PackDecoder<'a> {
     cur: Cursor<'a>,
     last_addr: u64,
     done: bool,
+    ops_read: u64,
 }
 
 impl PackDecoder<'_> {
@@ -651,8 +653,21 @@ impl PackDecoder<'_> {
         let op = self.cur.op(&mut self.last_addr)?;
         if op.is_none() {
             self.done = true;
+        } else {
+            self.ops_read += 1;
         }
         Ok(op)
+    }
+
+    /// Ops decoded so far (deterministic decode-progress counter).
+    pub fn ops_read(&self) -> u64 {
+        self.ops_read
+    }
+
+    /// Encoded bytes consumed so far, including the end marker once the
+    /// stream is drained.
+    pub fn bytes_consumed(&self) -> u64 {
+        self.cur.pos as u64
     }
 
     /// Decodes up to `out.len()` ops into `out`, returning the count
@@ -873,5 +888,24 @@ mod tests {
         for v in [0i64, 1, -1, i64::MAX, i64::MIN, 63, -64] {
             assert_eq!(unzigzag(zigzag(v)), v);
         }
+    }
+
+    #[test]
+    fn decoder_tracks_ops_and_bytes_consumed() {
+        let ops = sample_ops();
+        let pack = TracePack::from_ops(ops.iter().copied());
+        let mut dec = pack.decoder();
+        assert_eq!((dec.ops_read(), dec.bytes_consumed()), (0, 0));
+        let mut buf = [TraceOp::Exec(0); 2];
+        let n = dec.next_batch(&mut buf).unwrap();
+        assert_eq!(n, 2);
+        assert_eq!(dec.ops_read(), 2);
+        let mid = dec.bytes_consumed();
+        assert!(mid > 0);
+        while dec.next_op().unwrap().is_some() {}
+        assert_eq!(dec.ops_read(), ops.len() as u64);
+        // Drained: every encoded byte after the header is accounted for.
+        assert_eq!(dec.bytes_consumed(), (pack.bytes().len() - 5) as u64);
+        assert!(dec.bytes_consumed() > mid);
     }
 }

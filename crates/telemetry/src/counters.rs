@@ -1,0 +1,269 @@
+//! The deterministic counter registry: named counters with per-lane
+//! values.
+//!
+//! A *lane* is whatever axis the counter is attributed to — core id for
+//! per-core counters (`l1d.hits`), directory-shard id for per-shard
+//! counters (`dir.lookups`), or lane 0 for machine-wide totals
+//! (`runtime.quanta`). Lanes grow on demand, so one registry can mix
+//! counters of different widths.
+//!
+//! Everything here is backed by plain `Vec`s and populated from simulated
+//! state only: a [`CounterSnapshot`] is bit-identical across runs, host
+//! schedules, and packed/unpacked replay. `to_bytes()` gives the
+//! canonical serialization the cross-run determinism tests compare, and
+//! `diff()` names the first counters two snapshots disagree on — the
+//! same shape the differential oracle reports.
+
+use crate::json_escape;
+
+/// One named counter and its per-lane values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CounterRow {
+    name: String,
+    lanes: Vec<u64>,
+}
+
+/// A registry of named, lane-attributed counters.
+///
+/// Registration order does not matter: snapshots are sorted by name, so
+/// two registries filled in different orders with the same values
+/// snapshot identically.
+#[derive(Debug, Clone, Default)]
+pub struct CounterRegistry {
+    rows: Vec<CounterRow>,
+}
+
+impl CounterRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn row_mut(&mut self, name: &str) -> &mut CounterRow {
+        if let Some(i) = self.rows.iter().position(|r| r.name == name) {
+            return &mut self.rows[i];
+        }
+        self.rows.push(CounterRow {
+            name: name.to_string(),
+            lanes: Vec::new(),
+        });
+        self.rows.last_mut().expect("row just pushed")
+    }
+
+    /// Adds `delta` to `name`'s lane `lane`, creating the counter and
+    /// growing its lane vector as needed.
+    pub fn add(&mut self, name: &str, lane: usize, delta: u64) {
+        let row = self.row_mut(name);
+        if row.lanes.len() <= lane {
+            row.lanes.resize(lane + 1, 0);
+        }
+        row.lanes[lane] += delta;
+    }
+
+    /// Sets `name`'s lane `lane` to `value` (creating/growing as needed).
+    pub fn set(&mut self, name: &str, lane: usize, value: u64) {
+        let row = self.row_mut(name);
+        if row.lanes.len() <= lane {
+            row.lanes.resize(lane + 1, 0);
+        }
+        row.lanes[lane] = value;
+    }
+
+    /// Number of distinct counters registered.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no counter has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Freezes the registry into a canonical (name-sorted) snapshot.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        let mut rows: Vec<(String, Vec<u64>)> = self
+            .rows
+            .iter()
+            .map(|r| (r.name.clone(), r.lanes.clone()))
+            .collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        CounterSnapshot { rows }
+    }
+}
+
+/// An immutable, canonically ordered view of a [`CounterRegistry`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CounterSnapshot {
+    /// `(name, per-lane values)`, sorted by name.
+    rows: Vec<(String, Vec<u64>)>,
+}
+
+impl CounterSnapshot {
+    /// The rows, sorted by name.
+    pub fn rows(&self) -> &[(String, Vec<u64>)] {
+        &self.rows
+    }
+
+    /// Per-lane values of one counter.
+    pub fn lanes_of(&self, name: &str) -> Option<&[u64]> {
+        self.rows
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| self.rows[i].1.as_slice())
+    }
+
+    /// Sum of one counter across its lanes (`None` if absent).
+    pub fn total(&self, name: &str) -> Option<u64> {
+        self.lanes_of(name).map(|l| l.iter().sum())
+    }
+
+    /// Canonical byte serialization: for each row (already name-sorted),
+    /// the name bytes, a NUL, the lane count as little-endian `u64`, then
+    /// each lane value as little-endian `u64`. Two snapshots are equal iff
+    /// their `to_bytes()` are equal — this is what the cross-run
+    /// determinism tests compare byte-for-byte.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for (name, lanes) in &self.rows {
+            out.extend_from_slice(name.as_bytes());
+            out.push(0);
+            out.extend_from_slice(&(lanes.len() as u64).to_le_bytes());
+            for v in lanes {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Names (with lane index) on which the two snapshots disagree —
+    /// first few mismatches, in name order. Empty iff the snapshots are
+    /// identical.
+    pub fn diff(&self, other: &CounterSnapshot) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut i = 0;
+        let mut j = 0;
+        let push = |out: &mut Vec<String>, msg: String| {
+            if out.len() < 16 {
+                out.push(msg);
+            }
+        };
+        while i < self.rows.len() || j < other.rows.len() {
+            match (self.rows.get(i), other.rows.get(j)) {
+                (Some((a, _)), None) => {
+                    push(&mut out, format!("{a}: only in left"));
+                    i += 1;
+                }
+                (None, Some((b, _))) => {
+                    push(&mut out, format!("{b}: only in right"));
+                    j += 1;
+                }
+                (Some((a, la)), Some((b, lb))) => match a.cmp(b) {
+                    std::cmp::Ordering::Less => {
+                        push(&mut out, format!("{a}: only in left"));
+                        i += 1;
+                    }
+                    std::cmp::Ordering::Greater => {
+                        push(&mut out, format!("{b}: only in right"));
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Equal => {
+                        if la != lb {
+                            let lane = la
+                                .iter()
+                                .zip(lb.iter())
+                                .position(|(x, y)| x != y)
+                                .unwrap_or_else(|| la.len().min(lb.len()));
+                            let (x, y) = (la.get(lane), lb.get(lane));
+                            push(&mut out, format!("{a}[{lane}]: {x:?} != {y:?}"));
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                },
+                (None, None) => break,
+            }
+        }
+        out
+    }
+
+    /// Renders the snapshot as a JSON object `{"name": [lane values]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (k, (name, lanes)) in self.rows.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":[", json_escape(name)));
+            for (i, v) in lanes.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&v.to_string());
+            }
+            out.push(']');
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_set_grow_lanes_on_demand() {
+        let mut reg = CounterRegistry::new();
+        reg.add("l1d.hits", 3, 7);
+        reg.set("l1d.hits", 1, 2);
+        let snap = reg.snapshot();
+        assert_eq!(snap.lanes_of("l1d.hits"), Some(&[0, 2, 0, 7][..]));
+        assert_eq!(snap.total("l1d.hits"), Some(9));
+        assert_eq!(snap.total("absent"), None);
+    }
+
+    #[test]
+    fn snapshots_are_registration_order_independent() {
+        let mut a = CounterRegistry::new();
+        a.add("zz", 0, 1);
+        a.add("aa", 1, 2);
+        let mut b = CounterRegistry::new();
+        b.add("aa", 1, 2);
+        b.add("zz", 0, 1);
+        assert_eq!(a.snapshot(), b.snapshot());
+        assert_eq!(a.snapshot().to_bytes(), b.snapshot().to_bytes());
+    }
+
+    #[test]
+    fn to_bytes_distinguishes_values_and_shapes() {
+        let mut a = CounterRegistry::new();
+        a.add("x", 0, 1);
+        let mut b = CounterRegistry::new();
+        b.add("x", 0, 2);
+        assert_ne!(a.snapshot().to_bytes(), b.snapshot().to_bytes());
+        let mut c = CounterRegistry::new();
+        c.add("x", 1, 1); // same value, different lane
+        assert_ne!(a.snapshot().to_bytes(), c.snapshot().to_bytes());
+    }
+
+    #[test]
+    fn diff_names_the_first_divergent_lane() {
+        let mut a = CounterRegistry::new();
+        a.add("dir.lookups", 0, 5);
+        a.add("only.left", 0, 1);
+        let mut b = CounterRegistry::new();
+        b.add("dir.lookups", 0, 6);
+        let d = a.snapshot().diff(&b.snapshot());
+        assert!(d.iter().any(|m| m.contains("dir.lookups[0]")), "{d:?}");
+        assert!(d.iter().any(|m| m.contains("only.left")), "{d:?}");
+        assert!(a.snapshot().diff(&a.snapshot()).is_empty());
+    }
+
+    #[test]
+    fn json_renders_sorted_rows() {
+        let mut reg = CounterRegistry::new();
+        reg.add("b", 0, 2);
+        reg.add("a", 1, 3);
+        assert_eq!(reg.snapshot().to_json(), "{\"a\":[0,3],\"b\":[2]}");
+    }
+}

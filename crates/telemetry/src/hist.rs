@@ -1,0 +1,263 @@
+//! Log-bucketed histograms: power-of-two buckets over `u64` samples.
+//!
+//! Bucket `0` holds the value `0`; bucket `i ≥ 1` holds `[2^(i-1), 2^i)`.
+//! 65 buckets therefore cover the whole `u64` range with no saturation.
+//! Recording is one `leading_zeros` and one array increment — cheap
+//! enough for per-weave-turn latencies.
+//!
+//! The histogram itself is deterministic plain data; whether its
+//! *contents* are deterministic depends on what is fed in (weave batch
+//! sizes: yes; span durations: no, host time).
+
+/// Number of buckets ([`LogHistogram::BUCKETS`]).
+const BUCKETS: usize = 65;
+
+/// A power-of-two-bucketed histogram over `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LogHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LogHistogram {
+    /// Number of buckets: bucket `0` for the value `0`, buckets `1..=64`
+    /// for `[2^(i-1), 2^i)`.
+    pub const BUCKETS: usize = BUCKETS;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Bucket index for a value.
+    #[inline]
+    pub fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            (64 - v.leading_zeros()) as usize
+        }
+    }
+
+    /// Half-open range `[lo, hi)` of bucket `i`; `hi` is `None` for the
+    /// last bucket (whose upper bound, 2^64, overflows `u64`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= Self::BUCKETS`.
+    pub fn bucket_bounds(i: usize) -> (u64, Option<u64>) {
+        assert!(i < BUCKETS, "bucket index {i} out of range");
+        match i {
+            0 => (0, Some(1)),
+            64 => (1 << 63, None),
+            _ => (1 << (i - 1), Some(1 << i)),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += u128::from(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Largest sample recorded (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean sample (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Count in bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= Self::BUCKETS`.
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Upper bound (exclusive) of the bucket containing the `p`-quantile,
+    /// `p` in `[0, 1]` — a conservative percentile estimate. Returns the
+    /// recorded max for an empty histogram or when the quantile lands in
+    /// the unbounded last bucket.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (p.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return match Self::bucket_bounds(i).1 {
+                    Some(hi) => hi - 1,
+                    None => self.max,
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(bucket lower bound, count)` pairs, in
+    /// ascending bound order.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (Self::bucket_bounds(i).0, c))
+            .collect()
+    }
+
+    /// Renders as a JSON object with count/mean/max/percentiles and the
+    /// non-empty `[lower bound, count]` buckets.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"count\":{},\"mean\":{:.1},\"max\":{},\"p50\":{},\"p99\":{},\"buckets\":[",
+            self.count,
+            self.mean(),
+            self.max,
+            self.percentile(0.50),
+            self.percentile(0.99),
+        );
+        for (i, (lo, c)) in self.nonzero_buckets().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{lo},{c}]"));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The satellite-mandated boundary test: values on each side of every
+    /// power of two land in the right bucket.
+    #[test]
+    fn bucket_boundaries_are_half_open_powers_of_two() {
+        assert_eq!(LogHistogram::bucket_index(0), 0);
+        assert_eq!(LogHistogram::bucket_index(1), 1);
+        assert_eq!(LogHistogram::bucket_index(2), 2);
+        assert_eq!(LogHistogram::bucket_index(3), 2);
+        assert_eq!(LogHistogram::bucket_index(4), 3);
+        for i in 1..64usize {
+            let lo = 1u64 << (i - 1);
+            assert_eq!(LogHistogram::bucket_index(lo), i, "lower bound of {i}");
+            let hi_minus_1 = (1u64 << i) - 1;
+            assert_eq!(LogHistogram::bucket_index(hi_minus_1), i, "top of {i}");
+        }
+        assert_eq!(LogHistogram::bucket_index(u64::MAX), 64);
+        assert_eq!(LogHistogram::bucket_bounds(0), (0, Some(1)));
+        assert_eq!(LogHistogram::bucket_bounds(1), (1, Some(2)));
+        assert_eq!(LogHistogram::bucket_bounds(5), (16, Some(32)));
+        assert_eq!(LogHistogram::bucket_bounds(64), (1 << 63, None));
+    }
+
+    #[test]
+    fn bounds_and_index_agree_everywhere() {
+        for i in 0..LogHistogram::BUCKETS {
+            let (lo, hi) = LogHistogram::bucket_bounds(i);
+            assert_eq!(LogHistogram::bucket_index(lo), i);
+            if let Some(hi) = hi {
+                assert_eq!(LogHistogram::bucket_index(hi - 1), i);
+            }
+        }
+    }
+
+    #[test]
+    fn record_tracks_count_sum_max() {
+        let mut h = LogHistogram::new();
+        for v in [0, 1, 3, 100, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 204);
+        assert_eq!(h.max(), 100);
+        assert_eq!(h.bucket_count(0), 1);
+        assert_eq!(h.bucket_count(2), 1); // 3 ∈ [2, 4)
+        assert_eq!(h.bucket_count(7), 2); // 100 ∈ [64, 128)
+        assert!((h.mean() - 40.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_is_a_bucket_upper_bound() {
+        let mut h = LogHistogram::new();
+        for _ in 0..99 {
+            h.record(10); // bucket [8, 16)
+        }
+        h.record(1000); // bucket [512, 1024)
+        assert_eq!(h.percentile(0.50), 15);
+        assert_eq!(h.percentile(0.99), 15);
+        assert_eq!(h.percentile(1.0), 1023);
+        assert_eq!(LogHistogram::new().percentile(0.5), 0);
+    }
+
+    #[test]
+    fn merge_folds_counts() {
+        let mut a = LogHistogram::new();
+        a.record(5);
+        let mut b = LogHistogram::new();
+        b.record(5);
+        b.record(70);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 70);
+        assert_eq!(a.nonzero_buckets(), vec![(4, 2), (64, 1)]);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut h = LogHistogram::new();
+        h.record(2);
+        let j = h.to_json();
+        assert!(j.starts_with("{\"count\":1,"), "{j}");
+        assert!(j.contains("\"buckets\":[[2,1]]"), "{j}");
+    }
+}

@@ -1,0 +1,140 @@
+//! Chrome trace-event / Perfetto JSON export.
+//!
+//! The output is the classic trace-event format both `chrome://tracing`
+//! and <https://ui.perfetto.dev> open directly: a top-level object with a
+//! `traceEvents` array of complete (`"ph": "X"`) duration events plus
+//! metadata (`"ph": "M"`) events naming the process and one thread per
+//! track. `pid` is always 0 (one simulated machine); `tid` is the track
+//! id, so each core renders as its own row and the serial weave phase is
+//! visible as a band hopping across rows.
+//!
+//! Timestamps are microseconds (the format's unit) with nanosecond
+//! precision kept in the fraction. Events are sorted by `(tid, ts)`, so
+//! `ts` is monotonically non-decreasing within every track — the schema
+//! property the tests assert.
+
+use crate::json_escape;
+use crate::span::SpanEvent;
+
+/// Renders spans and track names as a Chrome trace-event JSON document.
+///
+/// `track_names` maps a track id to its display name (e.g. `(0, "core
+/// 0")`, `(4, "runtime")`); tracks appearing in `events` without a name
+/// entry render with a generic `track N` name.
+pub fn render_trace_json(events: &[SpanEvent], track_names: &[(u32, String)]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |s: String, out: &mut String| {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&s);
+    };
+
+    push(
+        "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",\
+         \"args\":{\"name\":\"califorms replay\"}}"
+            .to_string(),
+        &mut out,
+    );
+
+    // Name every track that appears, in track order, so the timeline rows
+    // are labelled and stably ordered.
+    let mut tracks: Vec<u32> = events.iter().map(|e| e.track).collect();
+    tracks.extend(track_names.iter().map(|(t, _)| *t));
+    tracks.sort_unstable();
+    tracks.dedup();
+    for t in &tracks {
+        let name = track_names
+            .iter()
+            .find(|(id, _)| id == t)
+            .map(|(_, n)| n.clone())
+            .unwrap_or_else(|| format!("track {t}"));
+        push(
+            format!(
+                "{{\"ph\":\"M\",\"pid\":0,\"tid\":{t},\"name\":\"thread_name\",\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                json_escape(&name)
+            ),
+            &mut out,
+        );
+    }
+
+    // Complete events, sorted so ts is monotonic per track.
+    let mut sorted: Vec<&SpanEvent> = events.iter().collect();
+    sorted.sort_by_key(|e| (e.track, e.start_ns, e.dur_ns));
+    for e in sorted {
+        push(
+            format!(
+                "{{\"name\":\"{}\",\"cat\":\"phase\",\"ph\":\"X\",\
+                 \"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{},\
+                 \"args\":{{\"quantum\":{}}}}}",
+                e.phase.as_str(),
+                micros(e.start_ns),
+                micros(e.dur_ns),
+                e.track,
+                e.quantum,
+            ),
+            &mut out,
+        );
+    }
+
+    out.push_str("]}");
+    out
+}
+
+/// Nanoseconds rendered as a decimal microsecond literal with the
+/// nanosecond fraction preserved exactly (`1234` ns → `1.234`). Integer
+/// formatting — not `f64` — so huge timestamps don't lose precision.
+fn micros(ns: u64) -> String {
+    let whole = ns / 1000;
+    let frac = ns % 1000;
+    if frac == 0 {
+        whole.to_string()
+    } else {
+        format!("{whole}.{frac:03}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Phase;
+
+    fn ev(track: u32, start: u64, dur: u64) -> SpanEvent {
+        SpanEvent {
+            track,
+            phase: Phase::Bound,
+            quantum: 0,
+            start_ns: start,
+            dur_ns: dur,
+        }
+    }
+
+    #[test]
+    fn micros_preserves_nanosecond_fraction() {
+        assert_eq!(micros(0), "0");
+        assert_eq!(micros(1000), "1");
+        assert_eq!(micros(1234), "1.234");
+        assert_eq!(micros(5), "0.005");
+    }
+
+    #[test]
+    fn document_has_trace_events_and_metadata() {
+        let events = [ev(0, 10_000, 2_000), ev(1, 5_000, 1_000)];
+        let names = [(0, "core 0".to_string()), (1, "core 1".to_string())];
+        let json = render_trace_json(&events, &names);
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ns\",\"traceEvents\":["));
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("{\"name\":\"core 0\"}"));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn unnamed_tracks_get_a_generic_label() {
+        let json = render_trace_json(&[ev(7, 0, 1)], &[]);
+        assert!(json.contains("track 7"), "{json}");
+    }
+}

@@ -26,6 +26,9 @@
 //! * [`oracle`] — the cache-free differential reference model, the
 //!   deterministic trace fuzzer and the divergence shrinker (DESIGN.md
 //!   §11).
+//! * [`telemetry`] — deterministic counter registry, phase spans and the
+//!   Chrome-trace-event/Perfetto exporter behind `--trace-out`
+//!   (DESIGN.md §13).
 //!
 //! See `examples/quickstart.rs` for a guided tour and `DESIGN.md` for the
 //! full system inventory.
@@ -64,5 +67,6 @@ pub use califorms_layout as layout;
 pub use califorms_oracle as oracle;
 pub use califorms_security as security;
 pub use califorms_sim as sim;
+pub use califorms_telemetry as telemetry;
 pub use califorms_vlsi as vlsi;
 pub use califorms_workloads as workloads;

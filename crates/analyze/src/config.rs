@@ -26,8 +26,17 @@ pub struct LintConfig {
     pub host_time_allow: Vec<&'static str>,
     /// Files allowed to spawn threads (the parallel runtime itself).
     pub spawn_allow: Vec<&'static str>,
-    /// Functions in which bare `unwrap()`/`expect()` is banned.
+    /// Functions in which bare `unwrap()`/`expect()` is banned. These
+    /// are also the reachability roots of the workspace hot-path passes.
     pub hot_paths: Vec<HotPath>,
+    /// Free functions that acquire the lock passed as their argument
+    /// (the pass treats a call like `lock_recover(&self.state)` as an
+    /// acquisition of the `state` lock class).
+    pub lock_helpers: Vec<&'static str>,
+    /// Raw lock field/binding names → canonical lock-class names, so
+    /// `slot`/`slots` and the barrier `state` report under their runtime
+    /// names in lock-order witnesses.
+    pub lock_aliases: Vec<(&'static str, &'static str)>,
 }
 
 impl Default for LintConfig {
@@ -84,6 +93,24 @@ impl Default for LintConfig {
                     file: "crates/sim/src/runtime.rs",
                     function: "stop",
                 },
+                HotPath {
+                    file: "crates/sim/src/multicore.rs",
+                    function: "weave_turn",
+                },
+            ],
+            lock_helpers: vec![
+                // Production poison-recovering lock helper (runtime.rs)
+                // and the model checker's internal std-mutex helpers.
+                "lock_recover",
+                "lk",
+                "lk_handles",
+            ],
+            lock_aliases: vec![
+                ("slot", "worker-slot"),
+                ("slots", "worker-slot"),
+                ("panics", "panic-list"),
+                ("state", "barrier-state"),
+                ("tracks", "telemetry-recorder"),
             ],
         }
     }
@@ -115,6 +142,19 @@ impl LintConfig {
             .filter(|h| h.file == path)
             .map(|h| h.function)
             .collect()
+    }
+
+    /// Whether `name` is a lock-acquiring helper function.
+    pub fn is_lock_helper(&self, name: &str) -> bool {
+        self.lock_helpers.contains(&name)
+    }
+
+    /// Canonical lock-class name for a raw field/binding name.
+    pub fn lock_class(&self, raw: &str) -> String {
+        self.lock_aliases
+            .iter()
+            .find(|(from, _)| *from == raw)
+            .map_or_else(|| raw.to_string(), |(_, to)| (*to).to_string())
     }
 
     /// Whether `path` is a crate root or binary root that must carry

@@ -58,29 +58,45 @@ pub struct AppliedSuppression {
     pub reason: String,
 }
 
+/// JSON report schema version. Bump when a field is added, removed, or
+/// re-interpreted, so CI artifact diffs across tool versions stay
+/// meaningful. History: 1 = PR 6 (no version field), 2 = PR 8
+/// (`schema_version` added; findings globally sorted by
+/// path/line/col/lint).
+pub const SCHEMA_VERSION: u32 = 2;
+
 /// The whole run's result — serialized to JSON for the CI artifact.
 #[derive(Debug, Clone, Serialize)]
 pub struct Report {
+    /// Report layout version ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
     /// Tool version (crate version at compile time).
     pub version: String,
     /// Number of `.rs` files scanned.
     pub files_scanned: u64,
-    /// Surviving findings, in (path, line) order.
+    /// Surviving findings, sorted by (path, line, col, lint).
     pub findings: Vec<Finding>,
-    /// Suppressions that absorbed a finding, in (path, line) order.
+    /// Suppressions that absorbed a finding, sorted by (path, line, lint).
     pub suppressions: Vec<AppliedSuppression>,
     /// `findings.is_empty()` — the CI gate.
     pub clean: bool,
 }
 
 impl Report {
-    /// Assembles a report from scan results.
+    /// Assembles a report from scan results. Findings and suppressions
+    /// are (re)sorted here so the JSON artifact is byte-stable however
+    /// the passes emitted them.
     pub fn new(
         files_scanned: u64,
-        findings: Vec<Finding>,
-        suppressions: Vec<AppliedSuppression>,
+        mut findings: Vec<Finding>,
+        mut suppressions: Vec<AppliedSuppression>,
     ) -> Self {
+        findings.sort_by(|a, b| {
+            (&a.path, a.line, a.col, &a.lint).cmp(&(&b.path, b.line, b.col, &b.lint))
+        });
+        suppressions.sort_by(|a, b| (&a.path, a.line, &a.lint).cmp(&(&b.path, b.line, &b.lint)));
         Self {
+            schema_version: SCHEMA_VERSION,
             version: env!("CARGO_PKG_VERSION").to_string(),
             files_scanned,
             clean: findings.is_empty(),

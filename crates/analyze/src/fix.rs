@@ -1,0 +1,125 @@
+//! `--fix` support: mechanical auto-fixes for findings with an
+//! unambiguous remediation. Currently that is exactly one lint,
+//! `missing-forbid-unsafe` — the fix inserts `#![forbid(unsafe_code)]`
+//! into the crate root, after any leading inner doc comments (`//!`)
+//! and inner attributes (`#![...]`) so rustc's "inner attributes must
+//! precede items" rule is respected.
+
+use crate::diagnostics::Report;
+use std::fs;
+use std::path::Path;
+
+/// Returns `source` with `#![forbid(unsafe_code)]` inserted at the
+/// first position after leading inner doc comments, inner attributes,
+/// and blank lines. A blank line is added after the attribute when the
+/// next line is not already blank.
+pub fn insert_forbid_unsafe(source: &str) -> String {
+    let lines: Vec<&str> = source.split_inclusive('\n').collect();
+    let mut at = 0usize;
+    let mut in_attr = false;
+    for (i, line) in lines.iter().enumerate() {
+        let t = line.trim();
+        if in_attr {
+            // A multi-line inner attribute continues until its `]`.
+            if t.ends_with(']') {
+                in_attr = false;
+            }
+            at = i + 1;
+            continue;
+        }
+        if t.starts_with("//!") || t.is_empty() {
+            at = i + 1;
+            continue;
+        }
+        if t.starts_with("#![") {
+            if !t.ends_with(']') {
+                in_attr = true;
+            }
+            at = i + 1;
+            continue;
+        }
+        break;
+    }
+    let mut out = String::with_capacity(source.len() + 32);
+    for l in &lines[..at] {
+        out.push_str(l);
+    }
+    // Separate the attribute from a doc-comment header with a blank line.
+    if at > 0 && lines[at - 1].trim().starts_with("//!") {
+        out.push('\n');
+    }
+    out.push_str("#![forbid(unsafe_code)]\n");
+    if lines.get(at).is_some_and(|l| !l.trim().is_empty()) {
+        out.push('\n');
+    }
+    for l in &lines[at..] {
+        out.push_str(l);
+    }
+    out
+}
+
+/// Applies every auto-fixable finding in `report` to the tree under
+/// `root`. Returns the repo-relative paths that were rewritten.
+pub fn apply_fixes(root: &Path, report: &Report) -> std::io::Result<Vec<String>> {
+    let mut fixed = Vec::new();
+    for f in &report.findings {
+        if f.lint != "missing-forbid-unsafe" {
+            continue;
+        }
+        let abs = root.join(&f.path);
+        let source = fs::read_to_string(&abs)?;
+        fs::write(&abs, insert_forbid_unsafe(&source))?;
+        fixed.push(f.path.clone());
+    }
+    fixed.sort();
+    fixed.dedup();
+    Ok(fixed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint::{lint_source, SourceContext};
+    use crate::LintConfig;
+
+    fn is_clean_root(src: &str) -> bool {
+        let config = LintConfig::default();
+        lint_source(
+            &SourceContext {
+                path: "crates/x/src/lib.rs",
+                config: &config,
+            },
+            src,
+        )
+        .findings
+        .is_empty()
+    }
+
+    #[test]
+    fn inserts_after_doc_comments_and_inner_attrs() {
+        let src = "//! Crate docs.\n//! More docs.\n\n#![warn(missing_docs)]\n\npub fn f() {}\n";
+        let fixed = insert_forbid_unsafe(src);
+        let pos_attr = fixed.find("#![forbid(unsafe_code)]").unwrap();
+        let pos_item = fixed.find("pub fn f").unwrap();
+        let pos_warn = fixed.find("#![warn").unwrap();
+        assert!(pos_warn < pos_attr && pos_attr < pos_item, "{fixed}");
+        assert!(is_clean_root(&fixed));
+    }
+
+    #[test]
+    fn inserts_at_top_of_a_bare_file() {
+        let fixed = insert_forbid_unsafe("pub fn f() {}\n");
+        assert!(
+            fixed.starts_with("#![forbid(unsafe_code)]\n\npub fn f"),
+            "{fixed}"
+        );
+        assert!(is_clean_root(&fixed));
+    }
+
+    #[test]
+    fn round_trips_to_clean() {
+        let src = "//! Docs.\npub fn f() {}\n";
+        assert!(!is_clean_root(src));
+        assert!(is_clean_root(&insert_forbid_unsafe(src)));
+    }
+}

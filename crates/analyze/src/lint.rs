@@ -60,9 +60,38 @@ const DEFAULT_HASHER_CTORS: &[&str] = &["new", "default", "with_capacity", "from
 /// OS / entropy randomness markers.
 const RAND_IDENTS: &[&str] = &["thread_rng", "OsRng", "from_entropy", "getrandom"];
 
-/// Lints a single file.
+/// Lints a single file in isolation: tokenize, run the per-file checks
+/// (including the legacy name-heuristic hot-path scoping), apply
+/// suppressions.
+///
+/// The workspace scan does NOT go through here: it calls [`lint_file`]
+/// with `hot_heuristic = false` (the call-graph reachability pass owns
+/// hot-path lints there) and merges pass findings before
+/// [`apply_directives`].
 pub fn lint_source(ctx: &SourceContext<'_>, source: &str) -> LintOutcome {
     let toks = tokenize(source);
+    let fl = lint_file(ctx, &toks, source, true);
+    apply_directives(ctx.path, &fl.directives, fl.raw)
+}
+
+/// Raw per-file lint results, before suppression.
+pub(crate) struct FileLint {
+    /// Unsuppressed findings (including `malformed-allow`).
+    pub(crate) raw: Vec<Finding>,
+    /// Well-formed `analyze::allow` directives found in the file.
+    pub(crate) directives: Vec<Directive>,
+}
+
+/// Runs the per-file checks over an already-tokenized file.
+/// `hot_heuristic` enables the PR 6 name-based `hot-path-unwrap`
+/// scoping (functions literally named in the config); the workspace
+/// scan disables it in favour of call-graph reachability.
+pub(crate) fn lint_file(
+    ctx: &SourceContext<'_>,
+    toks: &Tokenized,
+    source: &str,
+    hot_heuristic: bool,
+) -> FileLint {
     let lines: Vec<&str> = source.lines().collect();
     let snippet = |line: u32| -> String {
         lines
@@ -82,7 +111,7 @@ pub fn lint_source(ctx: &SourceContext<'_>, source: &str) -> LintOutcome {
     let mut raw: Vec<Finding> = Vec::new();
 
     // ----- directive parsing (and malformed-allow findings) -----------
-    let (directives, mut malformed) = parse_directives(ctx, &toks, &snippet);
+    let (directives, mut malformed) = parse_directives(ctx, toks, &snippet);
     raw.append(&mut malformed);
 
     let t = &toks.tokens;
@@ -202,8 +231,13 @@ pub fn lint_source(ctx: &SourceContext<'_>, source: &str) -> LintOutcome {
         }
     }
 
-    // ----- hot-path-unwrap ---------------------------------------------
-    for func in ctx.config.hot_functions(ctx.path) {
+    // ----- hot-path-unwrap (legacy name heuristic) ---------------------
+    let hot_functions = if hot_heuristic {
+        ctx.config.hot_functions(ctx.path)
+    } else {
+        Vec::new()
+    };
+    for func in hot_functions {
         for (lo, hi) in function_bodies(t, func) {
             for i in lo..hi {
                 if t[i].is_punct('.')
@@ -242,7 +276,17 @@ pub fn lint_source(ctx: &SourceContext<'_>, source: &str) -> LintOutcome {
         });
     }
 
-    // ----- apply suppressions ------------------------------------------
+    FileLint { raw, directives }
+}
+
+/// Applies a file's suppression directives to its raw findings. A
+/// directive absorbs a same-lint finding on its own line or the line
+/// directly below; everything else survives.
+pub(crate) fn apply_directives(
+    path: &str,
+    directives: &[Directive],
+    raw: Vec<Finding>,
+) -> LintOutcome {
     let mut outcome = LintOutcome::default();
     for f in raw {
         let hit = directives
@@ -251,7 +295,7 @@ pub fn lint_source(ctx: &SourceContext<'_>, source: &str) -> LintOutcome {
         match hit {
             Some(d) => outcome.suppressions.push(AppliedSuppression {
                 lint: d.lint.clone(),
-                path: ctx.path.to_string(),
+                path: path.to_string(),
                 line: d.line,
                 reason: d.reason.clone(),
             }),
@@ -267,7 +311,7 @@ pub fn lint_source(ctx: &SourceContext<'_>, source: &str) -> LintOutcome {
 }
 
 /// A parsed `analyze::allow` directive.
-struct Directive {
+pub(crate) struct Directive {
     line: u32,
     lint: String,
     reason: String,

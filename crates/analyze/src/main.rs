@@ -3,20 +3,29 @@
 //!
 //! ```text
 //! califorms-analyze --check [--root DIR] [--json PATH]   # lint pass
+//! califorms-analyze --fix [--root DIR]                   # auto-fixes
 //! califorms-analyze --sched [--workers N] [--quanta N] [--bound N]
+//!                    [--weave-schedules N]
 //! ```
 //!
 //! `--check` exits non-zero iff any lint finding survives suppression;
 //! `--json` additionally writes the machine-readable report for the CI
-//! artifact. `--sched` runs the exhaustive protocol-model pass — the
-//! correct models must explore cleanly and every broken variant must be
-//! caught — plus a seeded-random large-schedule sweep.
+//! artifact. `--fix` applies the mechanical fixes (currently: inserting
+//! `#![forbid(unsafe_code)]` where `missing-forbid-unsafe` fires) and
+//! reports the rewritten files. `--sched` runs the exhaustive
+//! protocol-model pass — the correct models must explore cleanly and
+//! every broken variant must be caught — plus a seeded-random
+//! large-schedule sweep; `--weave-schedules N` additionally asserts the
+//! exact schedule count of the exhaustive weave run (a drift detector
+//! for the model and explorer both).
 
 #![forbid(unsafe_code)]
 
 use califorms_analyze::config::LintConfig;
+use califorms_analyze::fix::apply_fixes;
 use califorms_analyze::sched::{
-    check_barrier, check_worker_slots, models, BarrierVariant, SlotVariant,
+    check_barrier, check_weave, check_worker_slots, models, BarrierVariant, SlotVariant,
+    WeaveVariant,
 };
 use califorms_analyze::workspace::scan_workspace;
 use std::path::PathBuf;
@@ -24,29 +33,34 @@ use std::process::ExitCode;
 
 struct Args {
     check: bool,
+    fix: bool,
     sched: bool,
     root: PathBuf,
     json: Option<PathBuf>,
     workers: usize,
     quanta: usize,
     bound: usize,
+    weave_schedules: Option<usize>,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         check: false,
+        fix: false,
         sched: false,
         root: PathBuf::from("."),
         json: None,
         workers: 2,
         quanta: 2,
         bound: 2,
+        weave_schedules: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
         match a.as_str() {
             "--check" => args.check = true,
+            "--fix" => args.fix = true,
             "--sched" => args.sched = true,
             "--root" => args.root = PathBuf::from(value("--root")?),
             "--json" => args.json = Some(PathBuf::from(value("--json")?)),
@@ -55,13 +69,34 @@ fn parse_args() -> Result<Args, String> {
             }
             "--quanta" => args.quanta = value("--quanta")?.parse().map_err(|e| format!("{e}"))?,
             "--bound" => args.bound = value("--bound")?.parse().map_err(|e| format!("{e}"))?,
+            "--weave-schedules" => {
+                args.weave_schedules = Some(
+                    value("--weave-schedules")?
+                        .parse()
+                        .map_err(|e| format!("{e}"))?,
+                )
+            }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }
-    if !args.check && !args.sched {
-        return Err("pass --check and/or --sched".to_string());
+    if !args.check && !args.sched && !args.fix {
+        return Err("pass --check, --fix and/or --sched".to_string());
     }
     Ok(args)
+}
+
+fn run_fix(args: &Args) -> Result<(), String> {
+    let report = scan_workspace(&args.root, &LintConfig::default())
+        .map_err(|e| format!("scan failed under {}: {e}", args.root.display()))?;
+    let fixed = apply_fixes(&args.root, &report).map_err(|e| format!("applying fixes: {e}"))?;
+    if fixed.is_empty() {
+        println!("fix: nothing to do");
+    } else {
+        for path in &fixed {
+            println!("fixed {path}");
+        }
+    }
+    Ok(())
 }
 
 fn run_check(args: &Args) -> Result<bool, String> {
@@ -130,6 +165,31 @@ fn run_sched(args: &Args) -> bool {
                 format!("caught {} after {} schedules", f.kind, r.schedules_run)
             }),
     );
+    let r = check_weave(w, 1, WeaveVariant::Correct, b, max);
+    let weave_count_ok = args
+        .weave_schedules
+        .is_none_or(|expect| r.schedules_run == expect);
+    verdict(
+        "weave/correct",
+        r.failure.is_none() && r.complete && weave_count_ok,
+        format!(
+            "{} schedules, complete={}{}",
+            r.schedules_run,
+            r.complete,
+            args.weave_schedules
+                .map_or(String::new(), |e| { format!(" (expected exactly {e})") })
+        ),
+    );
+    let r = check_weave(w, 1, WeaveVariant::CommitBeforeCheck, b, max);
+    verdict(
+        "weave/commit-before-check (must fail)",
+        r.failure.is_some(),
+        r.failure
+            .as_ref()
+            .map_or("no failure found".to_string(), |f| {
+                format!("caught {} after {} schedules", f.kind, r.schedules_run)
+            }),
+    );
     let r = models::random_sweep(w, q, 0xCA11_F012, 200);
     verdict(
         "random-sweep/correct",
@@ -148,6 +208,12 @@ fn main() -> ExitCode {
         }
     };
     let mut ok = true;
+    if args.fix {
+        if let Err(e) = run_fix(&args) {
+            eprintln!("califorms-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    }
     if args.check {
         match run_check(&args) {
             Ok(clean) => ok &= clean,

@@ -1,0 +1,247 @@
+//! Model of the speculative-weave commit protocol: per-bank
+//! claim → execute → commit/abort across an epoch boundary.
+//!
+//! The protocol under test is the planned optimistic execution path for
+//! the multicore engine: workers speculate against a shared memory bank
+//! without holding its lock for the whole quantum. Per epoch, a worker
+//!
+//! 1. reads the bank's base value under a read lock (the *speculation
+//!    snapshot*),
+//! 2. tries to claim the bank with a single `compare_exchange(FREE, w)`
+//!    on the bank's claim word — success means the speculation is
+//!    *registered* (and the claim is released immediately after); a
+//!    failed claim means another worker is registering right now, so
+//!    the update is demoted to the *residue* (serial) path,
+//! 3. reports all its speculations and residues to the coordinator over
+//!    a channel.
+//!
+//! The coordinator (single-threaded — this is the commit point) drains
+//! exactly one report per worker, sorts them by worker id for
+//! determinism, then for each speculation **validates before
+//! committing**: the bank value must still equal the speculation's
+//! snapshot, otherwise an earlier commit already changed the bank and
+//! the update is demoted to the residue path. Residues are applied last,
+//! serially, under the write lock — they read the current value, so they
+//! can never lose an update.
+//!
+//! [`WeaveVariant::CommitBeforeCheck`] re-introduces the classic
+//! optimistic-concurrency bug: committing the speculated value without
+//! validating the snapshot. Two workers that both registered against the
+//! same bank then overwrite each other — the second commit silently
+//! discards the first (a lost update). The per-(worker, bank, epoch)
+//! deltas are distinct powers of two, so any lost update makes the final
+//! bank value verifiably wrong and the checker reports exactly which
+//! schedule loses it.
+
+use super::explorer::{explore, ExploreReport, ModelFn, Sched, SchedConfig};
+use super::shim::{channel, AtomicUsize, RwLock};
+use std::sync::Arc;
+
+/// Claim word value meaning "no worker is registering a speculation".
+const FREE: usize = usize::MAX;
+
+/// Memory banks under speculation.
+const BANKS: usize = 2;
+
+/// Weave commit-protocol variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WeaveVariant {
+    /// The production protocol: validate the snapshot, then commit.
+    Correct,
+    /// BUG: commit the speculated value without validating — lost
+    /// updates when two workers speculate against the same bank.
+    CommitBeforeCheck,
+}
+
+/// One shared memory bank: a claim word guarding speculation
+/// registration, and the data cell itself.
+struct Bank {
+    claim: AtomicUsize,
+    data: RwLock<u64>,
+}
+
+/// A registered speculation: "I read `base` from `bank` and want to
+/// make it `base + add`".
+struct Spec {
+    bank: usize,
+    base: u64,
+    add: u64,
+}
+
+/// Everything one worker did in one epoch.
+struct WorkerReport {
+    worker: usize,
+    specs: Vec<Spec>,
+    /// Updates demoted at claim time: (bank, add).
+    residue: Vec<(usize, u64)>,
+}
+
+/// The delta worker `w` applies to bank `b` in epoch `e` — distinct
+/// powers of two, so the final sum pinpoints any lost update.
+fn delta(workers: usize, w: usize, b: usize, e: usize) -> u64 {
+    1u64 << (w + workers * (b + BANKS * e))
+}
+
+/// Reads a bank's committed value. Its own function so the read guard
+/// demonstrably ends here — `let x = *bank.data.read();` at a call site
+/// would be scoped to the caller's block by the lock-order pass's
+/// conservative guard heuristic and flagged as held across later calls.
+fn bank_value(bank: &Bank) -> u64 {
+    *bank.data.read()
+}
+
+/// Builds the weave model: per epoch, `workers` fresh speculating
+/// workers plus the committing coordinator (the model's main thread).
+pub fn weave_model(workers: usize, epochs: usize, variant: WeaveVariant) -> ModelFn {
+    Arc::new(move |s: Sched| {
+        let banks: Arc<Vec<Bank>> = Arc::new(
+            (0..BANKS)
+                .map(|b| Bank {
+                    claim: AtomicUsize::new(&s, &format!("claim{b}"), FREE),
+                    data: RwLock::new(&s, &format!("bank{b}"), 0),
+                })
+                .collect(),
+        );
+        let (tx, rx) = channel::<WorkerReport>(&s, "reports");
+        for e in 0..epochs {
+            let epoch_start: Vec<u64> = (0..BANKS).map(|b| bank_value(&banks[b])).collect();
+            let mut handles = Vec::new();
+            for w in 0..workers {
+                let bk = Arc::clone(&banks);
+                let tx = tx.clone();
+                // analyze::allow(thread-spawn): model threads run under the virtual scheduler, not the runtime pool
+                handles.push(s.spawn(move |_| {
+                    let mut specs = Vec::new();
+                    let mut residue = Vec::new();
+                    for (b, bank) in bk.iter().enumerate() {
+                        let add = delta(workers, w, b, e);
+                        // 1. Speculation snapshot under the read lock.
+                        let base = bank_value(bank);
+                        // 2. Register the speculation: claim the bank.
+                        match bank.claim.compare_exchange(FREE, w) {
+                            Ok(_) => {
+                                specs.push(Spec { bank: b, base, add });
+                                bank.claim.store(FREE);
+                            }
+                            // Claim contended: demote to the serial path.
+                            Err(_) => residue.push((b, add)),
+                        }
+                    }
+                    // 3. Hand everything to the commit point.
+                    tx.send(WorkerReport {
+                        worker: w,
+                        specs,
+                        residue,
+                    });
+                }));
+            }
+            // Commit point: exactly one report per worker, then quiesce.
+            let mut reports = Vec::new();
+            for _ in 0..workers {
+                reports.push(rx.recv().expect("worker reports before exiting"));
+            }
+            for h in handles {
+                h.join();
+            }
+            // Deterministic commit order regardless of arrival order.
+            reports.sort_by_key(|r| r.worker);
+            let mut residue: Vec<(usize, u64)> = Vec::new();
+            for r in &reports {
+                residue.extend(r.residue.iter().copied());
+                for sp in &r.specs {
+                    let mut g = banks[sp.bank].data.write();
+                    match variant {
+                        WeaveVariant::Correct => {
+                            if *g == sp.base {
+                                *g = sp.base + sp.add;
+                            } else {
+                                // Snapshot stale: an earlier commit won
+                                // the bank this epoch. Serial path.
+                                drop(g);
+                                residue.push((sp.bank, sp.add));
+                            }
+                        }
+                        WeaveVariant::CommitBeforeCheck => {
+                            // BUG (modelled): no validation — overwrites
+                            // whatever an earlier speculation committed.
+                            *g = sp.base + sp.add;
+                        }
+                    }
+                }
+            }
+            // Residue path: serial read-modify-write, cannot lose updates.
+            for (b, add) in residue {
+                let mut g = banks[b].data.write();
+                *g += add;
+            }
+            // Epoch invariants: every delta landed exactly once, and no
+            // claim leaked past the quiesce point.
+            for b in 0..BANKS {
+                let expect: u64 =
+                    epoch_start[b] + (0..workers).map(|w| delta(workers, w, b, e)).sum::<u64>();
+                let got = bank_value(&banks[b]);
+                s.check(
+                    got == expect,
+                    "every worker's update committed exactly once per bank per epoch",
+                );
+                s.check(
+                    banks[b].claim.load() == FREE,
+                    "no speculation claim held across the epoch boundary",
+                );
+            }
+        }
+    })
+}
+
+/// Explores the weave model exhaustively up to `bound` preemptions.
+pub fn check_weave(
+    workers: usize,
+    epochs: usize,
+    variant: WeaveVariant,
+    bound: usize,
+    max_schedules: usize,
+) -> ExploreReport {
+    explore(
+        &SchedConfig {
+            preemption_bound: bound,
+            max_schedules,
+        },
+        weave_model(workers, epochs, variant),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_weave_is_clean_and_complete_at_bound_2() {
+        let rep = check_weave(2, 1, WeaveVariant::Correct, 2, 100_000);
+        assert!(rep.failure.is_none(), "failure: {:?}", rep.failure);
+        assert!(rep.complete, "bounded space must be exhausted");
+        assert!(rep.schedules_run > 10, "non-trivial schedule space");
+    }
+
+    #[test]
+    fn commit_before_check_loses_an_update() {
+        let rep = check_weave(2, 1, WeaveVariant::CommitBeforeCheck, 2, 100_000);
+        let f = rep.failure.expect("lost update must be detected");
+        assert_eq!(f.kind, "assertion");
+        assert!(f.message.contains("exactly once"), "message: {}", f.message);
+        assert!(!f.trace.is_empty(), "counterexample trace captured");
+    }
+
+    #[test]
+    fn deltas_are_distinct_powers_of_two() {
+        let mut seen = std::collections::BTreeSet::new();
+        for e in 0..2 {
+            for b in 0..BANKS {
+                for w in 0..2 {
+                    let d = delta(2, w, b, e);
+                    assert!(d.is_power_of_two());
+                    assert!(seen.insert(d), "duplicate delta {d}");
+                }
+            }
+        }
+    }
+}

@@ -166,6 +166,23 @@ pub fn tokenize(source: &str) -> Tokenized {
             bump!(j - i);
             continue;
         }
+        // Byte char literal (`b'x'`, `b'\''`): the prefix must be
+        // consumed here or it would leak a stray `b` identifier.
+        if c == b'b' && b.get(i + 1) == Some(&b'\'') {
+            let mut j = i + 2;
+            while j < b.len() {
+                match b[j] {
+                    b'\\' => j += 2,
+                    b'\'' => {
+                        j += 1;
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+            bump!(j - i);
+            continue;
+        }
         // Char literal vs lifetime. `'a` (no closing quote nearby) is a
         // lifetime; `'x'` / `'\n'` are char literals.
         if c == b'\'' {
@@ -311,6 +328,51 @@ mod tests {
         assert_eq!((t.tokens[0].line, t.tokens[0].col), (1, 1));
         assert_eq!((t.tokens[1].line, t.tokens[1].col), (1, 4));
         assert_eq!((t.tokens[2].line, t.tokens[2].col), (2, 3));
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_are_skipped_whole() {
+        // The inner `"#` must not terminate an `r##` string.
+        let src = r####"let s = r##"HashMap "# Instant"##; fn tail() {}"####;
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(ids.contains(&"tail".to_string()), "lexing resumes after");
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars_are_skipped() {
+        let src = "let s = b\"HashMap\"; let r = br#\"Instant\"#; let c = b'x'; fn tail() {}";
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"x".to_string()), "byte-char body skipped");
+        assert!(!ids.contains(&"b".to_string()), "no stray prefix ident");
+        assert!(ids.contains(&"tail".to_string()));
+    }
+
+    #[test]
+    fn escaped_quotes_in_char_literals_stay_inside_them() {
+        // If `'\''` or `b'\''` mis-lexed, the quote would open a
+        // phantom literal and swallow `tail`.
+        let src = "let q = '\\''; let bq = b'\\''; let bs = '\\\\'; fn tail() {}";
+        let t = tokenize(src);
+        let ids: Vec<_> = t.tokens.iter().filter_map(Token::ident).collect();
+        assert!(ids.contains(&"tail"), "lexing resumes after the literals");
+        assert!(
+            t.tokens.iter().all(|tk| !tk.is_punct('\'')),
+            "no quote leaks into the token stream"
+        );
+    }
+
+    #[test]
+    fn char_literal_holding_a_double_quote_does_not_open_a_string() {
+        let ids = idents("let q = '\"'; fn tail() { let s = \"Instant\"; }");
+        assert!(ids.contains(&"tail".to_string()));
+        assert!(
+            !ids.contains(&"Instant".to_string()),
+            "string still skipped"
+        );
     }
 
     #[test]

@@ -1,21 +1,24 @@
-//! Workspace traversal: find every `.rs` file under `crates/*/src`,
-//! lint each one, and fold the results into a [`Report`].
+//! Workspace traversal and whole-workspace orchestration: find every
+//! `.rs` file under `crates/*/src`, parse them into one [`Workspace`]
+//! with a [`CallGraph`], run the per-file lints plus the workspace
+//! passes (lock-order, hot-path reachability, atomic-ordering), apply
+//! each file's `analyze::allow` directives to everything anchored in
+//! it, and fold the results into a [`Report`].
 
+use crate::callgraph::{CallGraph, Workspace};
 use crate::config::LintConfig;
 use crate::diagnostics::{AppliedSuppression, Finding, Report};
-use crate::lint::{lint_source, SourceContext};
+use crate::lint::{apply_directives, lint_file, SourceContext};
+use crate::{atomics, hotpath, lockorder};
 use std::fs;
 use std::path::{Path, PathBuf};
 
 /// Lints every `crates/*/src/**/*.rs` file under `root` (the repo root)
-/// and returns the aggregate report. File order — and therefore finding
-/// order — is lexicographic by repo-relative path, so the JSON artifact
-/// is itself deterministic.
+/// with all workspace passes and returns the aggregate report.
 pub fn scan_workspace(root: &Path, config: &LintConfig) -> std::io::Result<Report> {
     let mut files = collect_sources(root)?;
     files.sort();
-    let mut findings: Vec<Finding> = Vec::new();
-    let mut suppressions: Vec<AppliedSuppression> = Vec::new();
+    let mut sources = Vec::with_capacity(files.len());
     for rel in &files {
         let source = fs::read_to_string(root.join(rel))?;
         let rel_str = rel
@@ -23,17 +26,50 @@ pub fn scan_workspace(root: &Path, config: &LintConfig) -> std::io::Result<Repor
             .map(|c| c.as_os_str().to_string_lossy())
             .collect::<Vec<_>>()
             .join("/");
-        let out = lint_source(
-            &SourceContext {
-                path: &rel_str,
-                config,
-            },
-            &source,
-        );
+        sources.push((rel_str, source));
+    }
+    Ok(analyze_sources(sources, config))
+}
+
+/// The full analysis over in-memory `(repo-relative path, source)`
+/// pairs: per-file lints (with hot-path scoping delegated to the
+/// reachability pass), then the call-graph passes, then suppression.
+/// Fixture tests drive this directly with synthetic trees.
+pub fn analyze_sources(sources: Vec<(String, String)>, config: &LintConfig) -> Report {
+    let ws = Workspace::from_sources(sources);
+    let cg = CallGraph::build(&ws);
+
+    // Per-file checks (name-heuristic hot-path scoping off: the
+    // reachability pass below owns hot-path lints workspace-wide).
+    let mut file_lints = Vec::with_capacity(ws.files.len());
+    for pf in &ws.files {
+        let ctx = SourceContext {
+            path: &pf.path,
+            config,
+        };
+        file_lints.push(lint_file(&ctx, &pf.toks, &pf.source, false));
+    }
+
+    // Workspace passes; findings route to the file they anchor in so
+    // that file's directives can suppress them.
+    let mut pass_findings = Vec::new();
+    pass_findings.extend(lockorder::run(&ws, &cg, config));
+    pass_findings.extend(hotpath::run(&ws, &cg, config));
+    pass_findings.extend(atomics::run(&ws, config));
+    for f in pass_findings {
+        if let Some(fi) = ws.file_index(&f.path) {
+            file_lints[fi].raw.push(f);
+        }
+    }
+
+    let mut findings: Vec<Finding> = Vec::new();
+    let mut suppressions: Vec<AppliedSuppression> = Vec::new();
+    for (pf, fl) in ws.files.iter().zip(file_lints) {
+        let out = apply_directives(&pf.path, &fl.directives, fl.raw);
         findings.extend(out.findings);
         suppressions.extend(out.suppressions);
     }
-    Ok(Report::new(files.len() as u64, findings, suppressions))
+    Report::new(ws.files.len() as u64, findings, suppressions)
 }
 
 /// Repo-relative paths of every `.rs` file under `crates/*/src`.
@@ -88,5 +124,23 @@ mod tests {
             "expected a real workspace, saw {} files",
             report.files_scanned
         );
+    }
+
+    #[test]
+    fn pass_findings_are_suppressible_by_file_directives() {
+        let report = analyze_sources(
+            vec![(
+                "crates/sim/src/multicore.rs".to_string(),
+                "fn worker_loop() {\n\
+                     // analyze::allow(hot-path-unwrap): slot invariant, cannot be empty here\n\
+                     thing.unwrap();\n\
+                 }"
+                .to_string(),
+            )],
+            &LintConfig::default(),
+        );
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        assert_eq!(report.suppressions.len(), 1);
+        assert_eq!(report.suppressions[0].lint, "hot-path-unwrap");
     }
 }

@@ -1,0 +1,8 @@
+//! Seeded atomic-ordering violation: the first relaxed access has no
+//! `analyze::order` justification; the second does and must not fire.
+
+pub fn bump(c: &AtomicU64) -> u64 {
+    c.fetch_add(1, Ordering::Relaxed);
+    // analyze::order(monotonic counter; readers tolerate staleness)
+    c.load(Ordering::Relaxed)
+}

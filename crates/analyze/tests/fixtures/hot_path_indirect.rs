@@ -1,0 +1,13 @@
+//! Seeded hot-path violations one call away from the worker root: the
+//! old per-function name heuristic only saw `worker_loop`'s own body;
+//! the reachability pass must follow the call into `helper`.
+
+pub fn worker_loop(src: &S) {
+    helper(src);
+}
+
+fn helper(src: &S) {
+    let v = src.next().unwrap();
+    let label = format!("step {v}");
+    push(label);
+}

@@ -1,0 +1,14 @@
+//! Seeded AB-BA deadlock across the runtime's named lock classes:
+//! `forward` takes barrier-state then panic-list, `backward` the
+//! reverse. The lock-order pass must report one cycle naming both
+//! acquisition sites.
+
+pub fn forward(state: &M, panics: &M) {
+    let _gs = state.lock();
+    let _gp = panics.lock();
+}
+
+pub fn backward(state: &M, panics: &M) {
+    let _gp = panics.lock();
+    let _gs = state.lock();
+}

@@ -5,7 +5,9 @@
 //! proving the deadlock/lost-wakeup/assertion detectors actually fire.
 
 use califorms_analyze::sched::models::random_sweep;
-use califorms_analyze::sched::{check_barrier, check_worker_slots, BarrierVariant, SlotVariant};
+use califorms_analyze::sched::{
+    check_barrier, check_weave, check_worker_slots, BarrierVariant, SlotVariant, WeaveVariant,
+};
 
 const MAX: usize = 200_000;
 
@@ -70,6 +72,42 @@ fn done_before_return_lets_main_reclaim_an_empty_slot() {
         f.message.contains("slot empty at reclaim"),
         "assertion names the hazard: {}",
         f.message
+    );
+}
+
+#[test]
+fn weave_commit_two_workers_is_exhaustively_clean_at_bound_two() {
+    let r = check_weave(2, 1, WeaveVariant::Correct, 2, MAX);
+    assert!(r.failure.is_none(), "unexpected failure: {:?}", r.failure);
+    assert!(r.complete, "DFS must exhaust the bounded schedule space");
+    // The exact count is also asserted by CI (`--weave-schedules`); here
+    // we only require a real interleaving space.
+    assert!(r.schedules_run > 100, "{} schedules", r.schedules_run);
+}
+
+#[test]
+fn weave_two_epochs_stay_clean() {
+    let r = check_weave(2, 2, WeaveVariant::Correct, 1, MAX);
+    assert!(r.failure.is_none(), "unexpected failure: {:?}", r.failure);
+    assert!(r.complete);
+}
+
+#[test]
+fn weave_commit_before_check_is_caught_with_a_counterexample() {
+    let r = check_weave(2, 1, WeaveVariant::CommitBeforeCheck, 2, MAX);
+    let f = r.failure.expect("lost update must be detected");
+    assert_eq!(f.kind, "assertion");
+    assert!(
+        f.message.contains("exactly once"),
+        "assertion names the hazard: {}",
+        f.message
+    );
+    // The counterexample trace shows the double registration: both
+    // workers claimed the same bank before either commit validated.
+    assert!(
+        f.trace.iter().any(|e| e.contains("compare_exchange")),
+        "trace records the claim CASes: {:?}",
+        f.trace
     );
 }
 

@@ -27,21 +27,42 @@ fn real_workspace_is_lint_clean() {
 }
 
 #[test]
-fn workspace_suppressions_are_the_known_model_spawns() {
+fn workspace_suppressions_follow_the_policy() {
     let report = scan_workspace(&repo_root(), &LintConfig::default()).expect("scan");
-    // The sched model builders spawn model threads under the virtual
-    // scheduler; those two sites carry inline justifications.
-    assert_eq!(
-        report.suppressions.len(),
-        2,
-        "unexpected suppression set: {:?}",
-        report.suppressions
-    );
+    // Every suppression must carry a real justification, and only the
+    // expected lint kinds may be suppressed at all: model thread spawns
+    // (the sched models run threads under the virtual scheduler) and the
+    // individually-reasoned hot-path invariants the reachability passes
+    // surfaced. Nothing may suppress the determinism lints.
+    const SUPPRESSIBLE: &[&str] = &["thread-spawn", "hot-path-unwrap", "hot-path-alloc"];
     for s in &report.suppressions {
-        assert_eq!(s.lint, "thread-spawn");
-        assert_eq!(s.path, "crates/analyze/src/sched/models.rs");
-        assert!(!s.reason.is_empty());
+        assert!(
+            SUPPRESSIBLE.contains(&s.lint.as_str()),
+            "lint `{}` must never be suppressed: {s:?}",
+            s.lint
+        );
+        assert!(!s.reason.is_empty(), "empty justification: {s:?}");
+        if s.lint == "thread-spawn" {
+            assert!(
+                s.path.starts_with("crates/analyze/src/sched/"),
+                "thread-spawn suppression outside the sched models: {s:?}"
+            );
+        }
     }
+    // The two original model-spawn suppressions are still present.
+    let spawns = report
+        .suppressions
+        .iter()
+        .filter(|s| s.lint == "thread-spawn")
+        .count();
+    assert!(spawns >= 2, "model spawn suppressions missing");
+    // Suppressions are a budget, not a dumping ground: if this number
+    // grows, each new entry needs the same per-site scrutiny these got.
+    assert!(
+        report.suppressions.len() <= 30,
+        "suppression budget exceeded ({}): fix findings instead of annotating them",
+        report.suppressions.len()
+    );
 }
 
 #[test]

@@ -127,6 +127,35 @@ pub fn fill(l2: &L2Line) -> Result<L1Line> {
     Ok(L1Line::new(line))
 }
 
+/// Infallible [`spill`] for lines owned by a hierarchy: every resident
+/// L1 line was built through this crate's canonicalizing API, so the
+/// `NoSentinelAvailable` arm is unreachable. The simulator's eviction
+/// and coherence paths funnel through this single justified unwrap
+/// instead of scattering `.expect()` calls across the hot path.
+///
+/// # Panics
+///
+/// Panics on a non-canonical line (fault-injection tests only).
+#[must_use]
+pub fn spill_canonical(l1: &L1Line) -> L2Line {
+    // analyze::allow(hot-path-unwrap): resident L1 lines are canonical by construction; see doc
+    spill(l1).expect("canonical lines always spill")
+}
+
+/// Infallible [`fill`] for lines produced by [`spill`]: the sentinel
+/// header a spill writes always decodes, so the `CorruptSentinelHeader`
+/// arm is unreachable for lines the hierarchy itself stored. The
+/// counterpart of [`spill_canonical`] on the refill path.
+///
+/// # Panics
+///
+/// Panics on a corrupt header (fault-injection tests only).
+#[must_use]
+pub fn fill_canonical(l2: &L2Line) -> L1Line {
+    // analyze::allow(hot-path-unwrap): spill-produced sentinel headers always decode; see doc
+    fill(l2).expect("hierarchy lines are well-formed")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -85,6 +85,7 @@ impl ExceptionMask {
     ///
     /// Panics if no window is armed — unbalanced arm/disarm is a kernel bug.
     pub fn pop_window(&mut self) {
+        // analyze::allow(hot-path-unwrap): push/pop are balanced by the engine mask protocol; imbalance is a simulator bug that must stop loudly
         self.windows.pop().expect("unbalanced exception-mask pop");
     }
 

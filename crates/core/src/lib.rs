@@ -51,7 +51,7 @@ pub mod line;
 pub mod sentinel;
 
 pub use cform::{CformInstruction, CformOutcome};
-pub use convert::{fill, spill};
+pub use convert::{fill, fill_canonical, spill, spill_canonical};
 pub use detmap::{LineHasher, LineMap, LineSet};
 pub use error::{CoreError, Result};
 pub use exception::{AccessKind, CaliformsException, ExceptionKind, ExceptionMask};

@@ -268,6 +268,7 @@ impl<V> SetAssocCache<V> {
                 .enumerate()
                 .min_by_key(|(_, e)| e.stamp)
                 .map(|(i, _)| i)
+                // analyze::allow(hot-path-unwrap): a full set always has a victim: the iterator is non-empty
                 .expect("full set is non-empty");
             let victim = set.swap_remove(pos);
             self.stats.evictions += 1;

@@ -34,8 +34,8 @@ use crate::hierarchy::{
 use crate::stats::{CacheStats, CoherenceStats, SimStats};
 use crate::{line_base, line_offset, LINE_BYTES};
 use califorms_core::{
-    fill, range_mask, spill, AccessKind, CaliformsException, CformInstruction, CoreError,
-    ExceptionKind, L1Line,
+    fill_canonical, range_mask, spill_canonical, AccessKind, CaliformsException, CformInstruction,
+    CoreError, ExceptionKind, L1Line,
 };
 
 /// MESI residency state of a line in one core's L1 (absence = Invalid).
@@ -181,11 +181,10 @@ impl CoreL1 {
             let hit = self.cache.probe_entry(line_addr)?;
             let bv = hit.value.line.bitvector();
             self.cache.stats.hits += 1;
-            return Some(MemResult {
+            return Some(MemResult::quiet(
                 latency,
-                data: Vec::new(),
-                exception: load_violation(bv & range_mask(offset, len), line_addr, pc),
-            });
+                load_violation(bv & range_mask(offset, len), line_addr, pc),
+            ));
         }
         if !self.servable_locally(addr, len, false) {
             return None;
@@ -198,6 +197,7 @@ impl CoreL1 {
             let line_addr = line_base(cur);
             let offset = line_offset(cur);
             let chunk = ((LINE_BYTES - offset as u64).min(end - cur)) as usize;
+            // analyze::allow(hot-path-unwrap): residency checked by the enclosing probe
             let e = self.cache.access(line_addr).expect("checked resident");
             let bv = e.line.bitvector();
             if exception.is_none() {
@@ -205,11 +205,7 @@ impl CoreL1 {
             }
             cur += chunk as u64;
         }
-        Some(MemResult {
-            latency,
-            data: Vec::new(),
-            exception,
-        })
+        Some(MemResult::quiet(latency, exception))
     }
 
     /// Completes a load entirely within this L1, or returns `None` if any
@@ -280,11 +276,7 @@ impl CoreL1 {
                 Err(other) => unreachable!("store can only fault on security bytes: {other}"),
             };
             self.cache.stats.hits += 1;
-            return Some(MemResult {
-                latency,
-                data: Vec::new(),
-                exception,
-            });
+            return Some(MemResult::quiet(latency, exception));
         }
         if !self.servable_locally(addr, bytes.len(), true) {
             return None;
@@ -298,6 +290,7 @@ impl CoreL1 {
             let line_addr = line_base(cur);
             let offset = line_offset(cur);
             let chunk = ((LINE_BYTES - offset as u64).min(end - cur)) as usize;
+            // analyze::allow(hot-path-unwrap): residency checked by the enclosing probe
             let e = self.cache.access(line_addr).expect("checked resident");
             match e.line.store(offset, &bytes[consumed..consumed + chunk]) {
                 Ok(()) => {
@@ -319,11 +312,7 @@ impl CoreL1 {
             cur += chunk as u64;
             consumed += chunk;
         }
-        Some(MemResult {
-            latency,
-            data: Vec::new(),
-            exception,
-        })
+        Some(MemResult::quiet(latency, exception))
     }
 
     /// Completes a `CFORM` entirely within this L1 (the line must be held
@@ -343,11 +332,7 @@ impl CoreL1 {
             Err(err) => Some(kmap_exception(err, insn.line_addr, pc)),
         };
         self.cache.stats.hits += 1;
-        Some(MemResult {
-            latency,
-            data: Vec::new(),
-            exception,
-        })
+        Some(MemResult::quiet(latency, exception))
     }
 }
 
@@ -581,7 +566,7 @@ impl CoherentHierarchy {
         line: &L1Line,
         dirty: bool,
     ) {
-        let spilled = spill(line).expect("canonical lines always spill");
+        let spilled = spill_canonical(line);
         if spilled.califormed {
             ext.spills += 1;
         }
@@ -604,6 +589,7 @@ impl CoherentHierarchy {
         let mut entry = ext
             .dir
             .remove(&line_addr)
+            // analyze::allow(hot-path-unwrap): coherence invariant: every resident line has a directory entry
             .expect("resident lines are in the directory");
         entry.sharers &= !(1u64 << c);
         if entry.sharers != 0 {
@@ -634,6 +620,7 @@ impl CoherentHierarchy {
                     let entry = ext
                         .dir
                         .get_mut(&line_addr)
+                        // analyze::allow(hot-path-unwrap): coherence invariant: shared lines keep their directory entry
                         .expect("shared lines are in the directory");
                     let others = entry.sharers & !(1u64 << c);
                     entry.sharers = 1 << c;
@@ -652,6 +639,7 @@ impl CoherentHierarchy {
                     let e = self.l1s[c]
                         .cache
                         .peek_mut(line_addr)
+                        // analyze::allow(hot-path-unwrap): the line was pinned resident earlier in this transaction
                         .expect("still resident");
                     e.state = Mesi::Modified;
                     return latency;
@@ -685,7 +673,7 @@ impl CoherentHierarchy {
             if l2line.califormed {
                 ext.fills += 1;
             }
-            let l1line = fill(&l2line).expect("hierarchy lines are well-formed");
+            let l1line = fill_canonical(&l2line);
             if let Some(victim) = self.l1s[c].cache.insert(
                 line_addr,
                 CoherentLine {
@@ -713,6 +701,7 @@ impl CoherentHierarchy {
                 let (victim, dirty) = self.l1s[o]
                     .cache
                     .invalidate(line_addr)
+                    // analyze::allow(hot-path-unwrap): directory owner state implies the line is in that L1
                     .expect("directory says owner has the line");
                 self.coherence.invalidations += 1;
                 (victim.line, dirty)
@@ -720,6 +709,7 @@ impl CoherentHierarchy {
                 let e = self.l1s[o]
                     .cache
                     .peek_mut(line_addr)
+                    // analyze::allow(hot-path-unwrap): directory owner state implies the line is in that L1
                     .expect("directory says owner has the line");
                 e.state = Mesi::Shared;
                 let line = e.line;
@@ -727,7 +717,7 @@ impl CoherentHierarchy {
                 self.l1s[o].cache.clear_dirty(line_addr);
                 (line, dirty)
             };
-            let spilled = spill(&owner_line).expect("canonical lines always spill");
+            let spilled = spill_canonical(&owner_line);
             if spilled.califormed {
                 self.exts[b].spills += 1;
                 self.coherence.califormed_transfers += 1;
@@ -753,7 +743,7 @@ impl CoherentHierarchy {
         if l2line.califormed {
             self.exts[b].fills += 1;
         }
-        let l1line = fill(&l2line).expect("hierarchy lines are well-formed");
+        let l1line = fill_canonical(&l2line);
         let entry = self.exts[b].dir.entry(line_addr).or_default();
         let state = if write {
             entry.sharers = 1 << c;
@@ -790,6 +780,7 @@ impl CoherentHierarchy {
         self.l1s[c]
             .cache
             .access_uncounted(line_addr)
+            // analyze::allow(hot-path-unwrap): ensure_resident on the line above pinned it
             .expect("line was just ensured resident")
     }
 
@@ -813,11 +804,7 @@ impl CoherentHierarchy {
             }
             cur += chunk as u64;
         }
-        MemResult {
-            latency,
-            data: Vec::new(),
-            exception,
-        }
+        MemResult::quiet(latency, exception)
     }
 
     /// Performs a load by core `c` (line-crossing loads are split).
@@ -889,11 +876,7 @@ impl CoherentHierarchy {
             cur += chunk as u64;
             consumed += chunk;
         }
-        MemResult {
-            latency,
-            data: Vec::new(),
-            exception,
-        }
+        MemResult::quiet(latency, exception)
     }
 
     /// Executes a `CFORM` by core `c` (write-allocate: the line is pulled
@@ -910,11 +893,7 @@ impl CoherentHierarchy {
             }
             Err(err) => Some(kmap_exception(err, insn.line_addr, pc)),
         };
-        MemResult {
-            latency,
-            data: Vec::new(),
-            exception,
-        }
+        MemResult::quiet(latency, exception)
     }
 
     /// Executes a **non-temporal** `CFORM` by core `c`: every L1 copy is
@@ -949,20 +928,16 @@ impl CoherentHierarchy {
         }
         let (l2line, extra) = self.shared.fetch(line_addr);
         latency += extra;
-        let mut l1line = fill(&l2line).expect("hierarchy lines are well-formed");
+        let mut l1line = fill_canonical(&l2line);
         let exception = match insn.execute(l1line.line_mut()) {
             Ok(_) => {
-                let spilled = spill(&l1line).expect("canonical lines always spill");
+                let spilled = spill_canonical(&l1line);
                 self.shared.insert_l2(line_addr, spilled, true);
                 None
             }
             Err(err) => Some(kmap_exception(err, line_addr, pc)),
         };
-        MemResult {
-            latency: self.cfg.l1d_latency + latency,
-            data: Vec::new(),
-            exception,
-        }
+        MemResult::quiet(self.cfg.l1d_latency + latency, exception)
     }
 
     /// Functional view of the line holding `addr`: the authoritative copy
@@ -982,7 +957,7 @@ impl CoherentHierarchy {
                 }
             }
         }
-        fill(&self.shared.peek_line(line_addr)).expect("hierarchy lines are well-formed")
+        fill_canonical(&self.shared.peek_line(line_addr))
     }
 
     /// Functional snapshot of a line's canonical *(data, security-mask)*

@@ -17,7 +17,7 @@
 
 use crate::hierarchy::Hierarchy;
 use crate::{line_base, line_offset, LINE_BYTES};
-use califorms_core::fill;
+use califorms_core::fill_canonical;
 
 /// Result of a DMA transfer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -90,7 +90,7 @@ impl DmaEngine {
             };
             let end_off = (line_last - line_addr) as usize;
             if self.respects_califorms {
-                let l1 = fill(&raw).expect("well-formed line");
+                let l1 = fill_canonical(&raw);
                 for off in start..=end_off {
                     if l1.line().is_security_byte(off) {
                         security += 1;

@@ -295,6 +295,7 @@ impl Engine {
 /// reproduce the engine's payloads); the replay hot path uses
 /// [`fill_store_pattern`] over a stack buffer instead.
 pub fn store_pattern(addr: u64, len: usize) -> Vec<u8> {
+    // analyze::allow(hot-path-alloc): allocating form for external drivers; the replay path uses fill_store_pattern over a stack buffer
     let mut buf = vec![0u8; len];
     fill_store_pattern(addr, &mut buf);
     buf

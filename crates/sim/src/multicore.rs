@@ -255,6 +255,7 @@ fn refill(
 ) {
     ring.clear();
     while ring.len() < SOURCE_RING {
+        // analyze::allow(hot-path-unwrap): the pack was validated by from_bytes before replay started
         match dec.next_op().expect("validated pack is well-formed") {
             None => break,
             Some(op) => {
@@ -539,10 +540,12 @@ impl RunTelemetry {
 /// Extracts a displayable message from a caught panic payload.
 fn panic_message(payload: &(dyn Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
+        // analyze::allow(hot-path-alloc): panic path: the worker is already down, steady-state never runs this
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
         s.clone()
     } else {
+        // analyze::allow(hot-path-alloc): panic path: the worker is already down, steady-state never runs this
         "non-string panic payload".to_string()
     }
 }

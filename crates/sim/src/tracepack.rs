@@ -619,12 +619,14 @@ impl TracePack {
     /// validated by [`Self::from_bytes`] is always well-formed.
     pub fn iter(&self) -> impl Iterator<Item = TraceOp> + '_ {
         let mut dec = self.decoder();
+        // analyze::allow(hot-path-unwrap): packs are validated at construction by from_ops/from_bytes
         std::iter::from_fn(move || dec.next_op().expect("validated pack is well-formed"))
     }
 
     /// Decodes the whole pack into a `Vec` (tests and tools; replay paths
     /// should batch-decode instead).
     pub fn to_vec(&self) -> Vec<TraceOp> {
+        // analyze::allow(hot-path-alloc): tests-and-tools convenience; replay engines batch-decode instead
         self.iter().collect()
     }
 }

@@ -63,6 +63,10 @@ impl Default for LintConfig {
                 // under its virtual scheduler.
                 "crates/analyze/src/sched/explorer.rs",
                 "crates/analyze/src/sched/shim.rs",
+                // The crash-recovery harness spawns a child *process*
+                // (its own binary, the `kill -9` target) — a
+                // `Command::spawn`, not a worker thread.
+                "crates/bench/src/bin/crashrecovery.rs",
             ],
             hot_paths: vec![
                 HotPath {
@@ -91,6 +95,10 @@ impl Default for LintConfig {
                 },
                 HotPath {
                     file: "crates/sim/src/runtime.rs",
+                    function: "wait_all_done_deadline",
+                },
+                HotPath {
+                    file: "crates/sim/src/runtime.rs",
                     function: "stop",
                 },
                 HotPath {
@@ -111,6 +119,9 @@ impl Default for LintConfig {
                 ("panics", "panic-list"),
                 ("state", "barrier-state"),
                 ("tracks", "telemetry-recorder"),
+                // Drain-protocol model: per-core bound-phase progress
+                // counters the checkpoint snapshot reads after quiesce.
+                ("counters", "core-progress"),
             ],
         }
     }

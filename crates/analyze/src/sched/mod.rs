@@ -26,6 +26,10 @@
 //!   from `califorms-sim`, with deliberately-broken variants
 //!   (`notify_one` release, check-then-wait gap, done-before-return)
 //!   that prove the detectors actually fire.
+//! * [`drain`] — the checkpoint drain protocol (workers quiesce at the
+//!   quantum barrier → single-threaded snapshot → next release), with a
+//!   `SnapshotBeforeDrain` variant whose torn snapshot the explorer
+//!   catches with a counterexample trace.
 //! * [`weave`] — the speculative-weave commit protocol for the planned
 //!   optimistic execution path: per-bank claim → execute → commit/abort
 //!   across an epoch boundary, with a `CommitBeforeCheck` variant whose
@@ -41,11 +45,13 @@
 //! this suite exists to catch: every blocking edge (acquire, wait,
 //! join) and every wakeup edge (notify) is still explored.
 
+pub mod drain;
 pub mod explorer;
 pub mod models;
 pub mod shim;
 pub mod weave;
 
+pub use drain::{check_drain, DrainVariant};
 pub use explorer::{explore, explore_random, ExploreReport, Failure, ModelFn, Sched, SchedConfig};
 pub use models::{check_barrier, check_worker_slots, BarrierVariant, SlotVariant};
 pub use weave::{check_weave, WeaveVariant};

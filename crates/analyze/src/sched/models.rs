@@ -47,20 +47,20 @@ pub enum SlotVariant {
 
 /// Mirror of the production `BarrierState` (quantum_end elided — its
 /// value doesn't affect the protocol).
-struct BarrierState {
-    epoch: u64,
-    running: usize,
-    stop: bool,
+pub(super) struct BarrierState {
+    pub(super) epoch: u64,
+    pub(super) running: usize,
+    pub(super) stop: bool,
 }
 
-struct Barrier {
-    state: Mutex<BarrierState>,
+pub(super) struct Barrier {
+    pub(super) state: Mutex<BarrierState>,
     start: Condvar,
     done: Condvar,
 }
 
 impl Barrier {
-    fn new(s: &Sched) -> Self {
+    pub(super) fn new(s: &Sched) -> Self {
         Self {
             state: Mutex::new(
                 s,
@@ -79,7 +79,12 @@ impl Barrier {
     /// Worker side: mirrors `QuantumBarrier::wait_for_quantum`,
     /// asserting epoch monotonicity (each worker sees every epoch
     /// exactly once, in order).
-    fn wait_for_quantum(&self, s: &Sched, seen: &mut u64, variant: BarrierVariant) -> bool {
+    pub(super) fn wait_for_quantum(
+        &self,
+        s: &Sched,
+        seen: &mut u64,
+        variant: BarrierVariant,
+    ) -> bool {
         let mut g = self.state.lock();
         loop {
             if g.stop {
@@ -108,7 +113,7 @@ impl Barrier {
     }
 
     /// Worker side: mirrors `QuantumBarrier::worker_done`.
-    fn worker_done(&self) {
+    pub(super) fn worker_done(&self) {
         let mut g = self.state.lock();
         g.running -= 1;
         if g.running == 0 {
@@ -118,7 +123,7 @@ impl Barrier {
     }
 
     /// Main side: mirrors `QuantumBarrier::release`.
-    fn release(&self, workers: usize, variant: BarrierVariant) {
+    pub(super) fn release(&self, workers: usize, variant: BarrierVariant) {
         let mut g = self.state.lock();
         g.epoch += 1;
         g.running = workers;
@@ -132,7 +137,7 @@ impl Barrier {
     }
 
     /// Main side: mirrors `QuantumBarrier::wait_all_done`.
-    fn wait_all_done(&self) {
+    pub(super) fn wait_all_done(&self) {
         let mut g = self.state.lock();
         while g.running > 0 {
             g = self.done.wait(g);
@@ -140,7 +145,7 @@ impl Barrier {
     }
 
     /// Main side: mirrors `QuantumBarrier::stop`.
-    fn stop(&self) {
+    pub(super) fn stop(&self) {
         let mut g = self.state.lock();
         g.stop = true;
         drop(g);

@@ -6,7 +6,8 @@
 
 use califorms_analyze::sched::models::random_sweep;
 use califorms_analyze::sched::{
-    check_barrier, check_weave, check_worker_slots, BarrierVariant, SlotVariant, WeaveVariant,
+    check_barrier, check_drain, check_weave, check_worker_slots, BarrierVariant, DrainVariant,
+    SlotVariant, WeaveVariant,
 };
 
 const MAX: usize = 200_000;
@@ -109,6 +110,36 @@ fn weave_commit_before_check_is_caught_with_a_counterexample() {
         "trace records the claim CASes: {:?}",
         f.trace
     );
+}
+
+#[test]
+fn drain_two_workers_two_quanta_is_exhaustively_clean() {
+    let r = check_drain(2, 2, 1, DrainVariant::Correct, 2, MAX);
+    assert!(r.failure.is_none(), "unexpected failure: {:?}", r.failure);
+    assert!(r.complete, "DFS must exhaust the bounded schedule space");
+    // The exact count is also asserted by CI (`--drain-schedules`);
+    // here we only require a real interleaving space.
+    assert!(r.schedules_run > 100, "{} schedules", r.schedules_run);
+}
+
+#[test]
+fn drain_snapshot_every_other_quantum_stays_clean() {
+    let r = check_drain(2, 2, 2, DrainVariant::Correct, 2, MAX);
+    assert!(r.failure.is_none(), "unexpected failure: {:?}", r.failure);
+    assert!(r.complete);
+}
+
+#[test]
+fn snapshot_before_drain_captures_torn_state() {
+    let r = check_drain(2, 1, 1, DrainVariant::SnapshotBeforeDrain, 2, MAX);
+    let f = r.failure.expect("torn snapshot must be detected");
+    assert_eq!(f.kind, "assertion");
+    assert!(
+        f.message.contains("drain") || f.message.contains("mid-bound-phase"),
+        "assertion names the hazard: {}",
+        f.message
+    );
+    assert!(!f.trace.is_empty(), "counterexample schedule captured");
 }
 
 #[test]

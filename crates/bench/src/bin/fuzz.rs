@@ -9,7 +9,11 @@
 //!   mid-run DMA reads / page swap cycles);
 //! * multi-core cases diff [`califorms_sim::MulticoreEngine`] at the
 //!   configured core count under weave batches **1 and 64** (the strict
-//!   one-transaction-per-turn weave and the batched default).
+//!   one-transaction-per-turn weave and the batched default);
+//! * every fourth case (deterministically, by seed) also replays in
+//!   checkpoint+resume mode: checkpointed every 2 boundaries, resumed
+//!   from each checkpoint, every resumed run required bit-identical to
+//!   the straight-through one (the crash-tolerance arm).
 //!
 //! On divergence the offending pack is shrunk to a minimal
 //! counterexample, written to `target/fuzz-failures/`, and the process
@@ -102,17 +106,27 @@ fn parse_u64(s: &str) -> u64 {
     }
 }
 
-/// Diff configurations one case is checked under.
+/// Diff configurations one case is checked under. Every fourth case
+/// (deterministically, by seed) additionally replays in
+/// checkpoint+resume mode (`resume_at`): the run is checkpointed every
+/// 2 boundaries, resumed from every checkpoint, and each resumed run
+/// must be bit-identical to the straight-through one — the fuzzer's
+/// crash-tolerance arm.
 fn configs_for(case: &FuzzCase, inject: bool) -> Vec<DiffConfig> {
+    let resume_at = case.seed.is_multiple_of(4).then_some(2);
     if case.cores == 1 {
         vec![DiffConfig {
             fault: inject.then_some(FaultInjection::L1MaskOffByOne),
+            resume_at,
             ..DiffConfig::single()
         }]
     } else {
         vec![
             DiffConfig::multicore(case.cores, 1),
-            DiffConfig::multicore(case.cores, 64),
+            DiffConfig {
+                resume_at,
+                ..DiffConfig::multicore(case.cores, 64)
+            },
         ]
     }
 }

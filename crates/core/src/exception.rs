@@ -123,6 +123,32 @@ impl ExceptionMask {
     pub fn is_armed(&self) -> bool {
         !self.windows.is_empty()
     }
+
+    /// The armed window stack, innermost last (checkpoint serialization).
+    pub fn windows(&self) -> &[(u64, u64)] {
+        &self.windows
+    }
+
+    /// Reconstructs a mask from a serialized snapshot: the window stack
+    /// plus the suppression/delivery counters, exactly as captured by
+    /// [`Self::windows`], [`Self::suppressed_count`] and
+    /// [`Self::delivered_count`]. Empty windows are rejected with an
+    /// error (never a panic) so a corrupt checkpoint cannot smuggle one
+    /// past [`Self::push_window`]'s assertion.
+    pub fn from_parts(
+        windows: Vec<(u64, u64)>,
+        suppressed: u64,
+        delivered: u64,
+    ) -> Result<Self, &'static str> {
+        if windows.iter().any(|&(lo, hi)| lo >= hi) {
+            return Err("empty whitelist window");
+        }
+        Ok(Self {
+            windows,
+            suppressed,
+            delivered,
+        })
+    }
 }
 
 impl core::fmt::Display for CaliformsException {

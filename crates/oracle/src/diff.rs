@@ -36,7 +36,8 @@ use califorms_sim::dma::DmaEngine;
 use califorms_sim::hierarchy::Hierarchy;
 use califorms_sim::os::SwapManager;
 use califorms_sim::{
-    CoherentHierarchy, Engine, MulticoreConfig, MulticoreEngine, SimStats, TraceOp, TracePack,
+    CoherentHierarchy, Engine, FaultPlan, MulticoreConfig, MulticoreEngine, RunError, SimStats,
+    TraceOp, TracePack,
 };
 
 /// A deliberate, harness-side fault injected into the engine-observed
@@ -101,6 +102,12 @@ pub struct DiffConfig {
     /// Harness-side fault injection (single-core only; see
     /// [`FaultInjection`]).
     pub fault: Option<FaultInjection>,
+    /// `Some(k)`: checkpoint+resume mode — additionally checkpoint the
+    /// engine run every `k` quantum boundaries (single-core: every `k`
+    /// decode batches), resume from **every** captured checkpoint, and
+    /// require each resumed run to be bit-identical (stats, runtime and
+    /// weave counters, exceptions) to the straight-through run.
+    pub resume_at: Option<u64>,
 }
 
 impl Default for DiffConfig {
@@ -110,6 +117,7 @@ impl Default for DiffConfig {
             weave_batch: 64,
             quantum: 10_000.0,
             fault: None,
+            resume_at: None,
         }
     }
 }
@@ -191,6 +199,17 @@ pub enum Divergence {
         /// The panic message.
         message: String,
     },
+    /// A checkpoint+resume replay ([`DiffConfig::resume_at`]) broke the
+    /// bit-identity contract: the resumed run disagreed with the
+    /// straight-through run, or the checkpoint machinery itself failed.
+    Resume {
+        /// Index of the offending checkpoint in capture order
+        /// (`usize::MAX` = the checkpointed run itself diverged before
+        /// any resume was attempted).
+        checkpoint: usize,
+        /// What disagreed.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for Divergence {
@@ -238,6 +257,9 @@ impl std::fmt::Display for Divergence {
             ),
             Divergence::EnginePanic { core, message } => {
                 write!(f, "engine worker for core {core} panicked: {message}")
+            }
+            Divergence::Resume { checkpoint, detail } => {
+                write!(f, "checkpoint {checkpoint} resume diverged: {detail}")
             }
         }
     }
@@ -445,7 +467,13 @@ fn diff_single(pack: &TracePack, events: &[SysEvent], cfg: &DiffConfig) -> Optio
         return Some(d);
     }
     let outcome = engine.finish();
-    diff_counters(0, &outcome.stats, core.counters())
+    if let Some(d) = diff_counters(0, &outcome.stats, core.counters()) {
+        return Some(d);
+    }
+    if let Some(interval) = cfg.resume_at {
+        return diff_resume_single(pack, interval);
+    }
+    None
 }
 
 /// Oracle replay of a pack dealt to `cores` lanes with the engine's
@@ -468,12 +496,16 @@ fn diff_multicore(pack: &TracePack, cfg: &DiffConfig) -> Option<Divergence> {
     );
     let (outcome, hierarchy): (_, CoherentHierarchy) = match mc.try_run_pack_with_state(pack) {
         Ok(pair) => pair,
-        Err(p) => {
+        Err(err) => {
             // An engine panic is a divergence only if the oracle replays
             // the same pack cleanly. On an *invalid* stream (unbalanced
             // mask pop, misaligned CFORM — which a shrinker's candidate
             // reductions can manufacture) both sides fault: that is
             // agreement, not a counterexample.
+            let (core, message) = match err {
+                RunError::Panic(p) => (p.core, p.message),
+                other => (other.core().unwrap_or(0), other.to_string()),
+            };
             let cores = cfg.cores;
             let oracle_panics = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 oracle_replay_lanes(pack, cores);
@@ -482,13 +514,16 @@ fn diff_multicore(pack: &TracePack, cfg: &DiffConfig) -> Option<Divergence> {
             return if oracle_panics {
                 None
             } else {
-                Some(Divergence::EnginePanic {
-                    core: p.core,
-                    message: p.message,
-                })
+                Some(Divergence::EnginePanic { core, message })
             };
         }
     };
+
+    if let Some(interval) = cfg.resume_at {
+        if let Some(d) = diff_resume_multicore(pack, cfg, interval, &outcome) {
+            return Some(d);
+        }
+    }
 
     let (mem, lanes) = oracle_replay_lanes(pack, cfg.cores);
 
@@ -504,6 +539,210 @@ fn diff_multicore(pack: &TracePack, cfg: &DiffConfig) -> Option<Divergence> {
         }
     }
     None
+}
+
+/// The `resume_at` check, multi-core: checkpoint the run every
+/// `interval` quantum boundaries, resume from **every** captured
+/// checkpoint, and require bit-identity (stats incl. runtime/weave
+/// counters, exceptions) with the straight-through `reference`.
+fn diff_resume_multicore(
+    pack: &TracePack,
+    cfg: &DiffConfig,
+    interval: u64,
+    reference: &califorms_sim::MulticoreOutcome,
+) -> Option<Divergence> {
+    let mc = MulticoreEngine::new(
+        MulticoreConfig::westmere(cfg.cores)
+            .with_weave_batch(cfg.weave_batch)
+            .with_quantum(cfg.quantum),
+    );
+    let (full, checkpoints) = match mc.try_run_pack_checkpointed(pack, interval) {
+        Ok(pair) => pair,
+        Err(err) => {
+            return Some(Divergence::Resume {
+                checkpoint: usize::MAX,
+                detail: format!("checkpointed run failed: {err}"),
+            })
+        }
+    };
+    if full.stats != reference.stats || full.exceptions != reference.exceptions {
+        return Some(Divergence::Resume {
+            checkpoint: usize::MAX,
+            detail: "checkpoint capture perturbed the run".into(),
+        });
+    }
+    for (i, bytes) in checkpoints.iter().enumerate() {
+        match MulticoreEngine::try_resume_pack(pack, bytes) {
+            Ok(resumed) => {
+                if resumed.stats != reference.stats {
+                    return Some(Divergence::Resume {
+                        checkpoint: i,
+                        detail: "resumed stats differ from the straight-through run".into(),
+                    });
+                }
+                if resumed.exceptions != reference.exceptions {
+                    return Some(Divergence::Resume {
+                        checkpoint: i,
+                        detail: "resumed exceptions differ from the straight-through run".into(),
+                    });
+                }
+            }
+            Err(err) => {
+                return Some(Divergence::Resume {
+                    checkpoint: i,
+                    detail: format!("resume failed: {err}"),
+                })
+            }
+        }
+    }
+    None
+}
+
+/// The `resume_at` check, single-core: as
+/// [`diff_resume_multicore`], with the interval counted in decode
+/// batches ([`Engine::REPLAY_BATCH`] ops each).
+fn diff_resume_single(pack: &TracePack, interval: u64) -> Option<Divergence> {
+    let reference = Engine::westmere().run_pack(pack);
+    let (full, checkpoints) = Engine::westmere().run_pack_checkpointed(pack, interval);
+    if full != reference {
+        return Some(Divergence::Resume {
+            checkpoint: usize::MAX,
+            detail: "checkpoint capture perturbed the run".into(),
+        });
+    }
+    for (i, bytes) in checkpoints.iter().enumerate() {
+        match Engine::resume_pack(pack, bytes) {
+            Ok(resumed) if resumed == reference => {}
+            Ok(_) => {
+                return Some(Divergence::Resume {
+                    checkpoint: i,
+                    detail: "resumed outcome differs from the straight-through run".into(),
+                })
+            }
+            Err(err) => {
+                return Some(Divergence::Resume {
+                    checkpoint: i,
+                    detail: format!("resume failed: {err}"),
+                })
+            }
+        }
+    }
+    None
+}
+
+/// One case of the crash/corruption fault campaign (DESIGN.md §14) —
+/// the harness-driven faults beyond [`FaultInjection::L1MaskOffByOne`].
+/// Every case must surface as a *typed* error within the watchdog
+/// deadline; [`run_fault_campaign`] verifies that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultCampaign {
+    /// Kill `core`'s worker thread (in-process panic hook) at the start
+    /// of quantum `quantum` — must surface as `RunError::Panic`.
+    KillWorker {
+        /// Core whose worker is killed.
+        core: usize,
+        /// Quantum at which the kill fires.
+        quantum: u64,
+    },
+    /// Stall `core`'s worker long enough to trip the barrier watchdog —
+    /// must surface as `RunError::Stall` naming the core.
+    StallWorker {
+        /// Core whose worker stalls.
+        core: usize,
+    },
+    /// Truncate a captured checkpoint to `keep` bytes before resuming —
+    /// must surface as `RunError::Checkpoint`, never a panic.
+    TruncateCheckpoint {
+        /// Bytes of the checkpoint kept (the rest is cut).
+        keep: usize,
+    },
+    /// Flip one byte (XOR `0xFF` at `at % len`) in a captured checkpoint
+    /// before resuming — must be caught typed (checksum or field
+    /// validation), never a panic.
+    FlipCheckpointByte {
+        /// Byte position to corrupt (taken modulo the checkpoint size).
+        at: usize,
+    },
+}
+
+/// Runs one [`FaultCampaign`] case against a multi-core replay of
+/// `pack` and verifies the fault surfaced as the *typed* error the case
+/// demands. `Ok` carries a description of the observed error;
+/// `Err` means the campaign found a robustness bug (wrong error class,
+/// or no error at all).
+///
+/// The stall case uses a deliberately short watchdog so the campaign
+/// stays fast; kill/stall need `cfg.cores ≥ 2`.
+pub fn run_fault_campaign(
+    pack: &TracePack,
+    campaign: FaultCampaign,
+    cfg: &DiffConfig,
+) -> Result<String, String> {
+    let base = MulticoreConfig::westmere(cfg.cores.max(2))
+        .with_weave_batch(cfg.weave_batch)
+        .with_quantum(cfg.quantum);
+    match campaign {
+        FaultCampaign::KillWorker { core, quantum } => {
+            let mc = MulticoreEngine::new(base.with_fault(FaultPlan {
+                kill_at: Some((core, quantum)),
+                ..FaultPlan::default()
+            }));
+            match mc.try_run_pack(pack) {
+                Err(RunError::Panic(p)) if p.core == core => Ok(format!("typed worker panic: {p}")),
+                Err(other) => Err(format!("wrong error class for a kill: {other}")),
+                Ok(_) => Err("killed worker went unnoticed".into()),
+            }
+        }
+        FaultCampaign::StallWorker { core } => {
+            let mc = MulticoreEngine::new(
+                base.with_watchdog(Some(std::time::Duration::from_millis(50)))
+                    .with_fault(FaultPlan {
+                        stall_at: Some((core, 0, 400)),
+                        ..FaultPlan::default()
+                    }),
+            );
+            match mc.try_run_pack(pack) {
+                Err(RunError::Stall(s)) if s.core == core => Ok(format!("typed worker stall: {s}")),
+                Err(other) => Err(format!("wrong error class for a stall: {other}")),
+                Ok(_) => Err("stalled worker went unnoticed".into()),
+            }
+        }
+        FaultCampaign::TruncateCheckpoint { keep } => {
+            let bytes = first_checkpoint(pack, &base)?;
+            let cut = &bytes[..keep.min(bytes.len().saturating_sub(1))];
+            match MulticoreEngine::try_resume_pack(pack, cut) {
+                Err(RunError::Checkpoint(e)) => Ok(format!("typed checkpoint error: {e}")),
+                Err(other) => Err(format!("wrong error class for truncation: {other}")),
+                Ok(_) => Err(format!("truncation to {} bytes went unnoticed", cut.len())),
+            }
+        }
+        FaultCampaign::FlipCheckpointByte { at } => {
+            let mut bytes = first_checkpoint(pack, &base)?;
+            let at = at % bytes.len();
+            bytes[at] ^= 0xFF;
+            match MulticoreEngine::try_resume_pack(pack, &bytes) {
+                Err(RunError::Checkpoint(e)) => Ok(format!("typed checkpoint error: {e}")),
+                Err(other) => Err(format!("wrong error class for corruption: {other}")),
+                Ok(_) => Err(format!("flipped byte {at} went unnoticed")),
+            }
+        }
+    }
+}
+
+/// The first checkpoint of a short checkpointed replay — the corpus the
+/// truncation/corruption campaign cases mutate.
+fn first_checkpoint(pack: &TracePack, base: &MulticoreConfig) -> Result<Vec<u8>, String> {
+    // Stream the checkpoints and keep only the first — accumulating
+    // them all at interval 1 is O(quanta × checkpoint size) memory.
+    let mut first = None;
+    MulticoreEngine::new(*base)
+        .try_run_pack_checkpointed_with(pack, 1, |bytes| {
+            if first.is_none() {
+                first = Some(bytes);
+            }
+        })
+        .map_err(|e| format!("checkpointed run failed: {e}"))?;
+    first.ok_or_else(|| "run too short to checkpoint".into())
 }
 
 #[cfg(test)]
@@ -599,6 +838,63 @@ mod tests {
             len: 16,
         }];
         assert_eq!(diff_pack(&pack, &events, &DiffConfig::single()), None);
+    }
+
+    /// A workload busy enough to cross several quantum boundaries on
+    /// every core count the resume matrix uses.
+    fn resume_ops() -> Vec<TraceOp> {
+        let mut ops = Vec::new();
+        for i in 0..600u64 {
+            ops.push(TraceOp::Exec((i % 37) as u32 + 1));
+            ops.push(TraceOp::Store {
+                addr: 0x4000 + (i % 96) * 8,
+                size: 8,
+            });
+            ops.push(TraceOp::Load {
+                addr: 0x4000 + ((i * 7) % 96) * 8,
+                size: 8,
+            });
+        }
+        ops
+    }
+
+    /// The acceptance matrix: checkpoint+resume bit-identity at
+    /// 1/2/4 cores × weave batches {1, 64}.
+    #[test]
+    fn resume_mode_agrees_across_core_and_batch_matrix() {
+        let pack = TracePack::from_ops(resume_ops());
+        for cores in [1usize, 2, 4] {
+            for batch in [1u32, 64] {
+                let cfg = DiffConfig {
+                    resume_at: Some(2),
+                    ..DiffConfig::multicore(cores, batch)
+                };
+                assert_eq!(
+                    diff_pack(&pack, &[], &cfg),
+                    None,
+                    "cores={cores} batch={batch}"
+                );
+            }
+        }
+    }
+
+    /// Every campaign case must surface as its typed error class.
+    #[test]
+    fn fault_campaign_cases_surface_typed() {
+        let pack = TracePack::from_ops(resume_ops());
+        let cfg = DiffConfig::multicore(2, 64);
+        for campaign in [
+            FaultCampaign::KillWorker {
+                core: 1,
+                quantum: 0,
+            },
+            FaultCampaign::StallWorker { core: 0 },
+            FaultCampaign::TruncateCheckpoint { keep: 9 },
+            FaultCampaign::FlipCheckpointByte { at: 1234 },
+        ] {
+            run_fault_campaign(&pack, campaign, &cfg)
+                .unwrap_or_else(|e| panic!("{campaign:?}: {e}"));
+        }
     }
 
     #[test]

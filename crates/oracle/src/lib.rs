@@ -51,7 +51,9 @@ pub mod fuzz;
 pub mod model;
 pub mod shrink;
 
-pub use diff::{diff_pack, DiffConfig, Divergence, FaultInjection, SysEvent};
+pub use diff::{
+    diff_pack, run_fault_campaign, DiffConfig, Divergence, FaultCampaign, FaultInjection, SysEvent,
+};
 pub use fuzz::{generate_case, FuzzCase};
 pub use model::{FlatMemory, OracleCore};
 pub use shrink::shrink_ops;

@@ -321,6 +321,76 @@ impl<V> SetAssocCache<V> {
         }
         out
     }
+
+    /// The LRU clock (checkpoint serialization; restored by
+    /// [`Self::import_lines`]).
+    pub(crate) fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// Snapshot of every resident line for checkpointing, in set-major
+    /// order and, within a set, in the set `Vec`'s current order. That
+    /// order matters: `insert`/`invalidate` use `swap_remove`, so the
+    /// within-set order is itself a function of the op history, and a
+    /// restore must reproduce it exactly for victim selection (min-stamp
+    /// ties cannot occur — stamps are unique — but set-scan order feeds
+    /// `find`, so we keep the bit-identity contract conservative).
+    pub(crate) fn export_lines(&self) -> Vec<(u64, u64, bool, &V)> {
+        let set_count = self.sets.len() as u64;
+        let mut out = Vec::with_capacity(self.resident_lines());
+        for (set_idx, set) in self.sets.iter().enumerate() {
+            for e in set {
+                let line_no = e.tag * set_count + set_idx as u64;
+                out.push((line_no * LINE_BYTES, e.stamp, e.dirty, &e.value));
+            }
+        }
+        out
+    }
+
+    /// Rebuilds the cache contents from an [`Self::export_lines`]
+    /// snapshot taken on a cache of identical geometry: clears every
+    /// set, restores the LRU clock, and reinserts each line preserving
+    /// its stamp, dirty bit and within-set position.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message (the checkpoint layer wraps it into its typed
+    /// error) when a line's stamp runs ahead of `clock` or a set
+    /// overflows its associativity — both only possible with a corrupt
+    /// or foreign checkpoint.
+    pub(crate) fn import_lines(
+        &mut self,
+        clock: u64,
+        lines: Vec<(u64, u64, bool, V)>,
+    ) -> Result<(), &'static str> {
+        for set in &mut self.sets {
+            set.clear();
+        }
+        self.clock = clock;
+        for (line_addr, stamp, dirty, value) in lines {
+            if stamp > clock {
+                return Err("cache line stamp ahead of LRU clock");
+            }
+            if line_addr % LINE_BYTES != 0 {
+                return Err("cache line address not line-aligned");
+            }
+            let (set_idx, tag) = self.index(line_addr);
+            let set = &mut self.sets[set_idx];
+            if set.len() == self.ways {
+                return Err("cache set overflows associativity");
+            }
+            if set.iter().any(|e| e.tag == tag) {
+                return Err("duplicate cache line in checkpoint");
+            }
+            set.push(Entry {
+                tag,
+                stamp,
+                dirty,
+                value,
+            });
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -1011,6 +1011,170 @@ impl CoherentHierarchy {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Checkpoint state (DESIGN.md §14). Implemented here (not in `checkpoint`)
+// because the coherent hierarchy's fields are private.
+// ---------------------------------------------------------------------------
+
+use crate::checkpoint::{self as ck, CheckpointError};
+
+/// Stable wire tags for [`Mesi`] (absence from the cache = Invalid).
+fn mesi_tag(state: Mesi) -> u8 {
+    match state {
+        Mesi::Modified => 0,
+        Mesi::Exclusive => 1,
+        Mesi::Shared => 2,
+    }
+}
+
+fn put_coherent_line(w: &mut ck::Wr, line: &CoherentLine) {
+    ck::put_l1_line(w, &line.line);
+    w.u8(mesi_tag(line.state));
+}
+
+fn get_coherent_line(r: &mut ck::Rd<'_>) -> ck::Result<CoherentLine> {
+    let line = ck::get_l1_line(r)?;
+    let state = match r.u8()? {
+        0 => Mesi::Modified,
+        1 => Mesi::Exclusive,
+        2 => Mesi::Shared,
+        _ => return Err(CheckpointError::Corrupt("unknown MESI state tag")),
+    };
+    Ok(CoherentLine { line, state })
+}
+
+impl BankExt {
+    fn save_state(&self, w: &mut ck::Wr) {
+        // Directory entries in canonical form: sorted by line address
+        // (`LineMap` iteration order is insertion-history-dependent, the
+        // sort buys byte-identical checkpoints for equal states).
+        let mut entries: Vec<(u64, DirEntry)> = self.dir.iter().map(|(k, v)| (*k, *v)).collect();
+        entries.sort_unstable_by_key(|&(addr, _)| addr);
+        w.u64(entries.len() as u64);
+        for (addr, e) in entries {
+            w.u64(addr);
+            w.u64(e.sharers);
+            match e.owner {
+                Some(o) => {
+                    w.bool(true);
+                    w.u64(o as u64);
+                }
+                None => w.bool(false),
+            }
+        }
+        w.u64(self.lookups);
+        w.u64(self.upgrades);
+        w.u64(self.spills);
+        w.u64(self.fills);
+        w.u64(self.weave_transactions);
+        w.u64(self.weave_batched);
+        w.u64(self.weave_contended);
+    }
+
+    fn restore_state(r: &mut ck::Rd<'_>, cores: usize) -> ck::Result<Self> {
+        let n = r.count()?;
+        let mut dir = LineMap::default();
+        let mut prev = None;
+        for _ in 0..n {
+            let addr = r.u64()?;
+            if addr % LINE_BYTES != 0 {
+                return Err(CheckpointError::Corrupt("directory line address unaligned"));
+            }
+            if prev.is_some_and(|p| addr <= p) {
+                return Err(CheckpointError::Corrupt(
+                    "directory entries out of canonical order",
+                ));
+            }
+            prev = Some(addr);
+            let sharers = r.u64()?;
+            if sharers == 0 {
+                return Err(CheckpointError::Corrupt("directory entry with no sharers"));
+            }
+            if cores < 64 && sharers >> cores != 0 {
+                return Err(CheckpointError::Corrupt(
+                    "directory sharer beyond the core count",
+                ));
+            }
+            let owner = if r.bool()? {
+                let o = r.u64()? as usize;
+                if o >= cores || sharers != 1u64 << o {
+                    return Err(CheckpointError::Corrupt(
+                        "directory owner inconsistent with its sharer set",
+                    ));
+                }
+                Some(o)
+            } else {
+                None
+            };
+            dir.insert(addr, DirEntry { sharers, owner });
+        }
+        Ok(Self {
+            dir,
+            lookups: r.u64()?,
+            upgrades: r.u64()?,
+            spills: r.u64()?,
+            fills: r.u64()?,
+            weave_transactions: r.u64()?,
+            weave_batched: r.u64()?,
+            weave_contended: r.u64()?,
+        })
+    }
+}
+
+impl CoherentHierarchy {
+    /// Serializes the full mutable coherent-machine state (the
+    /// `SEC_COHERENT` payload): per-core L1s with their MESI states, the
+    /// shared levels, every directory shard, and the coherence counters.
+    /// The configuration travels separately in `SEC_CONFIG`.
+    pub(crate) fn save_state(&self, w: &mut ck::Wr) {
+        w.u64(self.l1s.len() as u64);
+        for l1 in &self.l1s {
+            ck::put_cache(w, &l1.cache, put_coherent_line);
+        }
+        self.shared.save_state(w);
+        w.u64(self.exts.len() as u64);
+        for ext in &self.exts {
+            ext.save_state(w);
+        }
+        w.u64(self.coherence.invalidations);
+        w.u64(self.coherence.upgrades_s_to_m);
+        w.u64(self.coherence.cache_to_cache_transfers);
+        w.u64(self.coherence.califormed_transfers);
+        w.u64(self.coherence.directory_lookups);
+    }
+
+    /// Rebuilds a coherent hierarchy from a `SEC_COHERENT` payload
+    /// against `cfg`/`ccfg`/`cores` (already decoded from `SEC_CONFIG` /
+    /// `SEC_META`).
+    pub(crate) fn restore_state(
+        cfg: HierarchyConfig,
+        ccfg: CoherenceConfig,
+        cores: usize,
+        r: &mut ck::Rd<'_>,
+    ) -> ck::Result<Self> {
+        let mut h = CoherentHierarchy::new(cfg, ccfg, cores);
+        if r.count()? != cores {
+            return Err(CheckpointError::ConfigMismatch("per-core L1 count"));
+        }
+        for l1 in &mut h.l1s {
+            ck::get_cache(r, &mut l1.cache, get_coherent_line)?;
+        }
+        h.shared.restore_state(r)?;
+        if r.count()? != h.exts.len() {
+            return Err(CheckpointError::ConfigMismatch("directory shard count"));
+        }
+        for ext in &mut h.exts {
+            *ext = BankExt::restore_state(r, cores)?;
+        }
+        h.coherence.invalidations = r.u64()?;
+        h.coherence.upgrades_s_to_m = r.u64()?;
+        h.coherence.cache_to_cache_transfers = r.u64()?;
+        h.coherence.califormed_transfers = r.u64()?;
+        h.coherence.directory_lookups = r.u64()?;
+        Ok(h)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

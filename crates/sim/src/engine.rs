@@ -1,15 +1,18 @@
 //! The simulation engine: runs a trace through the core model and the
 //! memory hierarchy, handling Califorms exceptions and whitelist masks.
 
+use crate::checkpoint::{self as ck, CheckpointError};
 use crate::cpu::CoreConfig;
 use crate::hierarchy::{Hierarchy, HierarchyConfig};
+use crate::lsq::LoadStoreQueue;
+use crate::os::SwapManager;
 use crate::stats::SimStats;
 use crate::trace::TraceOp;
-use crate::tracepack::{self, TracePack, TracePackReader, MAX_ACCESS_BYTES};
+use crate::tracepack::{self, ResumePoint, TracePack, TracePackReader, MAX_ACCESS_BYTES};
 use califorms_core::{CaliformsException, CformInstruction, ExceptionMask};
 
 /// Outcome of a simulation run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimOutcome {
     /// Aggregate statistics.
     pub stats: SimStats,
@@ -283,6 +286,216 @@ impl Engine {
     pub fn delivered_exceptions(&self) -> &[CaliformsException] {
         &self.exceptions
     }
+
+    // --- checkpoint / resume ------------------------------------------
+
+    /// Serializes the complete engine state (core counters, exception
+    /// mask, hierarchy, configuration) plus the replay `cursor` into a
+    /// self-contained checkpoint. Taking `cursor` from
+    /// [`crate::tracepack::PackDecoder::resume_point`] at a decode-batch
+    /// boundary makes [`Self::resume_pack`] bit-identical to a
+    /// straight-through [`Self::run_pack`].
+    pub fn checkpoint(&self, cursor: ResumePoint) -> Vec<u8> {
+        self.checkpoint_with(cursor, None, None)
+    }
+
+    /// [`Self::checkpoint`] with optional attachments: the OS swap state
+    /// and an in-flight LSQ, for drivers that thread those alongside the
+    /// engine.
+    pub fn checkpoint_with(
+        &self,
+        cursor: ResumePoint,
+        os: Option<&SwapManager>,
+        lsq: Option<&LoadStoreQueue>,
+    ) -> Vec<u8> {
+        let mut w = ck::Wr::checkpoint();
+        let s = w.begin_section(ck::SEC_META);
+        w.u8(ck::KIND_SINGLE);
+        w.u64(1);
+        w.end_section(s);
+        let s = w.begin_section(ck::SEC_CONFIG);
+        ck::put_hier_config(&mut w, self.hierarchy.config());
+        ck::put_core_config(&mut w, &self.core);
+        w.end_section(s);
+        let s = w.begin_section(ck::SEC_CORE);
+        w.u64(self.pc);
+        w.f64(self.cycles);
+        w.u64(self.instructions);
+        w.u64(self.loads);
+        w.u64(self.stores);
+        w.u64(self.cforms);
+        w.u64(self.stores_suppressed);
+        ck::put_mask(&mut w, &self.mask);
+        ck::put_exceptions(&mut w, &self.exceptions);
+        w.end_section(s);
+        let s = w.begin_section(ck::SEC_HIERARCHY);
+        self.hierarchy.save_state(&mut w);
+        w.end_section(s);
+        let s = w.begin_section(ck::SEC_CURSOR);
+        w.u64(1);
+        ck::put_resume_point(&mut w, &cursor);
+        w.end_section(s);
+        if let Some(os) = os {
+            let s = w.begin_section(ck::SEC_OS);
+            os.save_state(&mut w);
+            w.end_section(s);
+        }
+        if let Some(lsq) = lsq {
+            let s = w.begin_section(ck::SEC_LSQ);
+            lsq.save_state(&mut w);
+            w.end_section(s);
+        }
+        w.finish()
+    }
+
+    /// Reconstructs an engine and its replay cursor from checkpoint
+    /// bytes.
+    ///
+    /// # Errors
+    ///
+    /// Every malformed input — bad magic, truncation, checksum mismatch,
+    /// section-length lies, semantically impossible payloads, or a
+    /// multicore checkpoint — returns a typed [`CheckpointError`], never
+    /// panics.
+    pub fn restore(bytes: &[u8]) -> ck::Result<(Self, ResumePoint)> {
+        let (engine, cursor, _, _) = Self::restore_with(bytes)?;
+        Ok((engine, cursor))
+    }
+
+    /// [`Self::restore`] that also returns the optional OS swap state and
+    /// LSQ attachments if the checkpoint carried them.
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::restore`].
+    pub fn restore_with(
+        bytes: &[u8],
+    ) -> ck::Result<(
+        Self,
+        ResumePoint,
+        Option<SwapManager>,
+        Option<LoadStoreQueue>,
+    )> {
+        let sections = ck::parse_sections(bytes)?;
+        let mut r = ck::require(&sections, ck::SEC_META, "meta")?;
+        if r.u8()? != ck::KIND_SINGLE {
+            return Err(CheckpointError::ConfigMismatch(
+                "multicore checkpoint resumed on the single-core engine",
+            ));
+        }
+        if r.u64()? != 1 {
+            return Err(CheckpointError::Corrupt(
+                "single-core checkpoint with core count != 1",
+            ));
+        }
+        ck::consumed(&r, ck::SEC_META)?;
+
+        let mut r = ck::require(&sections, ck::SEC_CONFIG, "config")?;
+        let hcfg = ck::get_hier_config(&mut r)?;
+        let core = ck::get_core_config(&mut r)?;
+        ck::consumed(&r, ck::SEC_CONFIG)?;
+
+        let mut engine = Engine::new(hcfg, core);
+        let mut r = ck::require(&sections, ck::SEC_CORE, "core")?;
+        engine.pc = r.u64()?;
+        engine.cycles = r.f64()?;
+        engine.instructions = r.u64()?;
+        engine.loads = r.u64()?;
+        engine.stores = r.u64()?;
+        engine.cforms = r.u64()?;
+        engine.stores_suppressed = r.u64()?;
+        engine.mask = ck::get_mask(&mut r)?;
+        engine.exceptions = ck::get_exceptions(&mut r)?;
+        if engine.exceptions.len() > Self::MAX_RECORDED_EXCEPTIONS {
+            return Err(CheckpointError::Corrupt(
+                "recorded exceptions exceed the engine cap",
+            ));
+        }
+        ck::consumed(&r, ck::SEC_CORE)?;
+
+        let mut r = ck::require(&sections, ck::SEC_HIERARCHY, "hierarchy")?;
+        engine.hierarchy = Hierarchy::restore_state(hcfg, &mut r)?;
+        ck::consumed(&r, ck::SEC_HIERARCHY)?;
+
+        let mut r = ck::require(&sections, ck::SEC_CURSOR, "cursor")?;
+        if r.u64()? != 1 {
+            return Err(CheckpointError::Corrupt(
+                "single-core checkpoint with more than one cursor lane",
+            ));
+        }
+        let cursor = ck::get_resume_point(&mut r)?;
+        ck::consumed(&r, ck::SEC_CURSOR)?;
+
+        let os = match ck::optional(&sections, ck::SEC_OS) {
+            Some(mut r) => {
+                let os = SwapManager::restore_state(&mut r)?;
+                ck::consumed(&r, ck::SEC_OS)?;
+                Some(os)
+            }
+            None => None,
+        };
+        let lsq = match ck::optional(&sections, ck::SEC_LSQ) {
+            Some(mut r) => {
+                let lsq = LoadStoreQueue::restore_state(&mut r)?;
+                ck::consumed(&r, ck::SEC_LSQ)?;
+                Some(lsq)
+            }
+            None => None,
+        };
+        Ok((engine, cursor, os, lsq))
+    }
+
+    /// Restores an engine from checkpoint bytes and replays the rest of
+    /// `pack` to completion — the crash-recovery path. The outcome is
+    /// bit-identical (stats, exceptions) to [`Self::run_pack`] over the
+    /// whole pack when the checkpoint was taken by
+    /// [`Self::run_pack_checkpointed`] on the same pack.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`CheckpointError`] on corrupt checkpoint bytes or a cursor
+    /// that does not fit `pack` (truncated/wrong pack).
+    pub fn resume_pack(pack: &TracePack, bytes: &[u8]) -> ck::Result<SimOutcome> {
+        let (engine, cursor) = Self::restore(bytes)?;
+        let mut dec = pack.resume_from(cursor)?;
+        Ok(engine.run_batches(|ring| dec.next_batch(ring))?)
+    }
+
+    /// [`Self::run_pack`] that also emits a checkpoint every
+    /// `interval_batches` decode batches (each batch is
+    /// [`Self::REPLAY_BATCH`] ops), in order taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a corrupt pack (like [`Self::run_pack`]) or if
+    /// `interval_batches` is zero.
+    pub fn run_pack_checkpointed(
+        mut self,
+        pack: &TracePack,
+        interval_batches: u64,
+    ) -> (SimOutcome, Vec<Vec<u8>>) {
+        assert!(interval_batches > 0, "checkpoint interval must be positive");
+        let mut dec = pack.decoder();
+        let mut ring = [TraceOp::Exec(0); Self::REPLAY_BATCH];
+        let mut checkpoints = Vec::new();
+        let mut batch = 0u64;
+        loop {
+            let n = dec
+                .next_batch(&mut ring)
+                .expect("validated pack is well-formed");
+            if n == 0 {
+                break;
+            }
+            for &op in &ring[..n] {
+                self.step(op);
+            }
+            batch += 1;
+            if batch.is_multiple_of(interval_batches) {
+                checkpoints.push(self.checkpoint(dec.resume_point()));
+            }
+        }
+        (self.finish(), checkpoints)
+    }
 }
 
 /// Deterministic store payload: traces carry no data, but the califormed
@@ -464,6 +677,117 @@ mod tests {
         assert!(report.spans.iter().any(|s| s.phase == Phase::Decode));
         assert!(report.spans.iter().any(|s| s.phase == Phase::Bound));
         assert_eq!(report.dropped_spans, 0);
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical_at_every_boundary() {
+        // A trace mixing every op kind, long enough for several decode
+        // batches, with califormed lines, suppressed stores and both
+        // delivered and masked exceptions in flight at checkpoint time.
+        let mut trace = Vec::new();
+        for i in 0..5000u64 {
+            trace.push(TraceOp::Exec((i % 7) as u32 + 1));
+            trace.push(TraceOp::Load {
+                addr: (i * 4099) % 262_144,
+                size: 8,
+            });
+            trace.push(TraceOp::Store {
+                addr: (i * 8389) % 262_144,
+                size: 8,
+            });
+            if i % 17 == 0 {
+                trace.push(TraceOp::Cform {
+                    line_addr: (i * 64) % 131_072,
+                    attrs: 1 << (i % 64),
+                    mask: 1 << (i % 64),
+                });
+            }
+            if i % 29 == 0 {
+                trace.push(TraceOp::Load {
+                    addr: ((i / 29) * 64) % 131_072 + (i % 64),
+                    size: 1,
+                });
+            }
+            if i % 97 == 0 {
+                trace.push(TraceOp::MaskPush);
+            }
+            if i % 97 == 5 && i > 5 {
+                trace.push(TraceOp::MaskPop);
+            }
+        }
+        let pack = TracePack::from_ops(trace.iter().copied());
+        let straight = Engine::westmere().run_pack(&pack);
+        let (out, checkpoints) = Engine::westmere().run_pack_checkpointed(&pack, 1);
+        assert_eq!(out.stats, straight.stats);
+        assert_eq!(out.exceptions, straight.exceptions);
+        assert!(
+            checkpoints.len() >= 4,
+            "trace spans several decode batches ({} checkpoints)",
+            checkpoints.len()
+        );
+        for (i, cp) in checkpoints.iter().enumerate() {
+            let resumed = Engine::resume_pack(&pack, cp)
+                .unwrap_or_else(|e| panic!("resume from checkpoint {i} failed: {e}"));
+            assert_eq!(resumed.stats, straight.stats, "checkpoint {i} stats");
+            assert_eq!(
+                resumed.exceptions, straight.exceptions,
+                "checkpoint {i} exceptions"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_round_trips_os_and_lsq_attachments() {
+        use crate::os::SwapManager;
+        let mut engine = Engine::westmere();
+        engine.step(TraceOp::Store {
+            addr: 0x10_0000,
+            size: 8,
+        });
+        let mut swap = SwapManager::new();
+        swap.swap_out(&mut engine.hierarchy, 0x10_0000);
+        let mut lsq = crate::lsq::LoadStoreQueue::new();
+        lsq.push_store(0x200, vec![1, 2, 3]);
+        lsq.push_cform(0x1000, 0xFF);
+        let _ = lsq.resolve_load(0x200, 2);
+
+        let bytes = engine.checkpoint_with(
+            crate::tracepack::ResumePoint::default(),
+            Some(&swap),
+            Some(&lsq),
+        );
+        let (engine2, _, os2, lsq2) = Engine::restore_with(&bytes).expect("restore");
+        let mut swap2 = os2.expect("OS section round-trips");
+        assert_eq!(swap2.swapped_pages(), 1);
+        let mut lsq2 = lsq2.expect("LSQ section round-trips");
+        assert_eq!(lsq2.len(), 2);
+        assert_eq!(lsq2.stats(), lsq.stats());
+        // The restored swap state swaps back in against the restored
+        // hierarchy exactly like the original would.
+        let mut h2 = engine2.hierarchy;
+        swap2.swap_in(&mut h2, 0x10_0000);
+        assert_eq!(
+            h2.load(0x10_0000, 8, 0).data,
+            store_pattern(0x10_0000, 8),
+            "swapped-out data survives the checkpoint"
+        );
+        assert_eq!(
+            lsq2.resolve_load(0x200, 2),
+            crate::lsq::ForwardResult::Forwarded(vec![1, 2])
+        );
+    }
+
+    #[test]
+    fn restore_rejects_attachment_confusion_and_cap_lies() {
+        let engine = Engine::westmere();
+        let bytes = engine.checkpoint(crate::tracepack::ResumePoint::default());
+        // Sanity: clean restore works.
+        assert!(Engine::restore(&bytes).is_ok());
+        // A truncated tail is typed, not a panic.
+        for cut in 1..16 {
+            let truncated = &bytes[..bytes.len() - cut];
+            assert!(Engine::restore(truncated).is_err());
+        }
     }
 
     #[test]

@@ -946,6 +946,126 @@ impl Hierarchy {
     }
 }
 
+// --- checkpoint serialization -----------------------------------------
+//
+// Implemented here (not in `checkpoint`) because the hierarchy's fields
+// are private: the format module supplies the byte codecs, each owner
+// serializes its own state.
+
+use crate::checkpoint::{self as ck, CheckpointError};
+
+impl Dram {
+    /// DRAM lines in canonical form: sorted by address. `LineMap`
+    /// iteration order is deterministic but insertion-history-dependent,
+    /// and DRAM content is never iterated in a result-bearing path, so
+    /// sorting here buys byte-identical checkpoints for
+    /// semantically-equal states at no simulation cost.
+    fn save_state(&self, w: &mut ck::Wr) {
+        let mut lines: Vec<(u64, &L2Line)> = self.lines.iter().map(|(k, v)| (*k, v)).collect();
+        lines.sort_unstable_by_key(|&(addr, _)| addr);
+        w.u64(lines.len() as u64);
+        for (addr, line) in lines {
+            w.u64(addr);
+            ck::put_l2_line(w, line);
+        }
+    }
+
+    fn restore_state(r: &mut ck::Rd<'_>) -> ck::Result<Self> {
+        let n = r.count()?;
+        let mut dram = Dram::default();
+        let mut prev = None;
+        for _ in 0..n {
+            let addr = r.u64()?;
+            if addr % LINE_BYTES != 0 {
+                return Err(CheckpointError::Corrupt("DRAM line address unaligned"));
+            }
+            if prev.is_some_and(|p| addr <= p) {
+                return Err(CheckpointError::Corrupt(
+                    "DRAM lines out of canonical order",
+                ));
+            }
+            prev = Some(addr);
+            dram.lines.insert(addr, ck::get_l2_line(r)?);
+        }
+        Ok(dram)
+    }
+}
+
+impl LevelBank {
+    pub(crate) fn save_state(&self, w: &mut ck::Wr) {
+        ck::put_cache(w, &self.l2, ck::put_l2_line);
+        ck::put_cache(w, &self.l3, ck::put_l2_line);
+        self.dram.save_state(w);
+        w.u64(self.dram_accesses);
+    }
+
+    /// Restores into a freshly-built bank of the same geometry (`self.cfg`
+    /// and the bank indices are reconstructed from the config section, so
+    /// only the mutable state travels in the payload).
+    pub(crate) fn restore_state(&mut self, r: &mut ck::Rd<'_>) -> ck::Result<()> {
+        ck::get_cache(r, &mut self.l2, ck::get_l2_line)?;
+        ck::get_cache(r, &mut self.l3, ck::get_l2_line)?;
+        self.dram = Dram::restore_state(r)?;
+        self.dram_accesses = r.u64()?;
+        Ok(())
+    }
+}
+
+impl SharedLevels {
+    pub(crate) fn save_state(&self, w: &mut ck::Wr) {
+        w.u64(self.banks.len() as u64);
+        for bank in &self.banks {
+            bank.save_state(w);
+        }
+    }
+
+    pub(crate) fn restore_state(&mut self, r: &mut ck::Rd<'_>) -> ck::Result<()> {
+        let n = r.count()?;
+        if n != self.banks.len() {
+            return Err(CheckpointError::ConfigMismatch("shared-level bank count"));
+        }
+        for bank in &mut self.banks {
+            bank.restore_state(r)?;
+        }
+        Ok(())
+    }
+}
+
+impl Hierarchy {
+    /// Serializes the full mutable hierarchy state (the `SEC_HIERARCHY`
+    /// payload). The configuration travels separately in `SEC_CONFIG`.
+    pub(crate) fn save_state(&self, w: &mut ck::Wr) {
+        w.u64(self.spills);
+        w.u64(self.fills);
+        w.u64(self.prefetch_hits);
+        for s in self.streams {
+            w.u64(s);
+        }
+        w.u64(self.stream_cursor as u64);
+        ck::put_cache(w, &self.l1d, ck::put_l1_line);
+        self.shared.save_state(w);
+    }
+
+    /// Rebuilds a hierarchy from a `SEC_HIERARCHY` payload against `cfg`.
+    pub(crate) fn restore_state(cfg: HierarchyConfig, r: &mut ck::Rd<'_>) -> ck::Result<Self> {
+        let mut h = Hierarchy::new(cfg);
+        h.spills = r.u64()?;
+        h.fills = r.u64()?;
+        h.prefetch_hits = r.u64()?;
+        for s in &mut h.streams {
+            *s = r.u64()?;
+        }
+        let cursor = r.u64()?;
+        if cursor as usize >= h.streams.len() {
+            return Err(CheckpointError::Corrupt("stream cursor out of range"));
+        }
+        h.stream_cursor = cursor as usize;
+        ck::get_cache(r, &mut h.l1d, ck::get_l1_line)?;
+        h.shared.restore_state(r)?;
+        Ok(h)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

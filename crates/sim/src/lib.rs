@@ -30,6 +30,9 @@
 //!   [`stats::SimStats`].
 //! * [`os`] — OS support (Section 6.3): page swap with 8 B-per-page
 //!   metadata preservation, and the un-califorming I/O boundary.
+//! * [`checkpoint`] — versioned binary engine-state snapshots for
+//!   crash-tolerant replay: checkpoint at quantum boundaries, resume
+//!   mid-pack, bit-identical to a straight-through run.
 //! * [`telemetry`] — the bridge to `califorms-telemetry`: deterministic
 //!   counter snapshots of a run, per-shard lanes, and the span-recording
 //!   hooks behind [`multicore::MulticoreConfig::telemetry`].
@@ -41,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod checkpoint;
 pub mod coherence;
 pub mod cpu;
 pub mod dma;
@@ -56,11 +60,15 @@ pub mod trace;
 pub mod tracepack;
 pub mod vector;
 
+pub use checkpoint::CheckpointError;
 pub use coherence::{CoherenceConfig, CoherentHierarchy, Mesi};
 pub use cpu::CoreConfig;
 pub use engine::{Engine, SimOutcome};
 pub use hierarchy::{Hierarchy, HierarchyConfig, LineHasher, LineMap};
-pub use multicore::{shard_ops, MulticoreConfig, MulticoreEngine, MulticoreOutcome, WorkerPanic};
+pub use multicore::{
+    shard_ops, FaultPlan, MulticoreConfig, MulticoreEngine, MulticoreOutcome, RunError,
+    WorkerPanic, WorkerStall,
+};
 pub use runtime::{QuantumSizing, RuntimeConfig, RuntimeStats, RuntimeTiming};
 pub use stats::{CoherenceStats, MulticoreStats, SimStats};
 pub use trace::TraceOp;

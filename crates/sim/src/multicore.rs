@@ -44,13 +44,14 @@
 //! `Vec<TraceOp>` shards up front; [`MulticoreEngine::run_packs`] does
 //! the same for per-core packs.
 
+use crate::checkpoint::{self as ck, CheckpointError};
 use crate::coherence::{CoherenceConfig, CoherentHierarchy, CoreL1};
 use crate::cpu::CoreConfig;
 use crate::engine::with_store_data;
 use crate::hierarchy::{HierarchyConfig, MemResult};
 use crate::runtime::{
-    lock_recover, QuantumBarrier, QuantumSizing, RuntimeConfig, RuntimeStats, RuntimeTiming,
-    ADAPTIVE_SHRINK_THRESHOLD,
+    lock_recover, BarrierWaitError, QuantumBarrier, QuantumSizing, RuntimeConfig, RuntimeStats,
+    RuntimeTiming, ADAPTIVE_SHRINK_THRESHOLD,
 };
 use crate::stats::{
     CoreWeaveStats, MulticoreStats, ShardWeaveStats, SimStats, WeaveBreakdown, WeaveTimingBreakdown,
@@ -62,7 +63,7 @@ use califorms_telemetry::{LogHistogram, Phase, TelemetryClock, TelemetryReport, 
 use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Configuration of a [`MulticoreEngine`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -95,6 +96,45 @@ pub struct MulticoreConfig {
     /// every counter in the snapshot is derived from the deterministic
     /// stats the run produces anyway.
     pub telemetry: bool,
+    /// Fault-injection hooks for robustness tests (DESIGN.md §14). The
+    /// default plan injects nothing and costs nothing on the hot path.
+    pub fault: FaultPlan,
+}
+
+/// Test/bench-only fault-injection hooks (DESIGN.md §14). A plan that
+/// never fires leaves the run bit-identical to an unfaulted one; a plan
+/// that fires is expected to surface as a typed [`RunError`] (kill →
+/// [`WorkerPanic`], stall → [`WorkerStall`] via the watchdog).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// `Some((core, quantum))`: panic that core's worker at the start of
+    /// its bound phase in that quantum — the in-process abrupt-death
+    /// probe (the `crashrecovery` bench additionally does a real
+    /// `kill -9` on a child process).
+    pub kill_at: Option<(usize, u64)>,
+    /// `Some((core, quantum, hold_ms))`: block that core's worker for
+    /// `hold_ms` milliseconds at the start of its bound phase in that
+    /// quantum — long enough to trip a short test watchdog, short enough
+    /// that the suite never hangs (the worker wakes, observes the torn
+    /// down barrier and exits cleanly).
+    pub stall_at: Option<(usize, u64, u64)>,
+}
+
+impl FaultPlan {
+    /// Fires this plan's hooks for `core` at `quantum` (called at the
+    /// top of every bound phase, inside the worker's `catch_unwind`).
+    fn fire(&self, core: usize, quantum: u64) {
+        if let Some((c, q)) = self.kill_at {
+            if c == core && q == quantum {
+                panic!("fault injection: kill worker for core {core} at quantum {quantum}");
+            }
+        }
+        if let Some((c, q, hold_ms)) = self.stall_at {
+            if c == core && q == quantum {
+                std::thread::sleep(Duration::from_millis(hold_ms));
+            }
+        }
+    }
 }
 
 impl MulticoreConfig {
@@ -109,6 +149,7 @@ impl MulticoreConfig {
             core: CoreConfig::westmere(),
             runtime: RuntimeConfig::default(),
             telemetry: false,
+            fault: FaultPlan::default(),
         }
     }
 
@@ -145,6 +186,19 @@ impl MulticoreConfig {
     /// [`MulticoreOutcome::telemetry`]).
     pub fn with_telemetry(mut self) -> Self {
         self.telemetry = true;
+        self
+    }
+
+    /// Same machine with a different bound-phase watchdog deadline
+    /// (`None` disables the watchdog).
+    pub fn with_watchdog(mut self, deadline: Option<Duration>) -> Self {
+        self.runtime.watchdog = deadline;
+        self
+    }
+
+    /// Same machine with a fault-injection plan armed.
+    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
         self
     }
 }
@@ -452,6 +506,21 @@ struct WorkerTask<'p> {
     quantum: u64,
 }
 
+/// Run-loop state restored from a checkpoint: the deterministic runtime
+/// counters and the quantum clock at the boundary the checkpoint was
+/// captured. Seeding these (plus the per-core replays and hierarchy)
+/// makes the resumed loop continue exactly where the original left off.
+#[derive(Debug, Clone, Copy)]
+struct ResumeSeed {
+    rt: RuntimeStats,
+    quantum: f64,
+    quantum_end: f64,
+}
+
+/// A checkpoint interval (in quanta) paired with the sink each captured
+/// checkpoint's bytes are handed to.
+type CheckpointEvery<'a> = (u64, &'a mut dyn FnMut(Vec<u8>));
+
 /// A panic raised on a bound-phase worker thread, surfaced by the
 /// `try_run*` entry points as an error naming the offending core instead
 /// of wedging the quantum barrier (the pre-fix behaviour: the panicking
@@ -477,6 +546,98 @@ impl std::fmt::Display for WorkerPanic {
 }
 
 impl std::error::Error for WorkerPanic {}
+
+/// A worker that failed to reach the quantum barrier within the
+/// configured watchdog deadline ([`RuntimeConfig::watchdog`]) — the
+/// stall sibling of [`WorkerPanic`]. The run is torn down cleanly: the
+/// barrier is retired, surviving workers exit, and the stalled worker's
+/// eventual late report is a no-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerStall {
+    /// First core (lowest id) that never reported done.
+    pub core: usize,
+    /// Phase the machine was in when the deadline expired.
+    pub phase: &'static str,
+    /// Quantum (0-based) whose bound phase stalled.
+    pub quantum: u64,
+}
+
+impl std::fmt::Display for WorkerStall {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "worker thread for core {} stalled in the {} phase of quantum {} \
+             (watchdog deadline exceeded)",
+            self.core, self.phase, self.quantum
+        )
+    }
+}
+
+impl std::error::Error for WorkerStall {}
+
+/// Every way a multi-core run can fail with the machine still owned by
+/// the caller: a worker panicked, a worker stalled past the watchdog, or
+/// (on the resume path) the checkpoint was unusable. All variants are
+/// clean-teardown errors — no thread is left parked, no lock held.
+#[derive(Debug)]
+pub enum RunError {
+    /// A core's replay panicked (bound or weave phase).
+    Panic(WorkerPanic),
+    /// A worker exceeded the bound-phase watchdog deadline.
+    Stall(WorkerStall),
+    /// The checkpoint being resumed failed to decode or did not match
+    /// the pack/configuration.
+    Checkpoint(CheckpointError),
+}
+
+impl RunError {
+    /// The offending core, when the failure is attributable to one.
+    pub fn core(&self) -> Option<usize> {
+        match self {
+            RunError::Panic(p) => Some(p.core),
+            RunError::Stall(s) => Some(s.core),
+            RunError::Checkpoint(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Panic(p) => p.fmt(f),
+            RunError::Stall(s) => s.fmt(f),
+            RunError::Checkpoint(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Panic(p) => Some(p),
+            RunError::Stall(s) => Some(s),
+            RunError::Checkpoint(e) => Some(e),
+        }
+    }
+}
+
+impl From<WorkerPanic> for RunError {
+    fn from(p: WorkerPanic) -> Self {
+        RunError::Panic(p)
+    }
+}
+
+impl From<WorkerStall> for RunError {
+    fn from(s: WorkerStall) -> Self {
+        RunError::Stall(s)
+    }
+}
+
+impl From<CheckpointError> for RunError {
+    fn from(e: CheckpointError) -> Self {
+        RunError::Checkpoint(e)
+    }
+}
 
 /// The cache line a weave transaction operates on — the key of its
 /// directory shard (per-shard weave attribution in [`WeaveBreakdown`]).
@@ -558,10 +719,13 @@ fn run_task_caught(
     task: &mut WorkerTask<'_>,
     quantum_end: f64,
     panics: &Mutex<Vec<WorkerPanic>>,
+    fault: &FaultPlan,
 ) {
     let committed_before = task.replay.committed;
     let span_start = task.track.as_ref().map(TrackRecorder::start);
+    let quantum = task.quantum;
     let result = catch_unwind(AssertUnwindSafe(|| {
+        fault.fire(core, quantum);
         task.replay.run_quantum_local(&mut task.l1, quantum_end);
     }));
     if let (Some(track), Some(start)) = (task.track.as_mut(), span_start) {
@@ -598,6 +762,7 @@ fn worker_loop(
     barrier: &QuantumBarrier,
     slot: &Mutex<Option<WorkerTask<'_>>>,
     panics: &Mutex<Vec<WorkerPanic>>,
+    fault: &FaultPlan,
 ) {
     let mut seen = 0u64;
     while let Some(quantum_end) = barrier.wait_for_quantum(&mut seen) {
@@ -608,13 +773,13 @@ fn worker_loop(
         // `worker_done` below and hang the barrier forever.
         let task = lock_recover(slot).take();
         if let Some(mut task) = task {
-            run_task_caught(core, &mut task, quantum_end, panics);
+            run_task_caught(core, &mut task, quantum_end, panics, fault);
             // Put the task back even after a panic (its state may be
             // mid-op, but the run is about to abort and only needs the
             // pieces accounted for).
             *lock_recover(slot) = Some(task);
         }
-        barrier.worker_done();
+        barrier.worker_done(core);
     }
 }
 
@@ -770,12 +935,13 @@ impl MulticoreEngine {
     ///
     /// # Errors
     ///
-    /// [`WorkerPanic`] if a core's replay panicked.
+    /// [`RunError::Panic`] if a core's replay panicked;
+    /// [`RunError::Stall`] if a worker exceeded the watchdog deadline.
     ///
     /// # Panics
     ///
     /// Panics unless `shards.len()` equals the configured core count.
-    pub fn try_run(self, shards: Vec<Vec<TraceOp>>) -> Result<MulticoreOutcome, WorkerPanic> {
+    pub fn try_run(self, shards: Vec<Vec<TraceOp>>) -> Result<MulticoreOutcome, RunError> {
         assert_eq!(
             shards.len(),
             self.cfg.cores,
@@ -810,8 +976,9 @@ impl MulticoreEngine {
     ///
     /// # Errors
     ///
-    /// [`WorkerPanic`] if a core's replay panicked.
-    pub fn try_run_pack(self, pack: &TracePack) -> Result<MulticoreOutcome, WorkerPanic> {
+    /// [`RunError::Panic`] if a core's replay panicked;
+    /// [`RunError::Stall`] if a worker exceeded the watchdog deadline.
+    pub fn try_run_pack(self, pack: &TracePack) -> Result<MulticoreOutcome, RunError> {
         self.try_run_pack_with_state(pack)
             .map(|(outcome, _)| outcome)
     }
@@ -823,23 +990,131 @@ impl MulticoreEngine {
     ///
     /// # Errors
     ///
-    /// [`WorkerPanic`] if a core's replay panicked.
+    /// [`RunError::Panic`] if a core's replay panicked;
+    /// [`RunError::Stall`] if a worker exceeded the watchdog deadline.
     pub fn try_run_pack_with_state(
         self,
         pack: &TracePack,
-    ) -> Result<(MulticoreOutcome, CoherentHierarchy), WorkerPanic> {
-        let cores = self.cfg.cores as u64;
-        let sources = (0..cores)
+    ) -> Result<(MulticoreOutcome, CoherentHierarchy), RunError> {
+        let sources = Self::pack_lanes(pack, self.cfg.cores);
+        self.run_sources(sources)
+    }
+
+    /// One decoder lane per core over a shared pack (round-robin
+    /// sharding, `stride == cores`).
+    fn pack_lanes(pack: &TracePack, cores: usize) -> Vec<ShardSource<'_>> {
+        let stride = cores as u64;
+        (0..stride)
             .map(|lane| ShardSource::Pack {
                 dec: pack.decoder(),
                 lane,
-                stride: cores,
+                stride,
                 next_idx: 0,
                 ring: Vec::with_capacity(SOURCE_RING),
                 head: 0,
             })
-            .collect();
-        self.run_sources(sources)
+            .collect()
+    }
+
+    /// [`Self::try_run_pack`] with crash tolerance: a checkpoint of the
+    /// whole machine is captured at every `interval_quanta`-th quantum
+    /// boundary (the single-threaded post-weave point — every worker has
+    /// quiesced, the drain protocol model-checked in `califorms-analyze`)
+    /// and returned alongside the outcome, in capture order. Any of them
+    /// can be handed to [`Self::try_resume_pack`] to reproduce the rest
+    /// of the run bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Panic`] / [`RunError::Stall`] as for
+    /// [`Self::try_run_pack`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_quanta == 0`.
+    pub fn try_run_pack_checkpointed(
+        self,
+        pack: &TracePack,
+        interval_quanta: u64,
+    ) -> Result<(MulticoreOutcome, Vec<Vec<u8>>), RunError> {
+        let mut checkpoints = Vec::new();
+        let outcome =
+            self.try_run_pack_checkpointed_with(pack, interval_quanta, |b| checkpoints.push(b))?;
+        Ok((outcome, checkpoints))
+    }
+
+    /// [`Self::try_run_pack_checkpointed`] with streaming delivery:
+    /// `sink` receives each checkpoint the moment it is captured, so a
+    /// crash-tolerant driver can persist them mid-run instead of
+    /// waiting for completion (the `crashrecovery` bench does exactly
+    /// this before its child process is killed).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::try_run_pack_checkpointed`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_quanta == 0`.
+    pub fn try_run_pack_checkpointed_with(
+        self,
+        pack: &TracePack,
+        interval_quanta: u64,
+        mut sink: impl FnMut(Vec<u8>),
+    ) -> Result<MulticoreOutcome, RunError> {
+        assert!(interval_quanta >= 1, "checkpoint interval must be ≥ 1");
+        let sources = Self::pack_lanes(pack, self.cfg.cores);
+        let replays = self.seed_replays(sources);
+        self.run_loop(replays, None, Some((interval_quanta, &mut sink)))
+            .map(|(outcome, _)| outcome)
+    }
+
+    /// Resumes a run of `pack` from a checkpoint produced by
+    /// [`Self::try_run_pack_checkpointed`], reconstructing the entire
+    /// machine (configuration included) from the checkpoint bytes and
+    /// continuing to completion. The outcome is bit-identical to the
+    /// tail of a straight-through run — stats, exceptions, runtime and
+    /// weave counters all match (host [`RuntimeTiming`] and telemetry
+    /// excluded; they restart at the resume point).
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::Checkpoint`] if the bytes fail to decode, were taken
+    /// by the single-core engine, or do not fit `pack`;
+    /// [`RunError::Panic`] / [`RunError::Stall`] if the resumed run
+    /// itself fails.
+    pub fn try_resume_pack(pack: &TracePack, bytes: &[u8]) -> Result<MulticoreOutcome, RunError> {
+        let (engine, replays, seed) = Self::restore(pack, bytes)?;
+        engine
+            .run_loop(replays, Some(seed), None)
+            .map(|(outcome, _)| outcome)
+    }
+
+    /// [`Self::try_resume_pack`] that keeps checkpointing while it
+    /// runs: the resumed run again emits a checkpoint to `sink` every
+    /// `interval_quanta` boundaries (counted from the run's start, so
+    /// the cadence matches the original run's). This is what lets the
+    /// retry-with-backoff driver survive repeated failures — every
+    /// recovery attempt refreshes its fallback point.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Self::try_resume_pack`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_quanta == 0`.
+    pub fn try_resume_pack_checkpointed_with(
+        pack: &TracePack,
+        bytes: &[u8],
+        interval_quanta: u64,
+        mut sink: impl FnMut(Vec<u8>),
+    ) -> Result<MulticoreOutcome, RunError> {
+        assert!(interval_quanta >= 1, "checkpoint interval must be ≥ 1");
+        let (engine, replays, seed) = Self::restore(pack, bytes)?;
+        engine
+            .run_loop(replays, Some(seed), Some((interval_quanta, &mut sink)))
+            .map(|(outcome, _)| outcome)
     }
 
     /// Replays one pre-encoded pack per core (e.g. from
@@ -861,12 +1136,13 @@ impl MulticoreEngine {
     ///
     /// # Errors
     ///
-    /// [`WorkerPanic`] if a core's replay panicked.
+    /// [`RunError::Panic`] if a core's replay panicked;
+    /// [`RunError::Stall`] if a worker exceeded the watchdog deadline.
     ///
     /// # Panics
     ///
     /// Panics unless `packs.len()` equals the configured core count.
-    pub fn try_run_packs(self, packs: &[TracePack]) -> Result<MulticoreOutcome, WorkerPanic> {
+    pub fn try_run_packs(self, packs: &[TracePack]) -> Result<MulticoreOutcome, RunError> {
         assert_eq!(packs.len(), self.cfg.cores, "one pack per configured core");
         let sources = packs
             .iter()
@@ -882,21 +1158,345 @@ impl MulticoreEngine {
         self.run_sources(sources).map(|(outcome, _)| outcome)
     }
 
-    /// The shared run loop: persistent workers (multi-core only),
-    /// quantum barrier, batched weave, optional adaptive quantum.
-    fn run_sources(
-        mut self,
-        sources: Vec<ShardSource<'_>>,
-    ) -> Result<(MulticoreOutcome, CoherentHierarchy), WorkerPanic> {
-        let n = self.cfg.cores;
+    /// Builds the per-core replay states for a fresh (unseeded) run.
+    fn seed_replays<'p>(&self, sources: Vec<ShardSource<'p>>) -> Vec<Option<CoreReplay<'p>>> {
         let l1d_latency = self.cfg.hierarchy.l1d_latency;
         let core_cfg = self.cfg.core;
-        let mut replays: Vec<Option<CoreReplay<'_>>> = sources
+        sources
             .into_iter()
             .enumerate()
             .map(|(id, src)| Some(CoreReplay::new(id, src, core_cfg, l1d_latency)))
-            .collect();
+            .collect()
+    }
 
+    /// Serializes the whole machine — configuration, per-core
+    /// architectural state, coherent hierarchy, runtime counters and
+    /// every decoder lane's cursor — into a self-contained checkpoint.
+    /// Called only at the single-threaded post-weave point, where every
+    /// worker has quiesced and each `replays` slot holds its core.
+    fn capture_checkpoint(
+        &self,
+        replays: &[Option<CoreReplay<'_>>],
+        rt: &RuntimeStats,
+        quantum: f64,
+        quantum_end: f64,
+    ) -> Vec<u8> {
+        let mut w = ck::Wr::checkpoint();
+
+        let s = w.begin_section(ck::SEC_META);
+        w.u8(ck::KIND_MULTI);
+        w.u64(self.cfg.cores as u64);
+        w.end_section(s);
+
+        let s = w.begin_section(ck::SEC_CONFIG);
+        ck::put_hier_config(&mut w, &self.cfg.hierarchy);
+        ck::put_core_config(&mut w, &self.cfg.core);
+        w.u32(self.cfg.coherence.directory_latency);
+        w.u32(self.cfg.coherence.cache_to_cache_latency);
+        w.u32(self.cfg.coherence.upgrade_latency);
+        match self.cfg.runtime.quantum_sizing {
+            QuantumSizing::Fixed => w.u8(0),
+            QuantumSizing::Adaptive { min, max } => {
+                w.u8(1);
+                w.f64(min);
+                w.f64(max);
+            }
+        }
+        w.u32(self.cfg.runtime.weave_batch);
+        w.f64(self.cfg.quantum);
+        w.end_section(s);
+
+        let s = w.begin_section(ck::SEC_CORE);
+        w.u64(replays.len() as u64);
+        for slot in replays {
+            let c = slot.as_ref().expect("replay present at a quantum boundary");
+            w.u64(c.pc);
+            w.f64(c.cycles);
+            w.u64(c.instructions);
+            w.u64(c.loads);
+            w.u64(c.stores);
+            w.u64(c.cforms);
+            w.u64(c.stores_suppressed);
+            w.u64(c.committed);
+            ck::put_mask(&mut w, &c.mask);
+            ck::put_exceptions(&mut w, &c.exceptions);
+            ck::put_core_weave(&mut w, &c.weave);
+        }
+        w.end_section(s);
+
+        let s = w.begin_section(ck::SEC_COHERENT);
+        self.hierarchy.save_state(&mut w);
+        w.end_section(s);
+
+        let s = w.begin_section(ck::SEC_RUNTIME);
+        w.u64(rt.quanta);
+        w.u64(rt.barrier_waits);
+        w.u64(rt.weave_turns);
+        w.u64(rt.weave_transactions);
+        w.u64(rt.batched_transactions);
+        w.u64(rt.contended_transactions);
+        w.f64(quantum);
+        w.f64(quantum_end);
+        w.end_section(s);
+
+        let s = w.begin_section(ck::SEC_CURSOR);
+        w.u64(replays.len() as u64);
+        for slot in replays {
+            let c = slot.as_ref().expect("replay present at a quantum boundary");
+            match &c.src {
+                ShardSource::Pack {
+                    dec,
+                    lane,
+                    stride,
+                    next_idx,
+                    ring,
+                    head,
+                } => {
+                    ck::put_resume_point(&mut w, &dec.resume_point());
+                    w.u64(*lane);
+                    w.u64(*stride);
+                    w.u64(*next_idx);
+                    // Decoded-but-uncommitted ops: the ring tail survives
+                    // the seam verbatim so the resumed lane replays the
+                    // exact op sequence.
+                    let leftover = &ring[*head..];
+                    w.u64(leftover.len() as u64);
+                    for op in leftover {
+                        ck::put_trace_op(&mut w, op);
+                    }
+                }
+                ShardSource::Slice { .. } => {
+                    unreachable!("checkpointed runs always replay pack lanes")
+                }
+            }
+        }
+        w.end_section(s);
+
+        w.finish()
+    }
+
+    /// Rebuilds the engine, per-core replays and run-loop seed from a
+    /// checkpoint captured by [`Self::capture_checkpoint`] against
+    /// `pack`. Every field is validated *before* it reaches a
+    /// constructor that would assert on it — corrupt bytes must surface
+    /// as a typed [`CheckpointError`], never a panic.
+    fn restore<'p>(
+        pack: &'p TracePack,
+        bytes: &[u8],
+    ) -> ck::Result<(Self, Vec<Option<CoreReplay<'p>>>, ResumeSeed)> {
+        let sections = ck::parse_sections(bytes)?;
+
+        let mut r = ck::require(&sections, ck::SEC_META, "meta")?;
+        match r.u8()? {
+            ck::KIND_MULTI => {}
+            ck::KIND_SINGLE => {
+                return Err(CheckpointError::ConfigMismatch(
+                    "single-core checkpoint resumed on the multicore engine",
+                ))
+            }
+            _ => return Err(CheckpointError::Corrupt("unknown engine kind")),
+        }
+        let cores = r.u64()?;
+        if !(1..=64).contains(&cores) {
+            return Err(CheckpointError::Corrupt("core count outside 1..=64"));
+        }
+        let cores = cores as usize;
+        ck::consumed(&r, ck::SEC_META)?;
+
+        let mut r = ck::require(&sections, ck::SEC_CONFIG, "configuration")?;
+        let hierarchy = ck::get_hier_config(&mut r)?;
+        let core = ck::get_core_config(&mut r)?;
+        let coherence = CoherenceConfig {
+            directory_latency: r.u32()?,
+            cache_to_cache_latency: r.u32()?,
+            upgrade_latency: r.u32()?,
+        };
+        let quantum_sizing = match r.u8()? {
+            0 => QuantumSizing::Fixed,
+            1 => QuantumSizing::Adaptive {
+                min: r.f64()?,
+                max: r.f64()?,
+            },
+            _ => return Err(CheckpointError::Corrupt("unknown quantum sizing tag")),
+        };
+        let weave_batch = r.u32()?;
+        let quantum0 = r.f64()?;
+        ck::consumed(&r, ck::SEC_CONFIG)?;
+        if weave_batch == 0 {
+            return Err(CheckpointError::Corrupt("weave batch of zero"));
+        }
+        if !quantum0.is_finite() || quantum0 <= 0.0 {
+            return Err(CheckpointError::Corrupt(
+                "quantum is not a positive cycle count",
+            ));
+        }
+        if let QuantumSizing::Adaptive { min, max } = quantum_sizing {
+            if !min.is_finite()
+                || !max.is_finite()
+                || min <= 0.0
+                || min > quantum0
+                || quantum0 > max
+            {
+                return Err(CheckpointError::Corrupt(
+                    "adaptive quantum range is invalid",
+                ));
+            }
+        }
+
+        let mut r = ck::require(&sections, ck::SEC_RUNTIME, "runtime counters")?;
+        let rt = RuntimeStats {
+            quanta: r.u64()?,
+            barrier_waits: r.u64()?,
+            weave_turns: r.u64()?,
+            weave_transactions: r.u64()?,
+            batched_transactions: r.u64()?,
+            contended_transactions: r.u64()?,
+        };
+        let quantum = r.f64()?;
+        let quantum_end = r.f64()?;
+        ck::consumed(&r, ck::SEC_RUNTIME)?;
+        if !quantum.is_finite() || quantum <= 0.0 || !quantum_end.is_finite() || quantum_end <= 0.0
+        {
+            return Err(CheckpointError::Corrupt("runtime quantum clock is invalid"));
+        }
+        match quantum_sizing {
+            QuantumSizing::Fixed if quantum != quantum0 => {
+                return Err(CheckpointError::Corrupt(
+                    "fixed-sizing run drifted from its quantum",
+                ));
+            }
+            QuantumSizing::Adaptive { min, max } if !(min..=max).contains(&quantum) => {
+                return Err(CheckpointError::Corrupt(
+                    "adaptive quantum outside its range",
+                ));
+            }
+            _ => {}
+        }
+
+        // Lanes before cores: replays are built around their sources.
+        let mut r = ck::require(&sections, ck::SEC_CURSOR, "replay cursor")?;
+        if r.count()? != cores {
+            return Err(CheckpointError::ConfigMismatch("cursor lane count"));
+        }
+        let mut sources = Vec::with_capacity(cores);
+        for lane_idx in 0..cores {
+            let point = ck::get_resume_point(&mut r)?;
+            let lane = r.u64()?;
+            let stride = r.u64()?;
+            let next_idx = r.u64()?;
+            if lane != lane_idx as u64 || stride != cores as u64 {
+                return Err(CheckpointError::Corrupt(
+                    "cursor lane/stride inconsistent with the core count",
+                ));
+            }
+            if next_idx != point.ops_read {
+                return Err(CheckpointError::Corrupt(
+                    "cursor lane index out of sync with its decoder",
+                ));
+            }
+            let n = r.count()?;
+            let mut ring = Vec::with_capacity(SOURCE_RING.max(n));
+            for _ in 0..n {
+                ring.push(ck::get_trace_op(&mut r)?);
+            }
+            // `resume_from` re-validates the byte offset against this
+            // pack, so a checkpoint from a different (shorter) pack
+            // fails typed instead of decoding garbage.
+            let dec = pack.resume_from(point)?;
+            sources.push(ShardSource::Pack {
+                dec,
+                lane,
+                stride,
+                next_idx,
+                ring,
+                head: 0,
+            });
+        }
+        ck::consumed(&r, ck::SEC_CURSOR)?;
+
+        let mut r = ck::require(&sections, ck::SEC_CORE, "per-core state")?;
+        if r.count()? != cores {
+            return Err(CheckpointError::ConfigMismatch("per-core state count"));
+        }
+        let l1d_latency = hierarchy.l1d_latency;
+        let mut replays = Vec::with_capacity(cores);
+        for (id, src) in sources.into_iter().enumerate() {
+            let mut c = CoreReplay::new(id, src, core, l1d_latency);
+            c.pc = r.u64()?;
+            c.cycles = r.f64()?;
+            c.instructions = r.u64()?;
+            c.loads = r.u64()?;
+            c.stores = r.u64()?;
+            c.cforms = r.u64()?;
+            c.stores_suppressed = r.u64()?;
+            c.committed = r.u64()?;
+            c.mask = ck::get_mask(&mut r)?;
+            c.exceptions = ck::get_exceptions(&mut r)?;
+            c.weave = ck::get_core_weave(&mut r)?;
+            if !c.cycles.is_finite() || c.cycles < 0.0 {
+                return Err(CheckpointError::Corrupt("core cycle count is invalid"));
+            }
+            if c.exceptions.len() > crate::engine::Engine::MAX_RECORDED_EXCEPTIONS {
+                return Err(CheckpointError::Corrupt(
+                    "recorded exceptions exceed the engine cap",
+                ));
+            }
+            replays.push(Some(c));
+        }
+        ck::consumed(&r, ck::SEC_CORE)?;
+
+        let cfg = MulticoreConfig {
+            cores,
+            quantum: quantum0,
+            hierarchy,
+            coherence,
+            core,
+            runtime: RuntimeConfig {
+                quantum_sizing,
+                weave_batch,
+                ..RuntimeConfig::default()
+            },
+            telemetry: false,
+            fault: FaultPlan::default(),
+        };
+        let mut engine = MulticoreEngine::new(cfg);
+
+        let mut r = ck::require(&sections, ck::SEC_COHERENT, "coherent hierarchy")?;
+        engine.hierarchy = CoherentHierarchy::restore_state(hierarchy, coherence, cores, &mut r)?;
+        ck::consumed(&r, ck::SEC_COHERENT)?;
+
+        Ok((
+            engine,
+            replays,
+            ResumeSeed {
+                rt,
+                quantum,
+                quantum_end,
+            },
+        ))
+    }
+
+    /// The shared run loop entry for fresh runs: persistent workers
+    /// (multi-core only), quantum barrier, batched weave, optional
+    /// adaptive quantum.
+    fn run_sources(
+        self,
+        sources: Vec<ShardSource<'_>>,
+    ) -> Result<(MulticoreOutcome, CoherentHierarchy), RunError> {
+        let replays = self.seed_replays(sources);
+        self.run_loop(replays, None, None)
+    }
+
+    /// The run loop proper. `seed` resumes mid-run (runtime counters and
+    /// quantum clock restored from a checkpoint); `checkpoint` captures
+    /// a checkpoint into its sink at every N-th quantum boundary.
+    fn run_loop(
+        mut self,
+        mut replays: Vec<Option<CoreReplay<'_>>>,
+        seed: Option<ResumeSeed>,
+        mut checkpoint: Option<CheckpointEvery<'_>>,
+    ) -> Result<(MulticoreOutcome, CoherentHierarchy), RunError> {
+        let n = self.cfg.cores;
         let mut rt = RuntimeStats::default();
         let mut timing = RuntimeTiming::default();
         // The no-op sink: `None` unless telemetry was requested, so a
@@ -910,13 +1510,15 @@ impl MulticoreEngine {
         let barrier = QuantumBarrier::new();
         let slots: Vec<Mutex<Option<WorkerTask<'_>>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let panics: Mutex<Vec<WorkerPanic>> = Mutex::new(Vec::new());
+        let fault = self.cfg.fault;
 
-        let run_result: Result<(), WorkerPanic> = std::thread::scope(|scope| {
+        let run_result: Result<(), RunError> = std::thread::scope(|scope| {
             if use_threads {
                 for (core, slot) in slots.iter().enumerate() {
                     let barrier = &barrier;
                     let panics = &panics;
-                    scope.spawn(move || worker_loop(core, barrier, slot, panics));
+                    let fault = &fault;
+                    scope.spawn(move || worker_loop(core, barrier, slot, panics, fault));
                 }
             }
 
@@ -925,6 +1527,11 @@ impl MulticoreEngine {
                 QuantumSizing::Adaptive { min, max } => (self.cfg.quantum, min, max),
             };
             let mut quantum_end = quantum;
+            if let Some(s) = &seed {
+                rt = s.rt;
+                quantum = s.quantum;
+                quantum_end = s.quantum_end;
+            }
 
             loop {
                 let all_done = replays
@@ -951,11 +1558,33 @@ impl MulticoreEngine {
                 let t1n = tel.as_ref().map_or(0, |t| t.clock.now_ns());
                 if use_threads {
                     barrier.release(n, quantum_end);
-                    barrier.wait_all_done();
+                    match self.cfg.runtime.watchdog {
+                        None => barrier.wait_all_done(),
+                        Some(deadline) => {
+                            if let Err(err) = barrier.wait_all_done_deadline(deadline) {
+                                // A stalled worker: retire the barrier so
+                                // the survivors exit (and the stalled
+                                // worker's eventual late report no-ops),
+                                // then surface the typed stall.
+                                let core = match err {
+                                    BarrierWaitError::Stalled(cores) => {
+                                        cores.first().copied().unwrap_or(0)
+                                    }
+                                    BarrierWaitError::TornDown => 0,
+                                };
+                                barrier.tear_down();
+                                return Err(RunError::Stall(WorkerStall {
+                                    core,
+                                    phase: "bound",
+                                    quantum: rt.quanta,
+                                }));
+                            }
+                        }
+                    }
                 } else {
                     let mut g = lock_recover(&slots[0]);
                     let task = g.as_mut().expect("task was just lent");
-                    run_task_caught(0, task, quantum_end, &panics);
+                    run_task_caught(0, task, quantum_end, &panics, &fault);
                 }
                 let t2 = Instant::now();
 
@@ -1008,7 +1637,7 @@ impl MulticoreEngine {
                 };
                 if let Some(p) = worker_panic {
                     barrier.stop();
-                    return Err(p);
+                    return Err(p.into());
                 }
                 if let Some(core) = missing_slot {
                     barrier.stop();
@@ -1017,7 +1646,8 @@ impl MulticoreEngine {
                         message: "worker slot empty after the bound phase \
                                   (worker did not return its task)"
                             .to_string(),
-                    });
+                    }
+                    .into());
                 }
 
                 // Serial (weave) phase: deterministic round-robin. An
@@ -1060,7 +1690,8 @@ impl MulticoreEngine {
                                 return Err(WorkerPanic {
                                     core: core_id,
                                     message: panic_message(payload.as_ref()),
-                                });
+                                }
+                                .into());
                             }
                         }
                     }
@@ -1126,6 +1757,17 @@ impl MulticoreEngine {
                 if min_cycles.is_finite() && min_cycles >= quantum_end {
                     let skipped = ((min_cycles - quantum_end) / quantum).floor() + 1.0;
                     quantum_end += skipped * quantum;
+                }
+
+                // Checkpoint at the quantum boundary: every worker has
+                // quiesced (barrier crossed, L1s reclaimed, weave done),
+                // so the machine is single-threaded here and the capture
+                // is plain sequential code — the drain protocol
+                // model-checked in `califorms-analyze`.
+                if let Some((k, sink)) = checkpoint.as_mut() {
+                    if rt.quanta % *k == 0 {
+                        sink(self.capture_checkpoint(&replays, &rt, quantum, quantum_end));
+                    }
                 }
             }
             barrier.stop();
@@ -1265,6 +1907,13 @@ mod tests {
 
     fn engine(cores: usize) -> MulticoreEngine {
         MulticoreEngine::new(MulticoreConfig::westmere(cores))
+    }
+
+    fn expect_worker_panic(err: RunError) -> WorkerPanic {
+        match err {
+            RunError::Panic(p) => p,
+            other => panic!("expected a worker panic, got: {other}"),
+        }
     }
 
     #[test]
@@ -1442,7 +2091,7 @@ mod tests {
                 mask: 1,
             }],
         ];
-        let err = engine(2).try_run(shards).unwrap_err();
+        let err = expect_worker_panic(engine(2).try_run(shards).unwrap_err());
         assert_eq!(err.core, 1);
         assert!(
             err.message.contains("aligned"),
@@ -1466,7 +2115,7 @@ mod tests {
                 mask: 1,
             }],
         ];
-        let err = engine(2).try_run(shards).unwrap_err();
+        let err = expect_worker_panic(engine(2).try_run(shards).unwrap_err());
         assert_eq!(err.core, 1);
         assert!(err.message.contains("aligned"), "{}", err.message);
     }
@@ -1479,7 +2128,7 @@ mod tests {
             attrs: 1,
             mask: 1,
         }]];
-        let err = engine(1).try_run(shards).unwrap_err();
+        let err = expect_worker_panic(engine(1).try_run(shards).unwrap_err());
         assert_eq!(err.core, 0);
     }
 
@@ -1519,8 +2168,9 @@ mod tests {
         }));
         assert!(slot.is_poisoned());
         let panics: Mutex<Vec<WorkerPanic>> = Mutex::new(Vec::new());
+        let fault = FaultPlan::default();
         std::thread::scope(|scope| {
-            scope.spawn(|| worker_loop(0, &barrier, &slot, &panics));
+            scope.spawn(|| worker_loop(0, &barrier, &slot, &panics, &fault));
             barrier.release(1, 10_000.0);
             barrier.wait_all_done();
             barrier.stop();
@@ -1550,5 +2200,146 @@ mod tests {
         let g = lock_recover(&panics);
         assert_eq!(g.len(), 1);
         assert_eq!(g[0].core, 3);
+    }
+
+    /// A mixed workload with private and cross-core-shared lines plus
+    /// CFORMs — enough coherence traffic to exercise the directory,
+    /// spills/fills and the weave counters across many quanta.
+    fn crash_test_ops() -> Vec<TraceOp> {
+        let mut ops = Vec::new();
+        let mut x: u64 = 0x1234_5678_9abc_def0;
+        for i in 0..1500u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let addr = ((x >> 33) % 512) * 8;
+            match i % 7 {
+                0 => ops.push(TraceOp::Exec((x % 50) as u32 + 1)),
+                1 => ops.push(TraceOp::Load { addr, size: 8 }),
+                2 => ops.push(TraceOp::Store { addr, size: 8 }),
+                3 => ops.push(TraceOp::Load {
+                    addr: 0x10_000 + addr,
+                    size: 8,
+                }),
+                4 => ops.push(TraceOp::Store {
+                    addr: 0x20_000 + addr,
+                    size: 8,
+                }),
+                5 => ops.push(TraceOp::Cform {
+                    line_addr: 0x40_000 + (addr / 64) * 64,
+                    attrs: 1,
+                    mask: 1,
+                }),
+                _ => ops.push(TraceOp::Exec((x % 9) as u32 + 1)),
+            }
+        }
+        ops
+    }
+
+    /// The core of the crash-tolerance contract: resuming any mid-run
+    /// checkpoint reproduces the straight-through run bit-identically —
+    /// stats, runtime/weave counters and exceptions — across core counts
+    /// and weave batch sizes.
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        let pack = TracePack::from_ops(crash_test_ops());
+        for &cores in &[1usize, 2, 4] {
+            for &batch in &[1u32, 64] {
+                let cfg = MulticoreConfig::westmere(cores).with_weave_batch(batch);
+                let reference = MulticoreEngine::new(cfg).try_run_pack(&pack).unwrap();
+                let (full, checkpoints) = MulticoreEngine::new(cfg)
+                    .try_run_pack_checkpointed(&pack, 2)
+                    .unwrap();
+                assert_eq!(
+                    full.stats, reference.stats,
+                    "checkpointing itself must not perturb the run \
+                     (cores={cores} batch={batch})"
+                );
+                assert!(
+                    !checkpoints.is_empty(),
+                    "run too short to checkpoint (cores={cores} batch={batch})"
+                );
+                for (i, bytes) in checkpoints.iter().enumerate() {
+                    let resumed = MulticoreEngine::try_resume_pack(&pack, bytes).unwrap();
+                    assert_eq!(
+                        resumed.stats, reference.stats,
+                        "resume from checkpoint {i} diverged (cores={cores} batch={batch})"
+                    );
+                    assert_eq!(resumed.exceptions, reference.exceptions);
+                }
+            }
+        }
+    }
+
+    /// Adaptive quantum sizing is part of the checkpointed state: the
+    /// resumed run continues with the adapted quantum, not the initial
+    /// one.
+    #[test]
+    fn checkpoint_resume_preserves_adaptive_quantum() {
+        let pack = TracePack::from_ops(crash_test_ops());
+        let cfg = MulticoreConfig::westmere(2).with_adaptive_quantum();
+        let reference = MulticoreEngine::new(cfg).try_run_pack(&pack).unwrap();
+        let (_, checkpoints) = MulticoreEngine::new(cfg)
+            .try_run_pack_checkpointed(&pack, 3)
+            .unwrap();
+        for bytes in &checkpoints {
+            let resumed = MulticoreEngine::try_resume_pack(&pack, bytes).unwrap();
+            assert_eq!(resumed.stats, reference.stats);
+        }
+    }
+
+    /// An injected worker kill surfaces as a typed `RunError::Panic`
+    /// naming the killed core — the run never hangs at the barrier.
+    #[test]
+    fn kill_fault_surfaces_as_typed_panic() {
+        let pack = TracePack::from_ops(crash_test_ops());
+        let cfg = MulticoreConfig::westmere(2).with_fault(FaultPlan {
+            kill_at: Some((1, 0)),
+            ..FaultPlan::default()
+        });
+        let err = expect_worker_panic(MulticoreEngine::new(cfg).try_run_pack(&pack).unwrap_err());
+        assert_eq!(err.core, 1);
+        assert!(
+            err.message.contains("fault injection"),
+            "injected kills are identifiable: {}",
+            err.message
+        );
+    }
+
+    /// An injected stall trips the barrier watchdog within its deadline
+    /// and comes back as `RunError::Stall` naming the stalled core and
+    /// phase — never a hang.
+    #[test]
+    fn stall_fault_trips_the_watchdog() {
+        let pack = TracePack::from_ops(crash_test_ops());
+        let cfg = MulticoreConfig::westmere(2)
+            .with_watchdog(Some(Duration::from_millis(50)))
+            .with_fault(FaultPlan {
+                stall_at: Some((1, 0, 400)),
+                ..FaultPlan::default()
+            });
+        let err = MulticoreEngine::new(cfg).try_run_pack(&pack).unwrap_err();
+        match err {
+            RunError::Stall(s) => {
+                assert_eq!(s.core, 1, "the stalled core is named");
+                assert_eq!(s.phase, "bound");
+                assert!(s.to_string().contains("watchdog"), "{s}");
+            }
+            other => panic!("expected a stall, got: {other}"),
+        }
+    }
+
+    /// A fault plan that never fires leaves the run bit-identical to an
+    /// unfaulted one (the hooks are free until they trigger).
+    #[test]
+    fn dormant_fault_plan_is_invisible() {
+        let pack = TracePack::from_ops(crash_test_ops());
+        let reference = engine(2).try_run_pack(&pack).unwrap();
+        let cfg = MulticoreConfig::westmere(2).with_fault(FaultPlan {
+            kill_at: Some((0, u64::MAX)),
+            stall_at: Some((1, u64::MAX, 1)),
+        });
+        let out = MulticoreEngine::new(cfg).try_run_pack(&pack).unwrap();
+        assert_eq!(out.stats, reference.stats);
     }
 }

@@ -22,6 +22,7 @@
 //!   thread between quanta.
 
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 /// Locks `m`, recovering the guard if the mutex is poisoned instead of
 /// propagating a nested panic.
@@ -80,11 +81,24 @@ pub struct RuntimeConfig {
     /// transaction-granular round-robin. `1` reproduces the strict
     /// one-transaction-per-turn weave.
     pub weave_batch: u32,
+    /// Watchdog deadline for one bound phase: if any worker fails to
+    /// reach the quantum barrier within this host-time budget, the run
+    /// aborts with a typed [`crate::multicore::WorkerStall`] naming the
+    /// core instead of hanging forever. `None` disables the watchdog
+    /// (waits become unbounded, the pre-watchdog behaviour). Host wall
+    /// clock only — the deadline never perturbs simulated state, so runs
+    /// that finish under it stay bit-identical to unwatched runs.
+    pub watchdog: Option<Duration>,
 }
 
 impl RuntimeConfig {
     /// Default batching depth of a weave turn.
     pub const DEFAULT_WEAVE_BATCH: u32 = 64;
+
+    /// Default watchdog deadline per bound phase. Generous: a healthy
+    /// bound phase is microseconds-to-milliseconds of host time, so a
+    /// 30 s silence can only mean a wedged worker.
+    pub const DEFAULT_WATCHDOG: Duration = Duration::from_secs(30);
 }
 
 impl Default for RuntimeConfig {
@@ -92,6 +106,7 @@ impl Default for RuntimeConfig {
         Self {
             quantum_sizing: QuantumSizing::Fixed,
             weave_batch: Self::DEFAULT_WEAVE_BATCH,
+            watchdog: Some(Self::DEFAULT_WATCHDOG),
         }
     }
 }
@@ -142,6 +157,17 @@ pub struct RuntimeTiming {
     pub weave_breakdown: crate::stats::WeaveTimingBreakdown,
 }
 
+/// Outcome of a deadline-bounded barrier wait.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum BarrierWaitError {
+    /// The deadline expired with these worker indices still inside their
+    /// bound phase.
+    Stalled(Vec<usize>),
+    /// The barrier was already torn down by an earlier stall; no further
+    /// quantum can complete on it.
+    TornDown,
+}
+
 /// State published through the quantum barrier.
 #[derive(Debug)]
 struct BarrierState {
@@ -150,10 +176,18 @@ struct BarrierState {
     epoch: u64,
     /// Quantum boundary (cycles) for the current epoch.
     quantum_end: f64,
-    /// Workers still executing the current bound phase.
-    running: usize,
+    /// Per-worker flag: `true` while that worker is still executing the
+    /// current bound phase. Tracking workers individually (rather than a
+    /// bare count) lets a deadline expiry *name* the stalled cores, and
+    /// makes a late `worker_done` after teardown harmless instead of an
+    /// underflow.
+    pending: Vec<bool>,
     /// Terminates the worker loops.
     stop: bool,
+    /// Set by [`QuantumBarrier::tear_down`] after a stall: the barrier is
+    /// permanently retired and every entry point returns a typed refusal
+    /// (or no-ops) instead of acting on state it no longer owns.
+    torn_down: bool,
 }
 
 /// Epoch barrier between the main (weave) thread and the persistent
@@ -173,8 +207,9 @@ impl QuantumBarrier {
             state: Mutex::new(BarrierState {
                 epoch: 0,
                 quantum_end: 0.0,
-                running: 0,
+                pending: Vec::new(),
                 stop: false,
+                torn_down: false,
             }),
             start: Condvar::new(),
             done: Condvar::new(),
@@ -204,31 +239,81 @@ impl QuantumBarrier {
         }
     }
 
-    /// Worker side: reports the bound phase complete for this epoch.
-    pub(crate) fn worker_done(&self) {
+    /// Worker side: reports worker `core`'s bound phase complete for this
+    /// epoch. On a torn-down barrier this is a deliberate no-op: a worker
+    /// that wakes from a stall *after* the watchdog already aborted the
+    /// run must not mutate a pending-set it no longer owns.
+    pub(crate) fn worker_done(&self, core: usize) {
         let mut g = lock_recover(&self.state);
-        g.running -= 1;
-        if g.running == 0 {
+        if g.torn_down {
+            return;
+        }
+        if let Some(slot) = g.pending.get_mut(core) {
+            *slot = false;
+        }
+        if g.pending.iter().all(|p| !p) {
             self.done.notify_all();
         }
     }
 
     /// Main side: releases `workers` workers into a bound phase bounded
-    /// by `quantum_end`.
+    /// by `quantum_end`. No-op after [`Self::tear_down`] — a retired
+    /// barrier never starts another quantum.
     pub(crate) fn release(&self, workers: usize, quantum_end: f64) {
         let mut g = lock_recover(&self.state);
+        if g.torn_down {
+            return;
+        }
         g.epoch += 1;
         g.quantum_end = quantum_end;
-        g.running = workers;
+        g.pending.clear();
+        g.pending.resize(workers, true);
         drop(g);
         self.start.notify_all();
     }
 
-    /// Main side: blocks until every released worker reported done.
+    /// Main side: blocks until every released worker reported done (or
+    /// the barrier is torn down — a retired barrier never blocks).
     pub(crate) fn wait_all_done(&self) {
         let mut g = lock_recover(&self.state);
-        while g.running > 0 {
+        while !g.torn_down && g.pending.iter().any(|p| *p) {
             g = self.done.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Main side: like [`Self::wait_all_done`], but gives up after
+    /// `deadline` and names the workers that never reported — the
+    /// watchdog primitive behind
+    /// [`crate::multicore::WorkerStall`].
+    pub(crate) fn wait_all_done_deadline(
+        &self,
+        deadline: Duration,
+    ) -> Result<(), BarrierWaitError> {
+        let limit = Instant::now() + deadline;
+        let mut g = lock_recover(&self.state);
+        loop {
+            if g.torn_down {
+                return Err(BarrierWaitError::TornDown);
+            }
+            if g.pending.iter().all(|p| !p) {
+                return Ok(());
+            }
+            let now = Instant::now();
+            if now >= limit {
+                let stalled = g
+                    .pending
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(core, p)| p.then_some(core))
+                    // analyze::allow(hot-path-alloc): deadline-expiry error path, runs at most once per run — never in a healthy quantum
+                    .collect();
+                return Err(BarrierWaitError::Stalled(stalled));
+            }
+            let (guard, _) = self
+                .done
+                .wait_timeout(g, limit - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            g = guard;
         }
     }
 
@@ -238,6 +323,20 @@ impl QuantumBarrier {
         g.stop = true;
         drop(g);
         self.start.notify_all();
+    }
+
+    /// Main side: permanently retires the barrier after a stall. Workers
+    /// are told to stop, waiters are woken, and from here on `release` /
+    /// `worker_done` no-op while the wait entry points return
+    /// [`BarrierWaitError::TornDown`] — a stalled worker that eventually
+    /// wakes cannot corrupt barrier state or restart a dead run.
+    pub(crate) fn tear_down(&self) {
+        let mut g = lock_recover(&self.state);
+        g.torn_down = true;
+        g.stop = true;
+        drop(g);
+        self.start.notify_all();
+        self.done.notify_all();
     }
 }
 
@@ -251,6 +350,7 @@ mod tests {
         let cfg = RuntimeConfig::default();
         assert_eq!(cfg.quantum_sizing, QuantumSizing::Fixed);
         assert_eq!(cfg.weave_batch, RuntimeConfig::DEFAULT_WEAVE_BATCH);
+        assert_eq!(cfg.watchdog, Some(RuntimeConfig::DEFAULT_WATCHDOG));
     }
 
     #[test]
@@ -292,14 +392,15 @@ mod tests {
         let barrier = QuantumBarrier::new();
         let ticks = AtomicU64::new(0);
         let workers = 3usize;
+        let (barrier, ticks) = (&barrier, &ticks);
         std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
+            for core in 0..workers {
+                scope.spawn(move || {
                     let mut seen = 0u64;
                     while let Some(end) = barrier.wait_for_quantum(&mut seen) {
                         assert!(end > 0.0);
                         ticks.fetch_add(1, Ordering::Relaxed);
-                        barrier.worker_done();
+                        barrier.worker_done(core);
                     }
                 });
             }
@@ -311,5 +412,82 @@ mod tests {
             barrier.stop();
         });
         assert_eq!(ticks.load(Ordering::Relaxed), 5 * workers as u64);
+    }
+
+    /// The watchdog primitive: a worker that never reports done makes the
+    /// deadline wait fail with exactly the stalled worker's index.
+    #[test]
+    fn deadline_wait_names_the_stalled_worker() {
+        let barrier = QuantumBarrier::new();
+        barrier.release(3, 10_000.0);
+        barrier.worker_done(0);
+        barrier.worker_done(2);
+        let err = barrier
+            .wait_all_done_deadline(Duration::from_millis(20))
+            .unwrap_err();
+        assert_eq!(err, BarrierWaitError::Stalled(vec![1]));
+    }
+
+    #[test]
+    fn deadline_wait_succeeds_when_all_workers_report() {
+        let barrier = QuantumBarrier::new();
+        barrier.release(2, 10_000.0);
+        barrier.worker_done(1);
+        barrier.worker_done(0);
+        assert_eq!(
+            barrier.wait_all_done_deadline(Duration::from_millis(20)),
+            Ok(())
+        );
+    }
+
+    /// Satellite regression: after a stall teardown, every barrier entry
+    /// point must refuse (typed error) or no-op — pre-fix, a late
+    /// `worker_done` from the stalled worker decremented a counter the
+    /// main thread had already abandoned, and a subsequent wait could
+    /// recover the lock into an inconsistent pending-set and hang.
+    #[test]
+    fn torn_down_barrier_rejects_every_entry_point() {
+        let barrier = QuantumBarrier::new();
+        barrier.release(2, 10_000.0);
+        barrier.worker_done(0);
+        // Worker 1 stalls; the watchdog fires and tears the barrier down.
+        assert_eq!(
+            barrier.wait_all_done_deadline(Duration::from_millis(10)),
+            Err(BarrierWaitError::Stalled(vec![1]))
+        );
+        barrier.tear_down();
+        // The stalled worker finally wakes: its late report is a no-op,
+        // not an underflow or a spurious wake-up of a dead run.
+        barrier.worker_done(1);
+        barrier.worker_done(1);
+        // Releasing a retired barrier is refused...
+        barrier.release(2, 20_000.0);
+        let mut seen = 0u64;
+        assert_eq!(
+            barrier.wait_for_quantum(&mut seen),
+            None,
+            "workers see stop"
+        );
+        // ...and both wait entry points return typed errors immediately
+        // instead of blocking on workers that will never come back.
+        assert_eq!(
+            barrier.wait_all_done_deadline(Duration::from_millis(10)),
+            Err(BarrierWaitError::TornDown)
+        );
+        barrier.wait_all_done(); // must not hang
+    }
+
+    /// An out-of-range worker index (possible only through a logic bug)
+    /// must not panic the barrier — the wait still times out and names
+    /// the genuinely pending workers.
+    #[test]
+    fn worker_done_out_of_range_is_harmless() {
+        let barrier = QuantumBarrier::new();
+        barrier.release(1, 10_000.0);
+        barrier.worker_done(7);
+        assert_eq!(
+            barrier.wait_all_done_deadline(Duration::from_millis(10)),
+            Err(BarrierWaitError::Stalled(vec![0]))
+        );
     }
 }

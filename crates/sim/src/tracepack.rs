@@ -611,6 +611,35 @@ impl TracePack {
         }
     }
 
+    /// A decoder positioned at `point`, as captured by
+    /// [`PackDecoder::resume_point`] against this same pack: decoding
+    /// from here is byte-for-byte identical to decoding from the start
+    /// and skipping `point.ops_read` ops (the resume seam of
+    /// `crate::checkpoint`).
+    ///
+    /// # Errors
+    ///
+    /// [`TracePackError::Truncated`] when the offset runs past the
+    /// encoded stream — a resume point can only be *too far*, never
+    /// misaligned, because the checkpoint reader validates its own
+    /// checksum first; a lying offset on a shorter pack must surface as
+    /// a typed error, not a panic.
+    pub fn resume_from(&self, point: ResumePoint) -> Result<PackDecoder<'_>> {
+        let body = &self.bytes[5..];
+        if point.byte_offset > body.len() as u64 {
+            return Err(TracePackError::Truncated);
+        }
+        Ok(PackDecoder {
+            cur: Cursor {
+                buf: body,
+                pos: point.byte_offset as usize,
+            },
+            last_addr: point.last_addr,
+            done: point.done,
+            ops_read: point.ops_read,
+        })
+    }
+
     /// Iterates the decoded ops.
     ///
     /// # Panics
@@ -629,6 +658,25 @@ impl TracePack {
         // analyze::allow(hot-path-alloc): tests-and-tools convenience; replay engines batch-decode instead
         self.iter().collect()
     }
+}
+
+/// A seekable decode-resume point: where a [`PackDecoder`] stands in the
+/// encoded stream, plus the delta-decoding context needed to continue
+/// from there. Addresses are delta-encoded, so the byte offset alone is
+/// not enough — `last_addr` carries the decoder's address context across
+/// the seam. Obtained from [`PackDecoder::resume_point`]; turned back
+/// into a live decoder by [`TracePack::resume_from`]. Checkpoints
+/// (`crate::checkpoint`) persist exactly this per replay lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ResumePoint {
+    /// Encoded bytes consumed past the 5-byte header.
+    pub byte_offset: u64,
+    /// Ops decoded so far.
+    pub ops_read: u64,
+    /// Address context for delta decoding (the previous op's address).
+    pub last_addr: u64,
+    /// Whether the end marker has already been consumed.
+    pub done: bool,
 }
 
 /// Zero-I/O decoder over an in-memory [`TracePack`]; the replay engines
@@ -670,6 +718,18 @@ impl PackDecoder<'_> {
     /// stream is drained.
     pub fn bytes_consumed(&self) -> u64 {
         self.cur.pos as u64
+    }
+
+    /// Captures the decoder's current position as a seekable
+    /// [`ResumePoint`]; [`TracePack::resume_from`] reconstructs an
+    /// equivalent decoder from it.
+    pub fn resume_point(&self) -> ResumePoint {
+        ResumePoint {
+            byte_offset: self.cur.pos as u64,
+            ops_read: self.ops_read,
+            last_addr: self.last_addr,
+            done: self.done,
+        }
     }
 
     /// Decodes up to `out.len()` ops into `out`, returning the count
@@ -890,6 +950,62 @@ mod tests {
         for v in [0i64, 1, -1, i64::MAX, i64::MIN, 63, -64] {
             assert_eq!(unzigzag(zigzag(v)), v);
         }
+    }
+
+    #[test]
+    fn resume_from_matches_decode_from_start_then_skip() {
+        let ops = sample_ops();
+        let pack = TracePack::from_ops(ops.iter().copied());
+        // At every op boundary: capture a resume point, then prove the
+        // resumed decoder yields exactly the suffix a fresh decoder
+        // yields after skipping the same number of ops.
+        for skip in 0..=ops.len() {
+            let mut dec = pack.decoder();
+            for _ in 0..skip {
+                dec.next_op().unwrap().unwrap();
+            }
+            let point = dec.resume_point();
+            let mut resumed = pack.resume_from(point).unwrap();
+            assert_eq!(resumed.ops_read(), skip as u64);
+            assert_eq!(resumed.bytes_consumed(), dec.bytes_consumed());
+            let mut from_start = pack.decoder();
+            for _ in 0..skip {
+                from_start.next_op().unwrap().unwrap();
+            }
+            loop {
+                let a = resumed.next_op().unwrap();
+                let b = from_start.next_op().unwrap();
+                assert_eq!(a, b, "suffix diverged after skipping {skip}");
+                if a.is_none() {
+                    break;
+                }
+            }
+            assert_eq!(resumed.bytes_consumed(), from_start.bytes_consumed());
+        }
+    }
+
+    #[test]
+    fn resume_from_rejects_offset_past_stream() {
+        let pack = TracePack::from_ops(sample_ops());
+        let point = ResumePoint {
+            byte_offset: pack.bytes().len() as u64, // 5 past the body end
+            ..ResumePoint::default()
+        };
+        assert!(matches!(
+            pack.resume_from(point),
+            Err(TracePackError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn resume_point_after_drain_is_done() {
+        let pack = TracePack::from_ops(sample_ops());
+        let mut dec = pack.decoder();
+        while dec.next_op().unwrap().is_some() {}
+        let point = dec.resume_point();
+        assert!(point.done);
+        let mut resumed = pack.resume_from(point).unwrap();
+        assert!(resumed.next_op().unwrap().is_none(), "done is sticky");
     }
 
     #[test]

@@ -30,10 +30,11 @@
 //!   quantum barrier → single-threaded snapshot → next release), with a
 //!   `SnapshotBeforeDrain` variant whose torn snapshot the explorer
 //!   catches with a counterexample trace.
-//! * [`weave`] — the speculative-weave commit protocol for the planned
-//!   optimistic execution path: per-bank claim → execute → commit/abort
-//!   across an epoch boundary, with a `CommitBeforeCheck` variant whose
-//!   lost update the explorer catches with a counterexample trace.
+//! * [`weave`] — the speculative-weave commit protocol now shipped as
+//!   the optimistic execution path of `MulticoreEngine` (DESIGN.md
+//!   §15): per-bank claim → execute → commit/abort across an epoch
+//!   boundary, with a `CommitBeforeCheck` variant whose lost update the
+//!   explorer catches with a counterexample trace.
 //!
 //! ## Granularity
 //!

@@ -1,9 +1,17 @@
 //! Model of the speculative-weave commit protocol: per-bank
 //! claim → execute → commit/abort across an epoch boundary.
 //!
-//! The protocol under test is the planned optimistic execution path for
-//! the multicore engine: workers speculate against a shared memory bank
-//! without holding its lock for the whole quantum. Per epoch, a worker
+//! The protocol under test is the optimistic execution path the
+//! multicore engine now ships (`MulticoreConfig::with_speculative_weave`,
+//! DESIGN.md §15): workers speculate against a shared memory bank
+//! without holding its lock for the whole quantum. The production
+//! engine *strengthens* the commit rule modelled here — it commits an
+//! epoch only if **every** stream validated (all-private outcomes,
+//! pairwise-disjoint bank sets) and otherwise demotes the whole epoch
+//! to the serial residue path, whereas the model commits per
+//! speculation; all-or-nothing is a refinement (it commits a subset of
+//! the schedules the model admits), so the model's safety argument and
+//! its lost-update counterexample carry over. Per epoch, a worker
 //!
 //! 1. reads the bank's base value under a read lock (the *speculation
 //!    snapshot*),

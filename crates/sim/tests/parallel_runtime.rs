@@ -182,6 +182,55 @@ fn adaptive_quantum_grows_over_coherence_free_runs() {
     assert_eq!(adaptive.stats.combined.cycles, fixed.stats.combined.cycles);
 }
 
+/// Regression: the empty-quantum fast-forward must handle a core whose
+/// cycle count lands **exactly** on a quantum boundary. Cores run while
+/// `cycles < quantum_end`, so `cycles == quantum_end` cannot run in that
+/// quantum and the skip must step one boundary further — an off-by-one
+/// in either direction shows up as a wrong `rt.quanta`.
+///
+/// Westmere's 4-wide core makes `Exec(4n)` cost exactly `n` cycles, so
+/// the landing point is exact in f64 (small integers).
+#[test]
+fn fast_forward_handles_a_trace_landing_exactly_on_the_boundary() {
+    let cfg = MulticoreConfig::westmere(2).with_quantum(1_000.0);
+    // Core 0 commits one huge Exec landing exactly on a boundary, then
+    // one trailing instruction; core 1 finishes in the first quantum.
+    for boundary_cycles in [2_000u64, 5_000, 1_000_000] {
+        let shards = vec![
+            vec![
+                TraceOp::Exec((boundary_cycles * 4) as u32),
+                TraceOp::Exec(4),
+            ],
+            vec![TraceOp::Exec(4)],
+        ];
+        let out = MulticoreEngine::new(cfg).run(shards);
+        // Quantum 1 runs the huge Exec (and all of core 1); every
+        // boundary it sails over is skipped — `cycles == quantum_end`
+        // is *not* runnable, so the landing boundary is skipped too —
+        // and exactly one more quantum commits the trailing Exec.
+        assert_eq!(
+            out.stats.runtime.quanta, 2,
+            "boundary_cycles={boundary_cycles}: empty quanta must be \
+             fast-forwarded, including the exact-landing one"
+        );
+        assert_eq!(
+            out.stats.combined.cycles,
+            boundary_cycles as f64 + 1.0,
+            "boundary_cycles={boundary_cycles}"
+        );
+        assert_eq!(out.stats.combined.instructions, boundary_cycles * 4 + 4 + 4);
+    }
+    // One cycle short of the boundary: the landing quantum *is*
+    // runnable, so nothing extra is skipped and the count is identical.
+    let shards = vec![
+        vec![TraceOp::Exec(2_000 * 4 - 4), TraceOp::Exec(4)],
+        vec![TraceOp::Exec(4)],
+    ];
+    let out = MulticoreEngine::new(cfg).run(shards);
+    assert_eq!(out.stats.runtime.quanta, 2);
+    assert_eq!(out.stats.combined.cycles, 2_000.0);
+}
+
 #[test]
 fn barrier_waits_track_quanta_and_cores() {
     for cores in [2usize, 4] {

@@ -1,0 +1,201 @@
+//! Integration tests of the speculative weave (DESIGN.md §15): the
+//! optimistic parallel weave must be bit-identical to the serial
+//! round-robin weave on every workload — committed epochs and
+//! re-executed residue alike — and its abort accounting must reconcile.
+//!
+//! Two property arms:
+//!
+//! * **zero-conflict** — every core's weave traffic lands in its own
+//!   directory bank (addresses chosen so `bank_of` never collides), so
+//!   every attempted epoch validates and commits: zero aborts, zero
+//!   residue.
+//! * **high-conflict** — every core hammers one hot line, so claims
+//!   collide and ownership is remote: epochs abort and the serial
+//!   residue re-execution must reproduce the serial run exactly.
+
+use califorms_sim::multicore::{MulticoreConfig, MulticoreEngine, MulticoreOutcome};
+use califorms_sim::{TraceOp, LINE_BYTES};
+
+/// Directory-bank count of the westmere shared levels (`bank_of` is
+/// `(line / 64) % 8`).
+const BANKS: u64 = 8;
+
+fn run(cfg: MulticoreConfig, shards: Vec<Vec<TraceOp>>) -> MulticoreOutcome {
+    MulticoreEngine::new(cfg).run(shards)
+}
+
+/// Asserts a speculative run is bit-identical to its serial twin after
+/// masking the spec-only bookkeeping counters.
+fn assert_matches_serial(spec: &MulticoreOutcome, serial: &MulticoreOutcome) {
+    assert_eq!(spec.exceptions, serial.exceptions, "exceptions diverged");
+    assert_eq!(
+        spec.stats.per_core, serial.stats.per_core,
+        "per-core stats diverged"
+    );
+    assert_eq!(
+        spec.stats.combined, serial.stats.combined,
+        "combined stats diverged"
+    );
+    assert_eq!(
+        spec.stats.weave, serial.stats.weave,
+        "weave breakdown diverged"
+    );
+    assert_eq!(
+        spec.stats.runtime.without_spec(),
+        serial.stats.runtime.without_spec(),
+        "runtime counters diverged"
+    );
+    assert_eq!(
+        serial.stats.runtime.spec_epochs, 0,
+        "serial runs must never attempt an epoch"
+    );
+}
+
+/// Core `c` touches only lines congruent to `c` mod [`BANKS`]: its
+/// entire weave stream stays inside directory bank `c`, and no two
+/// cores ever share a line or a bank.
+fn bank_disjoint_shard(core: u64, n: u64) -> Vec<TraceOp> {
+    let base = 0x5000_0000;
+    let mut ops = Vec::new();
+    for i in 0..n {
+        let addr = base + (i * BANKS + core) * LINE_BYTES;
+        ops.push(TraceOp::Load { addr, size: 8 });
+        if i % 3 == 0 {
+            ops.push(TraceOp::Store { addr, size: 8 });
+        }
+        ops.push(TraceOp::Exec(8));
+    }
+    ops
+}
+
+/// Every core stores to the same single hot line every transaction —
+/// claims collide on its bank and ownership bounces core to core, so a
+/// speculative epoch can essentially never validate.
+fn hot_line_shard(core: u64, n: u64) -> Vec<TraceOp> {
+    let hot = 0x6000_0000u64;
+    let mut ops = Vec::new();
+    for i in 0..n {
+        ops.push(TraceOp::Store {
+            addr: hot + (core % 8) * 8,
+            size: 8,
+        });
+        ops.push(TraceOp::Exec((i % 13) as u32 + 1));
+    }
+    ops
+}
+
+#[test]
+fn bank_disjoint_workload_commits_every_epoch() {
+    for cores in [2usize, 4] {
+        let shards = || {
+            (0..cores as u64)
+                .map(|c| bank_disjoint_shard(c, 3_000))
+                .collect::<Vec<_>>()
+        };
+        let serial = run(MulticoreConfig::westmere(cores), shards());
+        let spec = run(
+            MulticoreConfig::westmere(cores).with_speculative_weave(),
+            shards(),
+        );
+        assert_matches_serial(&spec, &serial);
+
+        let rt = &spec.stats.runtime;
+        assert!(rt.spec_epochs > 0, "cores={cores}: no epoch was attempted");
+        assert_eq!(rt.spec_aborts, 0, "cores={cores}: disjoint banks abort");
+        assert_eq!(rt.spec_commits, rt.spec_epochs, "cores={cores}");
+        assert_eq!(
+            rt.spec_residue_transactions, 0,
+            "cores={cores}: committed epochs leave no residue"
+        );
+        assert!(
+            rt.weave_transactions > 0,
+            "cores={cores}: the workload must actually weave"
+        );
+    }
+}
+
+#[test]
+fn hot_line_conflicts_abort_and_residue_reproduces_serial() {
+    for cores in [2usize, 4] {
+        let shards = || {
+            (0..cores as u64)
+                .map(|c| hot_line_shard(c, 2_000))
+                .collect::<Vec<_>>()
+        };
+        let serial = run(MulticoreConfig::westmere(cores), shards());
+        let spec = run(
+            MulticoreConfig::westmere(cores).with_speculative_weave(),
+            shards(),
+        );
+        assert_matches_serial(&spec, &serial);
+
+        let rt = &spec.stats.runtime;
+        assert!(rt.spec_epochs > 0, "cores={cores}: no epoch was attempted");
+        assert!(
+            rt.spec_aborts > 0,
+            "cores={cores}: one hot line must conflict"
+        );
+        assert!(
+            rt.spec_residue_transactions > 0,
+            "cores={cores}: aborted epochs re-execute serially as residue"
+        );
+        assert_eq!(rt.spec_epochs, rt.spec_commits + rt.spec_aborts);
+    }
+}
+
+#[test]
+fn speculation_is_off_by_default_and_counters_stay_zero() {
+    let shards: Vec<_> = (0..2).map(|c| bank_disjoint_shard(c, 500)).collect();
+    let out = run(MulticoreConfig::westmere(2), shards);
+    let rt = &out.stats.runtime;
+    assert_eq!(
+        (
+            rt.spec_epochs,
+            rt.spec_commits,
+            rt.spec_aborts,
+            rt.spec_residue_transactions
+        ),
+        (0, 0, 0, 0)
+    );
+}
+
+/// The mixed case: shared *and* private traffic, several quanta, both
+/// weave batch depths — commits and aborts interleave and the result
+/// stays bit-identical to serial.
+#[test]
+fn mixed_sharing_matches_serial_at_both_weave_batches() {
+    let shard = |core: u64| -> Vec<TraceOp> {
+        let mut ops = Vec::new();
+        for i in 0..2_500u64 {
+            match i % 5 {
+                // Shared hot lines (conflicts).
+                0 | 1 => ops.push(TraceOp::Load {
+                    addr: 0x7000_0000 + (i % 4) * LINE_BYTES,
+                    size: 8,
+                }),
+                // Private stride (conflict-free weave traffic).
+                2 => ops.push(TraceOp::Store {
+                    addr: 0x8000_0000 + core * 0x100_0000 + i * LINE_BYTES,
+                    size: 8,
+                }),
+                _ => ops.push(TraceOp::Exec((i % 9) as u32 + 1)),
+            }
+        }
+        ops
+    };
+    for batch in [1u32, 64] {
+        let shards = || (0..4u64).map(shard).collect::<Vec<_>>();
+        let serial = run(
+            MulticoreConfig::westmere(4).with_weave_batch(batch),
+            shards(),
+        );
+        let spec = run(
+            MulticoreConfig::westmere(4)
+                .with_weave_batch(batch)
+                .with_speculative_weave(),
+            shards(),
+        );
+        assert_matches_serial(&spec, &serial);
+        assert!(spec.stats.runtime.spec_epochs > 0, "batch={batch}");
+    }
+}

@@ -18,6 +18,9 @@ pub enum Phase {
     Bound,
     /// Serial weave phase: coherence transactions on the main thread.
     Weave,
+    /// Speculative weave epoch: optimistic parallel coherence
+    /// transactions on the workers (DESIGN.md §15).
+    SpecWeave,
     /// Barrier wait / quantum bookkeeping.
     Barrier,
     /// Trace-pack batch decode.
@@ -30,6 +33,7 @@ impl Phase {
         match self {
             Phase::Bound => "bound",
             Phase::Weave => "weave",
+            Phase::SpecWeave => "spec-weave",
             Phase::Barrier => "barrier",
             Phase::Decode => "decode",
         }
